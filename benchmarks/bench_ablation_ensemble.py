@@ -1,0 +1,58 @@
+"""Ablation — Elastic Ensemble-style voting vs its best single member.
+
+Section 2 discusses Lines & Bagnall's finding that ensembling 1-NN
+classifiers over elastic measures was the first approach to significantly
+beat DTW. This ablation fits the proportional-vote ensemble (MSM, TWE,
+ERP, DTW-10, NCC_c members with the paper's unsupervised parameters) and
+compares it against each member on the elastic-scale dataset collection.
+"""
+
+import numpy as np
+
+from repro.classification import dissimilarity_matrix, one_nn_accuracy
+from repro.classification.ensemble import default_elastic_ensemble
+
+from conftest import run_once
+
+
+def test_ablation_ensemble(benchmark, small_datasets, save_result):
+    datasets = small_datasets[:8]
+
+    def experiment():
+        member_scores: dict[str, list[float]] = {}
+        ensemble_scores: list[float] = []
+        for ds in datasets:
+            ensemble = default_elastic_ensemble()
+            ensemble.fit(ds)
+            ensemble_scores.append(ensemble.score(ds.test_X, ds.test_y))
+            for member in ensemble.members:
+                E = dissimilarity_matrix(
+                    member.variant.measure,
+                    ds.test_X,
+                    ds.train_X,
+                    member.variant.normalization,
+                    **member.params,
+                )
+                member_scores.setdefault(member.variant.display, []).append(
+                    one_nn_accuracy(E, ds.test_y, ds.train_y)
+                )
+        return ensemble_scores, member_scores
+
+    ensemble_scores, member_scores = run_once(benchmark, experiment)
+    mean_ensemble = float(np.mean(ensemble_scores))
+    means = {k: float(np.mean(v)) for k, v in member_scores.items()}
+    best_member = max(means, key=means.get)
+    lines = [
+        "Ablation: elastic ensemble vs single members",
+        f"{'member':<10} {'avg acc':>8}",
+    ]
+    for name, acc in sorted(means.items(), key=lambda kv: -kv[1]):
+        lines.append(f"{name:<10} {acc:>8.4f}")
+    lines.append(f"{'ENSEMBLE':<10} {mean_ensemble:>8.4f}")
+    lines.append(
+        f"ensemble vs best member ({best_member}): "
+        f"{mean_ensemble - means[best_member]:+.4f}"
+    )
+    # The vote must not fall apart relative to its strongest member.
+    assert mean_ensemble >= means[best_member] - 0.05
+    save_result("ablation_ensemble", "\n".join(lines))

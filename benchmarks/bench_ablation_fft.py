@@ -1,0 +1,60 @@
+"""Ablation — FFT vs naive O(m^2) cross-correlation (paper Eq. 10).
+
+Quantifies the speedup the paper attributes to the FFT ("dramatically
+reduced its computational cost") and re-verifies numerical agreement at
+benchmark scale.
+"""
+
+import time
+
+import numpy as np
+
+from repro.distances.sliding import cross_correlation, cross_correlation_naive
+
+from conftest import run_once
+
+LENGTHS = (64, 256, 1024)
+REPEATS = 20
+
+
+def _time(fn, pairs):
+    start = time.perf_counter()
+    for x, y in pairs:
+        fn(x, y)
+    return time.perf_counter() - start
+
+
+def test_ablation_fft_vs_naive(benchmark, save_result):
+    rng = np.random.default_rng(0)
+
+    def experiment():
+        rows = []
+        for m in LENGTHS:
+            pairs = [
+                (rng.normal(size=m), rng.normal(size=m))
+                for _ in range(REPEATS)
+            ]
+            t_fft = _time(cross_correlation, pairs)
+            t_naive = _time(cross_correlation_naive, pairs)
+            err = max(
+                float(np.abs(cross_correlation(x, y) - cross_correlation_naive(x, y)).max())
+                for x, y in pairs[:3]
+            )
+            rows.append((m, t_fft / REPEATS, t_naive / REPEATS, err))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    lines = [
+        "Ablation: FFT vs naive cross-correlation",
+        f"{'length':>7} {'fft(s)':>10} {'naive(s)':>10} {'speedup':>8} {'max err':>10}",
+    ]
+    for m, t_fft, t_naive, err in rows:
+        lines.append(
+            f"{m:>7} {t_fft:>10.6f} {t_naive:>10.6f} "
+            f"{t_naive / t_fft:>8.1f} {err:>10.2e}"
+        )
+        assert err < 1e-6
+    # The asymptotic gap must be visible at the longest length.
+    longest = rows[-1]
+    assert longest[2] > longest[1], "naive should be slower at m=1024"
+    save_result("ablation_fft", "\n".join(lines))

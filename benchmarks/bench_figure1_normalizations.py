@@ -1,0 +1,60 @@
+"""Figure 1 — the 8 normalization methods applied to an ECG-like pair.
+
+The paper shows how each method transforms two ECGFiveDays series; we
+render the numeric fingerprint (range/mean/std) of each transformed pair on
+an ECG-like synthetic pair, which captures the figure's content (which
+methods change only the value range vs the curve shape).
+"""
+
+import numpy as np
+
+from repro.datasets import DatasetSpec, generate_dataset
+from repro.normalization import PAPER_NORMALIZATIONS, get_normalizer
+
+from conftest import run_once
+
+
+def _ecg_pair():
+    spec = DatasetSpec(
+        name="ECGLike", domain="ecg", n_classes=2, length=128,
+        train_size=4, test_size=2, noise=0.05, seed=21,
+    )
+    ds = generate_dataset(spec, normalize=None)
+    return ds.train_X[0], ds.train_X[-1]
+
+
+def test_figure1_normalizations(benchmark, save_result):
+    x, y = _ecg_pair()
+
+    def experiment():
+        rows = []
+        for name in PAPER_NORMALIZATIONS:
+            norm = get_normalizer(name)
+            a, b = norm.apply_pair(x, y)
+            rows.append(
+                (
+                    norm.label,
+                    float(a.min()), float(a.max()),
+                    float(a.mean()), float(a.std()),
+                    float(np.linalg.norm(a - b)),
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    assert len(rows) == 8
+    lines = [
+        "Figure 1: effect of the 8 normalization methods (ECG-like pair)",
+        f"{'method':<16} {'min':>9} {'max':>9} {'mean':>9} {'std':>9} {'ED(x,y)':>9}",
+    ]
+    for label, lo, hi, mean, std, ed in rows:
+        lines.append(
+            f"{label:<16} {lo:>9.3f} {hi:>9.3f} {mean:>9.3f} {std:>9.3f} {ed:>9.3f}"
+        )
+    # Sanity of the figure's message: z-score standardizes, MinMax maps to
+    # [0, 1], Logistic squashes into (0, 1).
+    by_label = {r[0]: r for r in rows}
+    assert abs(by_label["z-score"][3]) < 1e-9
+    assert by_label["MinMax"][1] == 0.0 and by_label["MinMax"][2] == 1.0
+    assert 0.0 <= by_label["Logistic"][1] <= by_label["Logistic"][2] <= 1.0
+    save_result("figure1_normalizations", "\n".join(lines))

@@ -1,0 +1,31 @@
+"""Figure 2 — average ranks of the best lock-step measures under z-score.
+
+Paper: Lorentzian ranks first among the parameter-free measures (Minkowski
+is supervised), all 5 shown measures significantly outperform ED, and the
+thick Nemenyi line joins the winners (no difference among them).
+"""
+
+from repro.evaluation import run_sweep
+from repro.evaluation.experiments import figure2_experiment
+from repro.reporting import format_rank_figure
+from repro.stats import nemenyi_test
+
+from conftest import run_once
+
+PANEL = list(figure2_experiment().variants)
+
+
+def test_figure2_lockstep_ranks(benchmark, fast_datasets, save_result):
+    def experiment():
+        sweep = run_sweep(PANEL, fast_datasets)
+        return sweep, nemenyi_test(sweep.labels, sweep.accuracies)
+
+    sweep, result = run_once(benchmark, experiment)
+    # ED must not rank first among this winners' panel.
+    assert result.names[0] != "ED"
+    save_result(
+        "figure2_lockstep_ranks",
+        format_rank_figure(
+            result, "Figure 2: lock-step measure ranks under z-score"
+        ),
+    )

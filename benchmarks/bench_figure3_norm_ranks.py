@@ -1,0 +1,36 @@
+"""Figure 3 — normalization methods in combination with Lorentzian.
+
+Paper: Lorentzian with z-score / UnitLength / MeanNorm significantly beats
+ED+z-score, with no difference among the three (the M1 finding for a
+standalone measure).
+"""
+
+from repro.evaluation import run_sweep
+from repro.evaluation.experiments import figure3_experiment
+from repro.reporting import format_rank_figure
+from repro.stats import nemenyi_test
+
+from conftest import run_once
+
+
+def _panel():
+    return list(figure3_experiment().variants)
+
+
+def test_figure3_norm_ranks(benchmark, fast_datasets, save_result):
+    panel = _panel()
+
+    def experiment():
+        sweep = run_sweep(panel, fast_datasets)
+        return sweep, nemenyi_test(sweep.labels, sweep.accuracies)
+
+    sweep, result = run_once(benchmark, experiment)
+    means = sweep.mean_accuracy()
+    # The classic combinations should at least match the ED baseline.
+    assert means["Lorentzian+zscore"] >= means["ED+zscore"] - 0.02
+    save_result(
+        "figure3_norm_ranks",
+        format_rank_figure(
+            result, "Figure 3: normalizations for Lorentzian vs ED+z-score"
+        ),
+    )

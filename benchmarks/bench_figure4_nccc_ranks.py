@@ -1,0 +1,36 @@
+"""Figure 4 — normalization methods for NCC_c vs Lorentzian+UnitLength.
+
+Paper: z-score, MeanNorm and UnitLength combinations improve significantly;
+AdaptiveScaling and MinMax do not.
+"""
+
+from repro.evaluation import MeasureVariant, run_sweep
+from repro.reporting import format_rank_figure
+from repro.stats import nemenyi_test
+
+from conftest import run_once
+
+PANEL = [
+    MeasureVariant("nccc", "zscore", label="NCCc+zscore"),
+    MeasureVariant("nccc", "meannorm", label="NCCc+meannorm"),
+    MeasureVariant("nccc", "unitlength", label="NCCc+unitlength"),
+    MeasureVariant("nccc", "minmax", label="NCCc+minmax"),
+    MeasureVariant("nccc", "adaptive", label="NCCc+adaptive"),
+    MeasureVariant("lorentzian", "unitlength", label="Lorentzian+unitlength"),
+]
+
+
+def test_figure4_nccc_ranks(benchmark, fast_datasets, save_result):
+    def experiment():
+        sweep = run_sweep(PANEL, fast_datasets)
+        return sweep, nemenyi_test(sweep.labels, sweep.accuracies)
+
+    sweep, result = run_once(benchmark, experiment)
+    means = sweep.mean_accuracy()
+    assert means["NCCc+zscore"] >= means["NCCc+minmax"] - 0.05
+    save_result(
+        "figure4_nccc_ranks",
+        format_rank_figure(
+            result, "Figure 4: normalizations for NCC_c vs Lorentzian"
+        ),
+    )

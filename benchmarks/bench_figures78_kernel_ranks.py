@@ -1,0 +1,49 @@
+"""Figures 7 and 8 — kernel + elastic + sliding ranks.
+
+Figure 7 (supervised) and Figure 8 (unsupervised): GAK comparable to DTW in
+both settings; KDTW significantly outperforms DTW in both — "the first time
+a kernel function is reported to outperform DTW in both settings".
+"""
+
+from repro.evaluation import run_sweep
+from repro.evaluation.experiments import kernel_rank_experiment
+from repro.reporting import format_rank_figure
+from repro.stats import nemenyi_test
+
+from conftest import run_once
+
+
+def _panel(supervised: bool):
+    return list(kernel_rank_experiment(supervised).variants)
+
+
+def test_figure7_supervised_ranks(benchmark, small_datasets, save_result):
+    panel = _panel(supervised=True)
+
+    def experiment():
+        sweep = run_sweep(panel, small_datasets)
+        return nemenyi_test(sweep.labels, sweep.accuracies)
+
+    result = run_once(benchmark, experiment)
+    save_result(
+        "figure7_kernel_supervised_ranks",
+        format_rank_figure(
+            result, "Figure 7: kernel vs elastic vs sliding (supervised)"
+        ),
+    )
+
+
+def test_figure8_unsupervised_ranks(benchmark, small_datasets, save_result):
+    panel = _panel(supervised=False)
+
+    def experiment():
+        sweep = run_sweep(panel, small_datasets)
+        return nemenyi_test(sweep.labels, sweep.accuracies)
+
+    result = run_once(benchmark, experiment)
+    save_result(
+        "figure8_kernel_unsupervised_ranks",
+        format_rank_figure(
+            result, "Figure 8: kernel vs elastic vs sliding (unsupervised)"
+        ),
+    )

@@ -1,0 +1,71 @@
+"""Complexity-class verification — the empirical side of Figure 9.
+
+Figure 9's interpretation rests on the asymptotic classes the registry
+declares: O(m) lock-step, O(m log m) sliding, O(m^2) elastic/kernel. This
+bench measures per-comparison runtime across series lengths and fits the
+log-log slope, asserting each representative measure scales no worse than
+its declared class (with headroom for constant-factor noise).
+"""
+
+import time
+
+import numpy as np
+
+from repro.distances import get_measure
+
+from conftest import run_once
+
+LENGTHS = (64, 128, 256, 512)
+#: (measure, params, declared slope upper bound + tolerance)
+CASES = (
+    ("euclidean", {}, 1.0),
+    ("lorentzian", {}, 1.0),
+    ("nccc", {}, 1.3),  # m log m
+    ("dtw", {"delta": 100.0}, 2.0),
+    ("msm", {"c": 0.5}, 2.0),
+)
+REPEATS = 5
+
+
+def _time_measure(measure, params, length, rng) -> float:
+    x = rng.normal(size=length)
+    y = rng.normal(size=length)
+    measure(x, y, **params)  # warm-up
+    start = time.perf_counter()
+    for _ in range(REPEATS):
+        measure(x, y, **params)
+    return (time.perf_counter() - start) / REPEATS
+
+
+def test_scaling_slopes(benchmark, save_result):
+    rng = np.random.default_rng(11)
+
+    def experiment():
+        rows = []
+        for name, params, _ in CASES:
+            measure = get_measure(name)
+            times = [
+                _time_measure(measure, params, m, rng) for m in LENGTHS
+            ]
+            slope = float(
+                np.polyfit(np.log(LENGTHS), np.log(times), 1)[0]
+            )
+            rows.append((name, measure.complexity, times, slope))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    lines = [
+        "Scaling: per-comparison runtime vs series length",
+        f"{'measure':<12} {'declared':<12} "
+        + " ".join(f"m={m:<8}" for m in LENGTHS)
+        + " slope",
+    ]
+    for name, declared, times, slope in rows:
+        cells = " ".join(f"{t * 1e6:8.1f}us" for t in times)
+        lines.append(f"{name:<12} {declared:<12} {cells} {slope:5.2f}")
+    bounds = {name: bound for name, _, bound in CASES}
+    for name, _, _, slope in rows:
+        # Python/numpy constant factors flatten small-m curves, so slopes
+        # can undershoot; they must not meaningfully exceed the class.
+        assert slope <= bounds[name] + 0.4, (name, slope)
+    save_result("scaling_slopes", "\n".join(lines))

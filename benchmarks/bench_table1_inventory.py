@@ -1,0 +1,28 @@
+"""Table 1 — census of evaluated measures per category.
+
+Paper: 52 lock-step (8 scaling methods), 4 sliding (8 scalings), 7 elastic,
+4 kernel, 4 embedding; versus 4+5 in the decade-old study [45].
+"""
+
+from repro.distances import category_counts
+from repro.embeddings import list_embeddings
+from repro.normalization import list_normalizers
+from repro.reporting import format_census_table
+
+from conftest import run_once
+
+
+def test_table1_inventory(benchmark, save_result):
+    def experiment():
+        counts = category_counts()
+        counts["embedding"] = len(list_embeddings())
+        return counts
+
+    counts = run_once(benchmark, experiment)
+    assert counts["lockstep"] == 52
+    assert counts["sliding"] == 4
+    assert counts["elastic"] == 7
+    assert counts["kernel"] == 4
+    assert counts["embedding"] == 4
+    assert len(list_normalizers()) == 8
+    save_result("table1_inventory", format_census_table(counts))

@@ -1,0 +1,41 @@
+"""Table 3 — sliding measures x normalizations vs the Lorentzian baseline.
+
+Paper findings to reproduce in shape:
+- NCC, NCC_b and NCC_c with z-score/UnitLength beat the Lorentzian
+  baseline (the new lock-step state of the art);
+- NCC_u (unbiased estimator) is the weakest variant — no combination wins;
+- NCC_c is the most robust variant across normalizations.
+"""
+
+from repro.evaluation import compare_to_baseline, run_sweep
+from repro.evaluation.experiments import table3_experiment
+from repro.reporting import format_comparison_table
+
+from conftest import run_once
+
+BASELINE = "lorentzian+unitlength"
+
+
+def test_table3_sliding(benchmark, fast_datasets, save_result):
+    variants = list(table3_experiment().variants)
+
+    def experiment():
+        sweep = run_sweep(variants, fast_datasets)
+        return sweep, compare_to_baseline(sweep, BASELINE)
+
+    sweep, table = run_once(benchmark, experiment)
+    means = sweep.mean_accuracy()
+
+    # NCC_c with z-score should be among the strongest combinations.
+    nccc_z = means["nccc+zscore"]
+    assert nccc_z >= means[BASELINE] - 0.02
+    # The unbiased estimator must not be the best variant (paper: worst).
+    best_u = max(v for k, v in means.items() if k.startswith("nccu+"))
+    best_c = max(v for k, v in means.items() if k.startswith("nccc+"))
+    assert best_c >= best_u
+    save_result(
+        "table3_sliding",
+        format_comparison_table(
+            table, "Table 3: sliding measures vs Lorentzian"
+        ),
+    )

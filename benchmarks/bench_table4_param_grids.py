@@ -1,0 +1,31 @@
+"""Table 4 — parameter grids for every tunable measure.
+
+Static inventory check: the registry's grids must match the paper's
+published sweeps (sizes and endpoints).
+"""
+
+from repro.evaluation import full_grid, table4_rows
+
+from conftest import run_once
+
+
+def test_table4_param_grids(benchmark, save_result):
+    rows = run_once(benchmark, table4_rows)
+    by_label = dict(rows)
+    assert len(by_label) == 11
+    # Grid sizes straight from Table 4.
+    assert len(full_grid("msm")) == 10
+    assert len(full_grid("dtw")) == 22
+    assert len(full_grid("edr")) == 20
+    assert len(full_grid("lcss")) == 40  # 20 epsilons x 2 deltas
+    assert len(full_grid("twe")) == 30  # 5 lambdas x 6 nus
+    assert len(full_grid("swale")) == 15
+    assert len(full_grid("minkowski")) == 20
+    assert len(full_grid("kdtw")) == 16
+    assert len(full_grid("gak")) == 26
+    assert len(full_grid("sink")) == 20
+    assert len(full_grid("rbf")) == 16
+    lines = ["Table 4: parameter grids (supervised sweeps)"]
+    for label, grid in rows:
+        lines.append(f"{label:<12} {grid}")
+    save_result("table4_param_grids", "\n".join(lines))

@@ -1,0 +1,36 @@
+"""Table 6 — kernel measures vs NCC_c, supervised and unsupervised.
+
+Paper findings to reproduce in shape:
+- KDTW and GAK beat NCC_c in both settings (KDTW strongest);
+- SINK wins supervised but only matches NCC_c unsupervised;
+- RBF is significantly WORSE than NCC_c (it inherits ED's ranking).
+"""
+
+from repro.evaluation import compare_to_baseline, run_sweep
+from repro.evaluation.experiments import table6_experiment
+from repro.reporting import format_comparison_table
+
+from conftest import run_once
+
+BASELINE = "NCC_c"
+
+
+def test_table6_kernels(benchmark, small_datasets, save_result):
+    variants = list(table6_experiment().variants)
+
+    def experiment():
+        sweep = run_sweep(variants, small_datasets)
+        return sweep, compare_to_baseline(sweep, BASELINE)
+
+    sweep, table = run_once(benchmark, experiment)
+    means = sweep.mean_accuracy()
+
+    # RBF is rank-equivalent to ED, so it must not beat the elastic-style
+    # kernels; KDTW should be the strongest kernel (paper Table 6).
+    assert means["kdtw-loocv"] >= means["rbf-loocv"] - 0.02
+    best_warp_kernel = max(means["kdtw-loocv"], means["gak-loocv"])
+    assert best_warp_kernel >= means[BASELINE] - 0.05
+    save_result(
+        "table6_kernels",
+        format_comparison_table(table, "Table 6: kernel measures vs NCC_c"),
+    )

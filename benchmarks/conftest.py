@@ -1,0 +1,67 @@
+"""Shared fixtures for the table/figure benchmark harness.
+
+Each bench regenerates one table or figure of the paper on the synthetic
+archive (DESIGN.md substitution #1) at laptop scale, prints the
+paper-style rendering, and writes it under ``benchmarks/results/`` so
+EXPERIMENTS.md can quote paper-vs-measured numbers.
+
+Scale knobs: the ``REPRO_BENCH_DATASETS`` / ``REPRO_BENCH_SCALE``
+environment variables grow the dataset collection toward the paper's full
+128-dataset setting when more compute is available.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import default_archive
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+N_DATASETS = int(os.environ.get("REPRO_BENCH_DATASETS", "32"))
+SIZE_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+@pytest.fixture(scope="session")
+def archive():
+    """The full 128-spec archive (datasets generated lazily)."""
+    return default_archive(n_datasets=128, size_scale=SIZE_SCALE, seed=7)
+
+
+@pytest.fixture(scope="session")
+def fast_datasets(archive):
+    """Representative subset for O(m)/O(m log m) measures."""
+    return archive.subset(N_DATASETS)
+
+
+@pytest.fixture(scope="session")
+def small_datasets(archive):
+    """Shorter-series subset for the O(m^2) elastic/kernel sweeps."""
+    subset = archive.subset(max(32, N_DATASETS))
+    short = [ds for ds in subset if ds.length <= 96]
+    return short[: max(12, N_DATASETS // 2)]
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Writer that persists a rendered table/figure and echoes it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are minutes-long sweeps; statistical repetition is
+    neither needed nor affordable, so every bench uses a single round.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,71 @@
+"""Time-series clustering with k-Shape and distance-agnostic k-medoids.
+
+The paper's Section 6 recalls that cross-correlation powers k-Shape [110],
+the state-of-the-art time-series clustering method. This example clusters
+a shift-dominated dataset three ways —
+
+- k-Shape (SBD assignments + shape-extraction centroids),
+- k-medoids under SBD,
+- k-medoids under plain ED (the lock-step strawman),
+
+and scores each against the ground-truth classes with the adjusted Rand
+index. The ED variant illustrates why the distance measure, not the
+clustering algorithm, is the decisive ingredient.
+
+Run: ``python examples/clustering_kshape.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering import adjusted_rand_index, kmedoids, kshape
+from repro.datasets import DatasetSpec, generate_dataset
+
+
+def main() -> None:
+    spec = DatasetSpec(
+        name="ShiftedShapes", domain="sensor", n_classes=3, length=64,
+        train_size=36, test_size=10, noise=0.1, shift_frac=0.2, seed=4,
+    )
+    dataset = generate_dataset(spec)
+    X, y = dataset.train_X, dataset.train_y
+    k = dataset.n_classes
+    print(f"dataset: {dataset.summary()} (instances differ by shifts)\n")
+
+    results = {}
+
+    ks = kshape(X, k, random_state=0)
+    results["k-Shape (SBD + shape extraction)"] = (
+        adjusted_rand_index(y, ks.labels),
+        f"{ks.iterations} iterations, inertia {ks.inertia:.3f}",
+    )
+
+    km_sbd = kmedoids(X, k, measure="sbd", random_state=0)
+    results["k-medoids under SBD"] = (
+        adjusted_rand_index(y, km_sbd.labels),
+        f"medoids {km_sbd.medoid_indices.tolist()}",
+    )
+
+    km_ed = kmedoids(X, k, measure="euclidean", random_state=0)
+    results["k-medoids under ED"] = (
+        adjusted_rand_index(y, km_ed.labels),
+        "lock-step comparison cannot see past the shifts",
+    )
+
+    width = max(len(name) for name in results)
+    print(f"{'method':<{width}}  {'ARI':>6}  notes")
+    for name, (ari, note) in results.items():
+        print(f"{name:<{width}}  {ari:>6.3f}  {note}")
+
+    centroid_shift_tolerance = np.mean(
+        [np.abs(c).max() for c in ks.centroids]
+    )
+    print(
+        f"\nk-Shape centroids are z-normalized shape prototypes "
+        f"(max |value| ~ {centroid_shift_tolerance:.2f})."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""ECG heartbeat comparison: why one distance measure is not enough.
+
+The paper's intro motivates distance measures with distortions that are
+characteristic of real signals. ECG beats show two of them at once:
+
+- *misalignment* — beats are rarely cropped at the same phase, so
+  lock-step ED compares a QRS complex against a flat baseline;
+- *local warping* — heart-rate variability stretches and shrinks beat
+  segments, which even a global shift cannot absorb.
+
+This example builds ECG-like beats with each distortion, compares how ED
+(lock-step), NCC_c/SBD (sliding) and DTW/MSM (elastic) react, and shows
+the DTW warping path that explains the elastic win.
+
+Run: ``python examples/ecg_alignment.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.datasets import DatasetSpec, generate_dataset
+from repro.distances.elastic import dtw_path
+
+
+def print_distance_panel(title: str, x: np.ndarray, y: np.ndarray) -> None:
+    print(title)
+    for name, params in (
+        ("euclidean", {}),
+        ("nccc", {}),
+        ("dtw", {"delta": 20.0}),
+        ("msm", {"c": 0.5}),
+    ):
+        d = repro.get_measure(name)(x, y, **params)
+        print(f"  {name:<10} {d:8.4f}")
+    print()
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # A clean prototype beat via the synthetic ECG generator.
+    spec = DatasetSpec(
+        name="Beats", domain="ecg", n_classes=2, length=96,
+        train_size=4, test_size=2, noise=0.0, seed=9,
+    )
+    proto = generate_dataset(spec, normalize=None).train_X[0]
+    proto = repro.normalize(proto, "zscore")
+
+    # Distortion 1: pure shift (cropping phase differs by 12 samples).
+    shifted = np.roll(proto, 12)
+    print_distance_panel("same beat, shifted by 12 samples:", proto, shifted)
+    print("  -> ED explodes; NCC_c stays ~0 (shift is its invariance);")
+    print("     DTW absorbs most of it by warping. (Misconception M3.)\n")
+
+    # Distortion 2: local warping (heart-rate variability).
+    t = np.linspace(0.0, 1.0, proto.shape[0])
+    warped_clock = t + 0.05 * np.sin(2 * np.pi * t)
+    warped = np.interp(warped_clock, t, proto)
+    print_distance_panel("same beat, locally warped:", proto, warped)
+    print("  -> the elastic measures (DTW, MSM) absorb local warping that")
+    print("     a global shift cannot express. (Misconception M4 terrain.)\n")
+
+    # The warping path that explains the elastic win.
+    dist, path = dtw_path(proto, warped, delta=20.0)
+    stretch = max(abs(i - j) for i, j in path)
+    print(f"DTW distance {dist:.4f}; warping path visits {len(path)} cells,")
+    print(f"maximum time displacement |i-j| = {stretch} samples.")
+
+    # A noisy beat with one electrode spike: the Lorentzian story (M2).
+    spiky = proto.copy()
+    spiky[40] += 6.0
+    print()
+    print("same beat with one electrode spike:")
+    for name in ("euclidean", "lorentzian", "manhattan"):
+        print(f"  {name:<10} {repro.distance(proto, spiky, name):8.4f}")
+    print("  -> the log-damped Lorentzian barely notices the spike that")
+    print("     dominates ED. (Misconception M2.)")
+
+
+if __name__ == "__main__":
+    main()

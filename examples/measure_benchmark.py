@@ -1,0 +1,60 @@
+"""Run a miniature version of the paper's full evaluation.
+
+Sweeps one representative measure per category over an archive subset,
+compares everything against the NCC_c baseline with the Wilcoxon test,
+ranks the panel with Friedman + Nemenyi, and prints the paper-style table
+and critical-difference figure — the complete Section 3 methodology in
+~40 lines of user code.
+
+Run: ``python examples/measure_benchmark.py [n_datasets]``
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro
+from repro.evaluation import (
+    MeasureVariant,
+    compare_to_baseline,
+    reduced_grid,
+    run_sweep,
+)
+from repro.reporting import format_comparison_table, format_rank_figure
+from repro.stats import nemenyi_test
+
+
+def main(n_datasets: int = 10) -> None:
+    archive = repro.default_archive(n_datasets=64, size_scale=0.5)
+    datasets = archive.subset(n_datasets)
+    print(f"evaluating on {len(datasets)} datasets:")
+    for ds in datasets:
+        print(f"  {ds.summary()}")
+    print()
+
+    variants = [
+        MeasureVariant("nccc", label="NCC_c"),
+        MeasureVariant("euclidean", label="ED"),
+        MeasureVariant("lorentzian", label="Lorentzian"),
+        MeasureVariant("msm", params={"c": 0.5}, label="MSM"),
+        MeasureVariant(
+            "dtw", tuning="loocv", grid=reduced_grid("dtw"), label="DTW(LOOCV)"
+        ),
+        MeasureVariant("kdtw", params={"gamma": 0.125}, label="KDTW"),
+    ]
+    sweep = run_sweep(variants, datasets, progress=lambda line: print("  " + line))
+    print()
+
+    table = compare_to_baseline(sweep, "NCC_c")
+    print(format_comparison_table(table, "Measures vs NCC_c (paper-style)"))
+    print()
+    print(
+        format_rank_figure(
+            nemenyi_test(sweep.labels, sweep.accuracies),
+            "Average ranks (Friedman + Nemenyi)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 10)

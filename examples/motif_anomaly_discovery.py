@@ -1,0 +1,78 @@
+"""Motif and anomaly discovery on a monitoring stream.
+
+The paper's introduction lists motif discovery and anomaly detection among
+the tasks fueled by distance measures. This example runs the classic
+pipeline on a synthetic server-load stream:
+
+1. MASS — find where a known incident signature recurs (similarity
+   search, paper reference [103]);
+2. matrix profile — discover the repeated pattern (motif) and the most
+   isolated subsequence (discord/anomaly) with no prior signature at all
+   (paper references [157, 158]).
+
+Run: ``python examples/motif_anomaly_discovery.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.search import best_match, matrix_profile, top_k_matches
+
+
+def build_stream(seed: int = 7) -> tuple[np.ndarray, np.ndarray, dict]:
+    """Daily-load stream with a planted incident signature and a spike."""
+    rng = np.random.default_rng(seed)
+    n = 800
+    t = np.arange(n)
+    daily = np.sin(2 * np.pi * t / 100.0)  # "daily" seasonality
+    stream = daily + rng.normal(0, 0.08, size=n)
+    # Incident signature: sharp ramp-up, plateau, drop.
+    signature = np.concatenate(
+        [np.linspace(0, 2.5, 10), np.full(10, 2.5), np.linspace(2.5, 0, 5)]
+    )
+    planted_at = (150, 520)
+    for pos in planted_at:
+        stream[pos : pos + signature.shape[0]] += signature
+    # A one-off sensor anomaly, unlike anything else in the stream.
+    anomaly_at = 330
+    stream[anomaly_at : anomaly_at + 12] += rng.normal(0, 1.5, size=12) - 2.0
+    truth = {"planted_at": planted_at, "anomaly_at": anomaly_at}
+    return stream, signature, truth
+
+
+def main() -> None:
+    stream, signature, truth = build_stream()
+    print(f"stream: {stream.shape[0]} samples; incident signature "
+          f"{signature.shape[0]} samples, planted at {truth['planted_at']}\n")
+
+    # --- 1. Query by signature (MASS). ---
+    idx, dist = best_match(signature, stream)
+    print(f"MASS best match at offset {idx} (distance {dist:.3f})")
+    hits = top_k_matches(signature, stream, k=2)
+    print("top-2 non-overlapping matches:")
+    for offset, d in hits:
+        print(f"  offset {offset:>4}  distance {d:.3f}")
+    found = sorted(offset for offset, _ in hits)
+    assert all(
+        min(abs(f - p) for p in truth["planted_at"]) <= 3 for f in found
+    ), "both planted incidents should be recovered"
+
+    # --- 2. No signature: matrix profile. ---
+    window = signature.shape[0]
+    mp = matrix_profile(stream, window=window)
+    a, b, motif_dist = mp.motif()
+    print(f"\nmatrix profile (window {window}):")
+    print(f"  motif pair at offsets {min(a, b)} and {max(a, b)} "
+          f"(distance {motif_dist:.3f}) -> the recurring incident")
+    (discord_idx, discord_dist), = mp.discords(1)
+    print(f"  top discord at offset {discord_idx} "
+          f"(distance {discord_dist:.3f}) -> the sensor anomaly")
+    print(
+        "\nThe same FFT cross-correlation machinery behind the paper's "
+        "sliding\nmeasures powers both discoveries."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: compare time-series distance measures with 1-NN.
+
+This walks the paper's core loop on one dataset:
+
+1. load a dataset (synthetic UCR substitute — or the real archive when
+   ``$UCR_ARCHIVE_PATH`` points at a local copy);
+2. compute dissimilarity matrices for a few representative measures;
+3. classify with 1-NN (paper Algorithm 1) and print the accuracy.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from __future__ import annotations
+
+import repro
+
+
+def main() -> None:
+    archive = repro.default_archive(n_datasets=16, size_scale=0.6)
+    dataset = archive.load(archive.names[0])
+    print(f"dataset: {dataset.summary()}")
+    print(f"domain: {dataset.metadata['domain']}")
+    print()
+
+    # One representative measure per category (embeddings are separate —
+    # see examples/embedding_representations.py).
+    measures = {
+        "ED (lock-step baseline)": ("euclidean", {}),
+        "Lorentzian (lock-step SOTA)": ("lorentzian", {}),
+        "NCC_c / SBD (sliding)": ("nccc", {}),
+        "DTW-10 (elastic)": ("dtw", {"delta": 10.0}),
+        "MSM c=0.5 (elastic SOTA)": ("msm", {"c": 0.5}),
+        "KDTW (kernel)": ("kdtw", {"gamma": 0.125}),
+    }
+
+    print(f"{'measure':<28} {'accuracy':>8}")
+    for label, (name, params) in measures.items():
+        E = repro.dissimilarity_matrix(
+            name, dataset.test_X, dataset.train_X, **params
+        )
+        acc = repro.one_nn_accuracy(E, dataset.test_y, dataset.train_y)
+        print(f"{label:<28} {acc:>8.4f}")
+
+    print()
+    print("Distances between two individual series:")
+    x, y = dataset.train_X[0], dataset.train_X[-1]
+    for name in ("euclidean", "lorentzian", "sbd", "dtw", "msm"):
+        print(f"  {name:<12} {repro.distance(x, y, name):.4f}")
+
+
+if __name__ == "__main__":
+    main()

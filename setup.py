@@ -1,0 +1,10 @@
+"""Setup shim enabling legacy editable installs on offline machines.
+
+The canonical metadata lives in ``pyproject.toml``; this file only exists so
+``pip install -e . --no-build-isolation`` works without the ``wheel``
+package (pip falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,100 @@
+"""repro — reproduction of "Debunking Four Long-Standing Misconceptions of
+Time-Series Distance Measures" (Paparrizos et al., SIGMOD 2020).
+
+The package implements the paper's full measurement apparatus:
+
+- 71 distance measures in five categories (:mod:`repro.distances`,
+  :mod:`repro.embeddings`);
+- 8 normalization methods (:mod:`repro.normalization`);
+- the 1-NN evaluation framework with supervised/unsupervised tuning
+  (:mod:`repro.classification`, :mod:`repro.evaluation`);
+- Wilcoxon / Friedman / Nemenyi statistical validation (:mod:`repro.stats`);
+- a UCR-archive loader plus an offline synthetic substitute
+  (:mod:`repro.datasets`);
+- paper-style table/figure renderers (:mod:`repro.reporting`).
+
+Quickstart::
+
+    import repro
+
+    archive = repro.default_archive(n_datasets=16, size_scale=0.5)
+    dataset = archive.load(archive.names[0])
+    sbd = repro.get_measure("sbd")
+    E = sbd.pairwise(dataset.test_X, dataset.train_X)
+    acc = repro.one_nn_accuracy(E, dataset.test_y, dataset.train_y)
+"""
+
+from ._validation import EPS
+from .classification import (
+    dissimilarity_matrix,
+    leave_one_out_accuracy,
+    one_nn_accuracy,
+    one_nn_predict,
+    tune_parameters,
+)
+from .classification.ensemble import ElasticEnsemble, default_elastic_ensemble
+from .classification.kernel_classifier import KernelRidgeClassifier
+from .clustering import adjusted_rand_index, kmedoids, kshape
+from .datasets import Dataset, default_archive, generate_dataset, load_ucr
+from .distances import (
+    distance,
+    get_measure,
+    iter_measures,
+    list_measures,
+    pairwise_distances,
+)
+from .embeddings import get_embedding, list_embeddings
+from .evaluation import (
+    MeasureVariant,
+    compare_to_baseline,
+    run_sweep,
+)
+from .exceptions import ReproError
+from .normalization import get_normalizer, list_normalizers, normalize
+from .stats import friedman_test, nemenyi_test, wilcoxon_comparison
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "EPS",
+    "ReproError",
+    # distances
+    "distance",
+    "pairwise_distances",
+    "get_measure",
+    "list_measures",
+    "iter_measures",
+    # normalization
+    "normalize",
+    "get_normalizer",
+    "list_normalizers",
+    # embeddings
+    "get_embedding",
+    "list_embeddings",
+    # datasets
+    "Dataset",
+    "default_archive",
+    "generate_dataset",
+    "load_ucr",
+    # classification / evaluation
+    "one_nn_accuracy",
+    "one_nn_predict",
+    "leave_one_out_accuracy",
+    "dissimilarity_matrix",
+    "tune_parameters",
+    "MeasureVariant",
+    "run_sweep",
+    "compare_to_baseline",
+    "KernelRidgeClassifier",
+    "ElasticEnsemble",
+    "default_elastic_ensemble",
+    # clustering
+    "kshape",
+    "kmedoids",
+    "adjusted_rand_index",
+    # stats
+    "wilcoxon_comparison",
+    "friedman_test",
+    "nemenyi_test",
+]

@@ -1,0 +1,15 @@
+"""1-NN evaluation framework (paper Section 3, Algorithm 1)."""
+
+from .matrices import dissimilarity_matrix, evaluation_matrices
+from .one_nn import leave_one_out_accuracy, one_nn_accuracy, one_nn_predict
+from .tuning import TuningResult, tune_parameters
+
+__all__ = [
+    "one_nn_accuracy",
+    "one_nn_predict",
+    "leave_one_out_accuracy",
+    "dissimilarity_matrix",
+    "evaluation_matrices",
+    "tune_parameters",
+    "TuningResult",
+]

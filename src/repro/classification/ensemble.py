@@ -1,0 +1,142 @@
+r"""Elastic Ensemble-style 1-NN combination (paper references [87, 11]).
+
+Section 2 leans on Lines & Bagnall's Elastic Ensemble when discussing
+misconception M4: ensembling 1-NN classifiers over several elastic
+measures was the first approach shown to significantly beat DTW. This
+module implements the proportional-voting scheme at the heart of EE:
+
+1. every member measure gets a weight — its leave-one-out training
+   accuracy (the same W-matrix machinery as the paper's LOOCV tuning);
+2. each member votes for its 1-NN predicted class with that weight;
+3. the ensemble predicts the argmax of accumulated votes.
+
+Members are :class:`~repro.evaluation.variants.MeasureVariant` objects, so
+any mix of categories, normalizations, and tuned/fixed parameters can be
+ensembled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..classification.matrices import dissimilarity_matrix
+from ..classification.one_nn import leave_one_out_accuracy, one_nn_predict
+from ..classification.tuning import tune_parameters
+from ..datasets.base import Dataset
+from ..evaluation.variants import MeasureVariant
+from ..exceptions import EvaluationError
+
+
+@dataclass(frozen=True)
+class EnsembleMember:
+    """One fitted member: its variant, resolved params, and LOO weight."""
+
+    variant: MeasureVariant
+    params: dict[str, float]
+    weight: float
+
+
+@dataclass
+class ElasticEnsemble:
+    """Proportional-vote ensemble of 1-NN classifiers.
+
+    >>> members = [MeasureVariant("msm", params={"c": 0.5}),
+    ...            MeasureVariant("twe"), MeasureVariant("nccc")]
+    >>> # ensemble = ElasticEnsemble(members).fit(dataset)
+    """
+
+    variants: Sequence[MeasureVariant]
+    members: list[EnsembleMember] = field(default_factory=list, init=False)
+    _train_X: np.ndarray | None = field(default=None, init=False)
+    _train_y: np.ndarray | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.variants:
+            raise EvaluationError("ensemble needs at least one member")
+
+    # ------------------------------------------------------------------
+    def fit(self, dataset: Dataset) -> "ElasticEnsemble":
+        """Resolve member parameters and LOO weights on the training set."""
+        self.members = []
+        for variant in self.variants:
+            if variant.is_embedding:
+                raise EvaluationError(
+                    "embedding variants are not supported in the ensemble"
+                )
+            if variant.tuning == "loocv":
+                tuned = tune_parameters(
+                    variant.measure,
+                    dataset.train_X,
+                    dataset.train_y,
+                    variant.normalization,
+                    variant.grid,
+                )
+                params = tuned.params
+                weight = tuned.train_accuracy
+            else:
+                from ..distances.base import get_measure
+
+                params = get_measure(variant.measure).resolve_params(
+                    dict(variant.params)
+                )
+                W = dissimilarity_matrix(
+                    variant.measure,
+                    dataset.train_X,
+                    None,
+                    variant.normalization,
+                    **params,
+                )
+                weight = leave_one_out_accuracy(W, dataset.train_y)
+            if not np.isfinite(weight):
+                weight = 0.0
+            self.members.append(EnsembleMember(variant, params, weight))
+        self._train_X = dataset.train_X
+        self._train_y = dataset.train_y
+        return self
+
+    # ------------------------------------------------------------------
+    def predict(self, X) -> np.ndarray:
+        """Weighted-vote predictions for a batch of series."""
+        if self._train_X is None or self._train_y is None:
+            raise EvaluationError("ensemble must be fitted first")
+        classes = np.unique(self._train_y)
+        class_index = {cls: i for i, cls in enumerate(classes.tolist())}
+        X = np.asarray(X, dtype=np.float64)
+        votes = np.zeros((X.shape[0], classes.shape[0]))
+        for member in self.members:
+            E = dissimilarity_matrix(
+                member.variant.measure,
+                X,
+                self._train_X,
+                member.variant.normalization,
+                **member.params,
+            )
+            predictions = one_nn_predict(E, self._train_y)
+            for row, predicted in enumerate(predictions):
+                votes[row, class_index[predicted]] += member.weight
+        return classes[np.argmax(votes, axis=1)]
+
+    def score(self, X, y) -> float:
+        """Accuracy of the weighted vote on a labelled set."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y))
+
+    def member_weights(self) -> dict[str, float]:
+        """Display-label to LOO-weight mapping (for reports)."""
+        return {m.variant.display: m.weight for m in self.members}
+
+
+def default_elastic_ensemble() -> ElasticEnsemble:
+    """The unsupervised-flavor member set: MSM, TWE, ERP, DTW-10, NCC_c."""
+    from ..evaluation.param_grids import unsupervised_params
+
+    names = ("msm", "twe", "erp", "dtw", "nccc")
+    return ElasticEnsemble(
+        [
+            MeasureVariant(name, params=unsupervised_params(name), label=name)
+            for name in names
+        ]
+    )

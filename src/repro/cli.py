@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror what a practitioner reproducing the paper needs:
+
+- ``measures``  — list registered measures (filter by category/family);
+- ``normalizations`` — list the 8 normalization methods;
+- ``archive``   — describe the dataset archive (synthetic or real UCR);
+- ``evaluate``  — 1-NN accuracy of measures on archive datasets;
+- ``compare``   — paper-style baseline comparison table with Wilcoxon
+  markers and average ranks;
+- ``experiment`` — run a named paper experiment (``table2`` .. ``table7``,
+  ``figure2`` .. ``figure8``) end to end;
+- ``catalog``   — emit the generated measure reference (docs/measures.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .datasets import default_archive, list_ucr_datasets, load_ucr, ucr_available
+from .distances import CATEGORIES, get_measure, list_measures
+from .evaluation import (
+    MeasureVariant,
+    compare_to_baseline,
+    run_sweep,
+    unsupervised_params,
+)
+from .normalization import describe_normalizations
+from .reporting import format_comparison_table, format_rank_figure
+from .stats import nemenyi_test
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Time-series distance measures benchmark (SIGMOD 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_measures = sub.add_parser("measures", help="list registered measures")
+    p_measures.add_argument(
+        "--category", choices=CATEGORIES, default=None,
+        help="filter by measure category",
+    )
+    p_measures.add_argument(
+        "--family", default=None, help="filter by survey family"
+    )
+
+    sub.add_parser("normalizations", help="list the 8 normalization methods")
+
+    p_archive = sub.add_parser("archive", help="describe available datasets")
+    p_archive.add_argument(
+        "--datasets", type=int, default=16,
+        help="number of synthetic datasets to describe",
+    )
+
+    p_eval = sub.add_parser("evaluate", help="1-NN accuracy of measures")
+    p_eval.add_argument("measures", nargs="+", help="measure names")
+    p_eval.add_argument("--datasets", type=int, default=8)
+    p_eval.add_argument("--normalization", default=None)
+    p_eval.add_argument(
+        "--scale", type=float, default=0.5, help="archive size scale"
+    )
+
+    p_cmp = sub.add_parser("compare", help="paper-style baseline comparison")
+    p_cmp.add_argument("measures", nargs="+", help="candidate measure names")
+    p_cmp.add_argument("--baseline", default="nccc")
+    p_cmp.add_argument("--datasets", type=int, default=8)
+    p_cmp.add_argument("--scale", type=float, default=0.5)
+
+    sub.add_parser("catalog", help="print the markdown measure catalog")
+
+    p_exp = sub.add_parser(
+        "experiment", help="run a named paper experiment (table2, table5, ...)"
+    )
+    p_exp.add_argument("name", help="experiment name; 'list' to enumerate")
+    p_exp.add_argument("--datasets", type=int, default=8)
+    p_exp.add_argument("--scale", type=float, default=0.5)
+    p_exp.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the sweep"
+    )
+    return parser
+
+
+def _load_datasets(count: int, scale: float):
+    if ucr_available():
+        names = list_ucr_datasets()[:count]
+        return [load_ucr(name) for name in names]
+    archive = default_archive(n_datasets=max(count, 16), size_scale=scale)
+    return archive.subset(count)
+
+
+def _variant(name: str, normalization: str | None) -> MeasureVariant:
+    measure = get_measure(name)
+    return MeasureVariant(
+        measure.name,
+        normalization,
+        params=unsupervised_params(measure.name),
+        label=measure.label,
+    )
+
+
+def cmd_measures(args: argparse.Namespace) -> int:
+    """List registered measures, optionally filtered."""
+    names = list_measures(args.category, args.family)
+    for name in names:
+        measure = get_measure(name)
+        print(
+            f"{name:<24} {measure.category:<9} {measure.family:<18} "
+            f"{measure.complexity:<12} {measure.description}"
+        )
+    print(f"({len(names)} measures)")
+    return 0
+
+
+def cmd_normalizations(_: argparse.Namespace) -> int:
+    """List the 8 Section 4 normalization methods."""
+    for label, description in describe_normalizations():
+        print(f"{label:<16} {description}")
+    return 0
+
+
+def cmd_archive(args: argparse.Namespace) -> int:
+    """Describe the active dataset archive with sparklines."""
+    from .datasets.stats import archive_stats
+    from .reporting.sparkline import sparkline
+
+    if ucr_available():
+        names = list_ucr_datasets()
+        print(f"real UCR archive with {len(names)} datasets:")
+        datasets = [load_ucr(name) for name in names[: args.datasets]]
+    else:
+        archive = default_archive(n_datasets=max(args.datasets, 16))
+        print(
+            f"synthetic archive ({len(archive)} specs; set $UCR_ARCHIVE_PATH "
+            "for the real UCR archive):"
+        )
+        datasets = archive.subset(args.datasets)
+    for ds in datasets:
+        domain = ds.metadata.get("domain", "")
+        suffix = f"  [{domain}]" if domain else ""
+        print(f"  {ds.summary()}{suffix}")
+        print(f"    {sparkline(ds.train_X[0], width=48)}")
+    print()
+    print(archive_stats(datasets).describe())
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    """Report 1-NN accuracy of the named measures."""
+    datasets = _load_datasets(args.datasets, args.scale)
+    variants = [_variant(name, args.normalization) for name in args.measures]
+    sweep = run_sweep(variants, datasets)
+    print(f"{'measure':<20} {'avg accuracy':>12}")
+    for label, acc in sorted(
+        sweep.mean_accuracy().items(), key=lambda kv: -kv[1]
+    ):
+        print(f"{label:<20} {acc:>12.4f}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Render a paper-style baseline comparison + rank figure."""
+    datasets = _load_datasets(args.datasets, args.scale)
+    baseline = _variant(args.baseline, None)
+    candidates = [_variant(name, None) for name in args.measures]
+    sweep = run_sweep([baseline, *candidates], datasets)
+    table = compare_to_baseline(sweep, baseline.label)
+    print(format_comparison_table(table, f"Measures vs {baseline.label}"))
+    if len(sweep.labels) >= 3:
+        print()
+        print(
+            format_rank_figure(
+                nemenyi_test(sweep.labels, sweep.accuracies),
+                "Average ranks (Friedman + Nemenyi)",
+            )
+        )
+    return 0
+
+
+def cmd_catalog(_: argparse.Namespace) -> int:
+    """Print the markdown measure catalog (docs/measures.md)."""
+    from .reporting.catalog import catalog_markdown
+
+    print(catalog_markdown())
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Run a named paper experiment (or list them)."""
+    from .evaluation import (
+        compare_to_baseline,
+        get_experiment,
+        list_experiments,
+        run_sweep_parallel,
+    )
+
+    if args.name == "list":
+        for name in list_experiments():
+            print(f"{name:<10} {get_experiment(name).description}")
+        return 0
+    experiment = get_experiment(args.name)
+    datasets = _load_datasets(args.datasets, args.scale)
+    print(f"{experiment.description} on {len(datasets)} datasets")
+    sweep = run_sweep_parallel(
+        list(experiment.variants), datasets, n_jobs=args.jobs
+    )
+    table = compare_to_baseline(sweep, experiment.baseline)
+    print(
+        format_comparison_table(
+            table, f"{experiment.description} (vs {experiment.baseline})"
+        )
+    )
+    if 3 <= len(sweep.labels) <= 20:
+        print()
+        print(
+            format_rank_figure(
+                nemenyi_test(sweep.labels, sweep.accuracies),
+                "Average ranks (Friedman + Nemenyi)",
+            )
+        )
+    return 0
+
+
+_COMMANDS = {
+    "measures": cmd_measures,
+    "normalizations": cmd_normalizations,
+    "archive": cmd_archive,
+    "evaluate": cmd_evaluate,
+    "compare": cmd_compare,
+    "catalog": cmd_catalog,
+    "experiment": cmd_experiment,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

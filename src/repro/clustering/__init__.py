@@ -1,0 +1,25 @@
+"""Time-series clustering built on the distance substrate.
+
+k-Shape (the paper's reference [110], built on SBD/NCC_c) plus a
+distance-agnostic k-medoids that accepts any registered measure::
+
+    from repro.clustering import kshape, kmedoids, adjusted_rand_index
+
+    result = kshape(dataset.train_X, n_clusters=3)
+    ari = adjusted_rand_index(dataset.train_y, result.labels)
+"""
+
+from .kmedoids import KMedoidsResult, kmedoids, kmedoids_from_matrix
+from .kshape import KShapeResult, kshape, shape_extract
+from .metrics import adjusted_rand_index, rand_index
+
+__all__ = [
+    "kshape",
+    "KShapeResult",
+    "shape_extract",
+    "kmedoids",
+    "kmedoids_from_matrix",
+    "KMedoidsResult",
+    "rand_index",
+    "adjusted_rand_index",
+]

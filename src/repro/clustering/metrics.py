@@ -1,0 +1,61 @@
+"""External clustering-quality metrics (Rand index family).
+
+The time-series clustering literature the paper builds on ([110, 111])
+evaluates against ground-truth labels with the Rand index and its
+chance-adjusted form; both are implemented from the contingency table so
+the clustering example and tests need no external dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_labels
+from ..exceptions import EvaluationError
+
+
+def _contingency(labels_a: np.ndarray, labels_b: np.ndarray) -> np.ndarray:
+    classes_a, inv_a = np.unique(labels_a, return_inverse=True)
+    classes_b, inv_b = np.unique(labels_b, return_inverse=True)
+    table = np.zeros((classes_a.size, classes_b.size), dtype=np.int64)
+    np.add.at(table, (inv_a, inv_b), 1)
+    return table
+
+
+def _comb2(x: np.ndarray) -> np.ndarray:
+    return x * (x - 1) // 2
+
+
+def rand_index(labels_true, labels_pred) -> float:
+    """Plain Rand index in ``[0, 1]`` (1 = identical partitions)."""
+    labels_true = np.asarray(labels_true)
+    labels_pred = as_labels(labels_pred, labels_true.shape[0], "labels_pred")
+    n = labels_true.shape[0]
+    if n < 2:
+        raise EvaluationError("need at least 2 points")
+    table = _contingency(labels_true, labels_pred)
+    same_both = _comb2(table).sum()
+    same_true = _comb2(table.sum(axis=1)).sum()
+    same_pred = _comb2(table.sum(axis=0)).sum()
+    total = _comb2(np.asarray([n]))[0]
+    agree = same_both + (total - same_true - same_pred + same_both)
+    return float(agree / total)
+
+
+def adjusted_rand_index(labels_true, labels_pred) -> float:
+    """Adjusted Rand index (0 expected for random labelings, 1 perfect)."""
+    labels_true = np.asarray(labels_true)
+    labels_pred = as_labels(labels_pred, labels_true.shape[0], "labels_pred")
+    n = labels_true.shape[0]
+    if n < 2:
+        raise EvaluationError("need at least 2 points")
+    table = _contingency(labels_true, labels_pred)
+    sum_comb = _comb2(table).sum()
+    sum_rows = _comb2(table.sum(axis=1)).sum()
+    sum_cols = _comb2(table.sum(axis=0)).sum()
+    total = _comb2(np.asarray([n]))[0]
+    expected = sum_rows * sum_cols / total if total else 0.0
+    max_index = (sum_rows + sum_cols) / 2.0
+    if max_index == expected:
+        return 1.0 if sum_comb == expected else 0.0
+    return float((sum_comb - expected) / (max_index - expected))

@@ -1,0 +1,43 @@
+"""Dataset substrate: UCR loader, preprocessing, synthetic archive.
+
+The evaluation uses the real UCR archive when a local copy exists
+(``$UCR_ARCHIVE_PATH``) and the deterministic synthetic archive otherwise::
+
+    from repro.datasets import default_archive
+
+    archive = default_archive()
+    for dataset in archive.subset(10):
+        print(dataset.summary())
+"""
+
+from .base import Dataset
+from .io import export_archive, save_ucr_format
+from .preprocessing import clean_collection, interpolate_missing, resample_to_length
+from .synthetic import (
+    DOMAINS,
+    DatasetSpec,
+    SyntheticArchive,
+    default_archive,
+    generate_dataset,
+    make_archive_specs,
+)
+from .ucr import UCR_ENV_VAR, list_ucr_datasets, load_ucr, ucr_available
+
+__all__ = [
+    "Dataset",
+    "interpolate_missing",
+    "resample_to_length",
+    "clean_collection",
+    "DatasetSpec",
+    "SyntheticArchive",
+    "default_archive",
+    "generate_dataset",
+    "make_archive_specs",
+    "DOMAINS",
+    "load_ucr",
+    "list_ucr_datasets",
+    "ucr_available",
+    "UCR_ENV_VAR",
+    "save_ucr_format",
+    "export_archive",
+]

@@ -1,0 +1,134 @@
+"""Dataset container used across the evaluation framework.
+
+Mirrors the UCR archive structure the paper evaluates on: a named dataset
+with a fixed train/test split (the paper deliberately respects the archive's
+split instead of re-sampling — Section 3, "Evaluation framework") and one
+integer class label per series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import as_dataset, as_labels
+from ..exceptions import DatasetError
+
+
+@dataclass
+class Dataset:
+    """A class-labelled time-series dataset with a fixed train/test split.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (UCR name or synthetic-archive name).
+    train_X, test_X:
+        ``(p, m)`` / ``(r, m)`` float64 arrays of equal-length series.
+    train_y, test_y:
+        Integer class labels.
+    metadata:
+        Free-form provenance (domain, distortion profile, seed, ...).
+    """
+
+    name: str
+    train_X: np.ndarray
+    train_y: np.ndarray
+    test_X: np.ndarray
+    test_y: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.train_X = as_dataset(self.train_X, "train_X")
+        self.test_X = as_dataset(self.test_X, "test_X")
+        self.train_y = as_labels(self.train_y, self.train_X.shape[0], "train_y")
+        self.test_y = as_labels(self.test_y, self.test_X.shape[0], "test_y")
+        if self.train_X.shape[1] != self.test_X.shape[1]:
+            raise DatasetError(
+                f"{self.name}: train series length {self.train_X.shape[1]} "
+                f"!= test series length {self.test_X.shape[1]}"
+            )
+        train_classes = set(np.unique(self.train_y).tolist())
+        test_classes = set(np.unique(self.test_y).tolist())
+        if not test_classes <= train_classes:
+            raise DatasetError(
+                f"{self.name}: test set contains classes absent from the "
+                f"training set: {sorted(test_classes - train_classes)}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_train(self) -> int:
+        return self.train_X.shape[0]
+
+    @property
+    def n_test(self) -> int:
+        return self.test_X.shape[0]
+
+    @property
+    def length(self) -> int:
+        """Series length *m*."""
+        return self.train_X.shape[1]
+
+    @property
+    def n_classes(self) -> int:
+        return int(np.unique(self.train_y).shape[0])
+
+    def normalized(self, method: str = "zscore") -> "Dataset":
+        """Copy of the dataset with every series normalized.
+
+        The paper z-normalizes all datasets for fairness (Section 3); the
+        benches use this to sweep the 8 normalization methods.
+        """
+        from ..normalization import get_normalizer
+
+        norm = get_normalizer(method)
+        return Dataset(
+            name=self.name,
+            train_X=norm.apply_dataset(self.train_X),
+            train_y=self.train_y.copy(),
+            test_X=norm.apply_dataset(self.test_X),
+            test_y=self.test_y.copy(),
+            metadata={**self.metadata, "normalization": norm.name},
+        )
+
+    def subsample_train(self, size: int, seed: int = 0) -> "Dataset":
+        """Dataset with a class-stratified training subset of *size* rows.
+
+        Used by the Figure 10 convergence bench (error rate vs
+        increasingly larger training sets).
+        """
+        if size >= self.n_train:
+            return self
+        rng = np.random.default_rng(seed)
+        chosen: list[int] = []
+        classes = np.unique(self.train_y)
+        # One guaranteed row per class, remainder proportional.
+        for cls in classes:
+            idx = np.flatnonzero(self.train_y == cls)
+            chosen.append(int(rng.choice(idx)))
+        remaining = [i for i in range(self.n_train) if i not in set(chosen)]
+        extra = max(0, size - len(chosen))
+        if extra and remaining:
+            chosen.extend(
+                rng.choice(remaining, size=min(extra, len(remaining)), replace=False)
+                .astype(int)
+                .tolist()
+            )
+        chosen_arr = np.sort(np.asarray(chosen[:max(size, len(classes))]))
+        return Dataset(
+            name=f"{self.name}[train={chosen_arr.shape[0]}]",
+            train_X=self.train_X[chosen_arr],
+            train_y=self.train_y[chosen_arr],
+            test_X=self.test_X,
+            test_y=self.test_y,
+            metadata={**self.metadata, "subsampled_train": int(chosen_arr.shape[0])},
+        )
+
+    def summary(self) -> str:
+        """One-line description in UCR-archive style."""
+        return (
+            f"{self.name}: {self.n_train} train / {self.n_test} test, "
+            f"length {self.length}, {self.n_classes} classes"
+        )

@@ -1,0 +1,57 @@
+"""Dataset export in the UCR 2018 archive format.
+
+Writing the synthetic archive to disk in the exact ``<Name>_TRAIN.tsv`` /
+``<Name>_TEST.tsv`` layout serves two purposes: interoperability (any tool
+that consumes the UCR archive can consume this library's datasets), and a
+strong integration test — the exported files round-trip through
+:func:`repro.datasets.ucr.load_ucr` bit-for-bit (up to float formatting).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from .base import Dataset
+
+
+def _write_split(path: Path, X: np.ndarray, y: np.ndarray) -> None:
+    with path.open("w") as handle:
+        for label, row in zip(y, X):
+            values = "\t".join(format(v, ".10g") for v in row)
+            handle.write(f"{int(label)}\t{values}\n")
+
+
+def save_ucr_format(dataset: Dataset, root: str | Path) -> Path:
+    """Write one dataset as a UCR-format folder under *root*.
+
+    Returns the dataset folder path. Existing files are overwritten
+    (exports are deterministic, so this is idempotent).
+    """
+    root = Path(root)
+    folder = root / dataset.name
+    folder.mkdir(parents=True, exist_ok=True)
+    _write_split(
+        folder / f"{dataset.name}_TRAIN.tsv", dataset.train_X, dataset.train_y
+    )
+    _write_split(
+        folder / f"{dataset.name}_TEST.tsv", dataset.test_X, dataset.test_y
+    )
+    return folder
+
+
+def export_archive(
+    archive, root: str | Path, limit: int | None = None
+) -> list[Path]:
+    """Export (up to *limit*) archive datasets in UCR format.
+
+    The resulting directory is a drop-in ``$UCR_ARCHIVE_PATH`` for this
+    library and for any UCR-archive consumer.
+    """
+    root = Path(root)
+    names = archive.names if limit is None else archive.names[:limit]
+    if not names:
+        raise DatasetError("archive has no datasets to export")
+    return [save_ucr_format(archive.load(name), root) for name in names]

@@ -1,0 +1,75 @@
+"""Archive-level statistics.
+
+The paper's Section 3 characterizes the UCR archive ("each dataset
+contains from 40 to 24,000 time series, the lengths vary from 15 to
+2,844"). This module produces the same characterization for any dataset
+collection — used by the CLI and by EXPERIMENTS.md to describe the
+substitute archive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from .base import Dataset
+
+
+@dataclass(frozen=True)
+class ArchiveStats:
+    """Aggregate shape of a dataset collection (Section 3 style)."""
+
+    n_datasets: int
+    total_series: int
+    min_series: int
+    max_series: int
+    min_length: int
+    max_length: int
+    min_classes: int
+    max_classes: int
+    imbalanced_datasets: int
+
+    def describe(self) -> str:
+        """One-paragraph description in the paper's Section 3 style."""
+        return (
+            f"{self.n_datasets} datasets; each contains from "
+            f"{self.min_series} to {self.max_series} time series "
+            f"({self.total_series} total), the lengths vary from "
+            f"{self.min_length} to {self.max_length}, class counts from "
+            f"{self.min_classes} to {self.max_classes}; "
+            f"{self.imbalanced_datasets} datasets have imbalanced classes."
+        )
+
+
+def archive_stats(datasets: Iterable[Dataset]) -> ArchiveStats:
+    """Compute aggregate statistics over a dataset collection."""
+    sizes: list[int] = []
+    lengths: list[int] = []
+    classes: list[int] = []
+    imbalanced = 0
+    for ds in datasets:
+        sizes.append(ds.n_train + ds.n_test)
+        lengths.append(ds.length)
+        classes.append(ds.n_classes)
+        counts = np.bincount(ds.train_y)
+        counts = counts[counts > 0]
+        # Off-by-one class sizes (non-divisible splits) are not imbalance;
+        # count only materially skewed distributions.
+        if counts.max() > 1.5 * counts.min():
+            imbalanced += 1
+    if not sizes:
+        raise DatasetError("empty dataset collection")
+    return ArchiveStats(
+        n_datasets=len(sizes),
+        total_series=int(sum(sizes)),
+        min_series=int(min(sizes)),
+        max_series=int(max(sizes)),
+        min_length=int(min(lengths)),
+        max_length=int(max(lengths)),
+        min_classes=int(min(classes)),
+        max_classes=int(max(classes)),
+        imbalanced_datasets=imbalanced,
+    )

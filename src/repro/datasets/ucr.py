@@ -1,0 +1,116 @@
+"""Loader for the real UCR Time-Series Archive (2018 format).
+
+When a local copy of the archive exists (e.g. ``UCRArchive_2018/`` with one
+directory per dataset containing ``<Name>_TRAIN.tsv`` / ``<Name>_TEST.tsv``,
+first column = class label), this loader reads it and applies the paper's
+Section 3 preprocessing: linear interpolation of missing values and
+resampling of shorter series to the dataset's longest series. In the
+offline reproduction environment the synthetic archive substitutes for it
+(DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from .base import Dataset
+from .preprocessing import clean_collection
+
+#: Environment variable pointing at a local archive copy.
+UCR_ENV_VAR = "UCR_ARCHIVE_PATH"
+
+
+def _parse_tsv(path: Path) -> tuple[list[np.ndarray], np.ndarray]:
+    """Parse one UCR tsv file into ragged series + labels.
+
+    Handles both tab- and comma-separated variants and the archive's
+    ``NaN`` markers for missing values; trailing NaN padding (the archive's
+    encoding for varying lengths) is stripped before interpolation.
+    """
+    series: list[np.ndarray] = []
+    labels: list[float] = []
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.replace(",", "\t").split("\t")
+            labels.append(float(parts[0]))
+            values = np.array(
+                [float(v) if v.lower() != "nan" else np.nan for v in parts[1:]]
+            )
+            # Trailing-NaN padding encodes a shorter series.
+            observed = np.flatnonzero(~np.isnan(values))
+            if observed.size == 0:
+                raise DatasetError(f"{path}: series with no observed values")
+            values = values[: observed[-1] + 1]
+            series.append(values)
+    return series, np.asarray(labels)
+
+
+def _relabel(train_y: np.ndarray, test_y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Map raw labels (which UCR draws from arbitrary ranges) to 0..k-1."""
+    classes = np.unique(np.concatenate([train_y, test_y]))
+    mapping = {value: idx for idx, value in enumerate(classes.tolist())}
+    remap = np.vectorize(mapping.__getitem__)
+    return remap(train_y).astype(np.intp), remap(test_y).astype(np.intp)
+
+
+def archive_root(root: str | os.PathLike | None = None) -> Path | None:
+    """Resolve the archive directory from the argument or environment."""
+    candidate = root or os.environ.get(UCR_ENV_VAR)
+    if candidate is None:
+        return None
+    path = Path(candidate)
+    return path if path.is_dir() else None
+
+
+def ucr_available(root: str | os.PathLike | None = None) -> bool:
+    """Whether a local UCR archive copy can be found."""
+    return archive_root(root) is not None
+
+
+def list_ucr_datasets(root: str | os.PathLike | None = None) -> list[str]:
+    """Dataset names present in the local archive copy."""
+    base = archive_root(root)
+    if base is None:
+        return []
+    return sorted(
+        entry.name
+        for entry in base.iterdir()
+        if entry.is_dir() and (entry / f"{entry.name}_TRAIN.tsv").exists()
+    )
+
+
+def load_ucr(name: str, root: str | os.PathLike | None = None) -> Dataset:
+    """Load one UCR dataset with the paper's preprocessing applied."""
+    base = archive_root(root)
+    if base is None:
+        raise DatasetError(
+            f"no UCR archive found; set ${UCR_ENV_VAR} or pass root= "
+            "(the synthetic archive is the offline substitute)"
+        )
+    folder = base / name
+    train_path = folder / f"{name}_TRAIN.tsv"
+    test_path = folder / f"{name}_TEST.tsv"
+    if not train_path.exists() or not test_path.exists():
+        raise DatasetError(f"dataset {name!r} not found under {base}")
+    train_series, train_y = _parse_tsv(train_path)
+    test_series, test_y = _parse_tsv(test_path)
+    # Clean jointly so train and test are resampled to the same length.
+    combined = clean_collection(train_series + test_series)
+    train_X = combined[: len(train_series)]
+    test_X = combined[len(train_series):]
+    train_labels, test_labels = _relabel(train_y, test_y)
+    return Dataset(
+        name=name,
+        train_X=train_X,
+        train_y=train_labels,
+        test_X=test_X,
+        test_y=test_labels,
+        metadata={"source": "ucr", "root": str(base)},
+    )

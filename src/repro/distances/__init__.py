@@ -1,0 +1,48 @@
+"""Time-series distance measures — the paper's five categories.
+
+Importing :mod:`repro.distances` registers all 67 directly-computable
+measures (52 lock-step + 4 sliding + 7 elastic + 4 kernel); the 4 embedding
+measures live in :mod:`repro.embeddings` because they require a training
+(fit) phase.
+
+Quick use::
+
+    from repro.distances import distance, get_measure, pairwise_distances
+
+    d = distance(x, y, "lorentzian")
+    sbd = get_measure("sbd")
+    E = sbd.pairwise(test_X, train_X)
+"""
+
+from . import elastic, kernels, lockstep, sliding  # noqa: F401 - registration
+from .base import (
+    CATEGORIES,
+    BoundMeasure,
+    DistanceMeasure,
+    ParamSpec,
+    category_counts,
+    distance,
+    get_measure,
+    iter_measures,
+    list_measures,
+    pairwise_distances,
+    register_measure,
+)
+
+__all__ = [
+    "DistanceMeasure",
+    "BoundMeasure",
+    "ParamSpec",
+    "CATEGORIES",
+    "distance",
+    "pairwise_distances",
+    "get_measure",
+    "list_measures",
+    "iter_measures",
+    "register_measure",
+    "category_counts",
+    "lockstep",
+    "sliding",
+    "elastic",
+    "kernels",
+]

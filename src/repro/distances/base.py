@@ -1,0 +1,303 @@
+"""Distance-measure abstraction and global registry.
+
+Every one of the paper's 71 measures is wrapped in a :class:`DistanceMeasure`
+carrying the metadata the evaluation needs: its category (lock-step, sliding,
+elastic, kernel, embedding), survey family, tunable parameters, asymptotic
+cost (used by the Figure 9 bench), and whether it interprets inputs as
+nonnegative probability-style vectors.
+
+All measures are exposed as *dissimilarities*: smaller means more similar.
+Similarity-native measures (inner product, cross-correlation, kernels) are
+negated or complemented internally so 1-NN code never special-cases them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
+
+import numpy as np
+
+from .._validation import EPS, as_dataset, as_pair
+from ..exceptions import ParameterError, UnknownMeasureError
+
+PairFunc = Callable[..., float]
+MatrixFunc = Callable[..., np.ndarray]
+
+#: Valid measure categories, in paper order.
+CATEGORIES: tuple[str, ...] = (
+    "lockstep",
+    "sliding",
+    "elastic",
+    "kernel",
+    "embedding",
+    "extra",
+)
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """Description of one tunable parameter of a measure.
+
+    The ``grid`` holds the values swept by supervised tuning (paper
+    Table 4); ``default`` is the paper's unsupervised choice where one is
+    reported, otherwise a sensible midpoint.
+    """
+
+    name: str
+    default: float
+    grid: tuple[float, ...]
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class DistanceMeasure:
+    """A named time-series dissimilarity measure.
+
+    Attributes
+    ----------
+    name:
+        Canonical registry name, e.g. ``"lorentzian"``.
+    label:
+        Display label used in paper-style tables, e.g. ``"Lorentzian"``.
+    category:
+        One of :data:`CATEGORIES`.
+    family:
+        Survey family for lock-step measures (``"minkowski"``, ``"l1"``,
+        ``"intersection"``, ``"inner_product"``, ``"fidelity"``,
+        ``"squared_l2"``, ``"entropy"``, ``"combination"``,
+        ``"vicissitude"``, ``"special"``) or the category name otherwise.
+    func:
+        ``func(x, y, **params) -> float`` on validated 1-D float64 arrays.
+    params:
+        Tunable parameters (empty tuple for parameter-free measures).
+    requires_nonnegative:
+        Measure interprets inputs as probability-style vectors; inputs are
+        clipped to a tiny positive floor before evaluation so divisions,
+        roots and logarithms stay finite (see Section 5 discussion of
+        measures that only work under MinMax-style scalings).
+    symmetric:
+        ``d(x, y) == d(y, x)``; lets :meth:`pairwise` compute half the
+        self-distance matrix.
+    complexity:
+        Asymptotic cost per comparison, ``"O(m)"``, ``"O(m log m)"`` or
+        ``"O(m^2)"`` — consumed by the accuracy-to-runtime bench (Fig. 9).
+    matrix_func:
+        Optional vectorized ``(X, Y, **params) -> (n_x, n_y)`` override used
+        by :meth:`pairwise` when present.
+    """
+
+    name: str
+    label: str
+    category: str
+    family: str
+    func: PairFunc
+    params: tuple[ParamSpec, ...] = ()
+    requires_nonnegative: bool = False
+    symmetric: bool = True
+    complexity: str = "O(m)"
+    equal_length_only: bool = True
+    matrix_func: MatrixFunc | None = None
+    aliases: tuple[str, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORIES:
+            raise ParameterError(
+                f"category must be one of {CATEGORIES}, got {self.category!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # parameters
+    # ------------------------------------------------------------------
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.params)
+
+    @property
+    def default_params(self) -> dict[str, float]:
+        """Unsupervised defaults for every tunable parameter."""
+        return {p.name: p.default for p in self.params}
+
+    def param_grid(self) -> list[dict[str, float]]:
+        """Cartesian product of all parameter grids (Table 4 sweeps)."""
+        combos: list[dict[str, float]] = [{}]
+        for spec in self.params:
+            combos = [
+                {**combo, spec.name: value}
+                for combo in combos
+                for value in spec.grid
+            ]
+        return combos
+
+    def resolve_params(self, params: Mapping[str, float]) -> dict[str, float]:
+        """Merge caller params over defaults, rejecting unknown names."""
+        unknown = set(params) - set(self.param_names)
+        if unknown:
+            raise ParameterError(
+                f"{self.name} got unknown parameter(s) {sorted(unknown)}; "
+                f"valid parameters: {list(self.param_names)}"
+            )
+        return {**self.default_params, **params}
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def __call__(self, x, y, **params: float) -> float:
+        """Dissimilarity between two series (validated, guarded)."""
+        xa, ya = as_pair(x, y, require_equal_length=self.equal_length_only)
+        resolved = self.resolve_params(params)
+        if self.requires_nonnegative:
+            xa = np.maximum(xa, EPS)
+            ya = np.maximum(ya, EPS)
+        return float(self.func(xa, ya, **resolved))
+
+    def pairwise(self, X, Y=None, **params: float) -> np.ndarray:
+        """Dissimilarity matrix ``D[i, j] = d(X[i], Y[j])``.
+
+        With ``Y=None`` computes the self-distance matrix of *X* (the
+        paper's matrix ``W``); with test/train datasets it is matrix ``E``.
+        """
+        Xa = as_dataset(X, "X")
+        self_mode = Y is None
+        Ya = Xa if self_mode else as_dataset(Y, "Y")
+        if self.equal_length_only and Xa.shape[1] != Ya.shape[1]:
+            raise ParameterError(
+                f"{self.name} requires equal-length series; got lengths "
+                f"{Xa.shape[1]} and {Ya.shape[1]}"
+            )
+        resolved = self.resolve_params(params)
+        if self.requires_nonnegative:
+            Xa = np.maximum(Xa, EPS)
+            Ya = Xa if self_mode else np.maximum(Ya, EPS)
+        if self.matrix_func is not None:
+            return np.asarray(
+                self.matrix_func(Xa, Ya, **resolved), dtype=np.float64
+            )
+        n_x, n_y = Xa.shape[0], Ya.shape[0]
+        out = np.empty((n_x, n_y), dtype=np.float64)
+        if self_mode and self.symmetric:
+            for i in range(n_x):
+                out[i, i] = self.func(Xa[i], Xa[i], **resolved)
+                for j in range(i + 1, n_y):
+                    out[i, j] = out[j, i] = self.func(Xa[i], Xa[j], **resolved)
+        else:
+            for i in range(n_x):
+                xi = Xa[i]
+                for j in range(n_y):
+                    out[i, j] = self.func(xi, Ya[j], **resolved)
+        return out
+
+    def with_params(self, **params: float) -> "BoundMeasure":
+        """Bind parameter values, producing a parameter-free callable."""
+        return BoundMeasure(self, self.resolve_params(params))
+
+
+@dataclass(frozen=True)
+class BoundMeasure:
+    """A :class:`DistanceMeasure` with fixed parameter values.
+
+    Useful for passing a tuned measure around as a plain callable, e.g.
+    after LOOCV selected ``c=0.5`` for MSM.
+    """
+
+    measure: DistanceMeasure
+    params: dict[str, float]
+
+    @property
+    def name(self) -> str:
+        if not self.params:
+            return self.measure.name
+        suffix = ",".join(f"{k}={v:g}" for k, v in sorted(self.params.items()))
+        return f"{self.measure.name}[{suffix}]"
+
+    def __call__(self, x, y) -> float:
+        return self.measure(x, y, **self.params)
+
+    def pairwise(self, X, Y=None) -> np.ndarray:
+        return self.measure.pairwise(X, Y, **self.params)
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, DistanceMeasure] = {}
+
+
+def _canonical(name: str) -> str:
+    return name.replace("-", "").replace("_", "").replace(" ", "").lower()
+
+
+def register_measure(measure: DistanceMeasure) -> DistanceMeasure:
+    """Register a measure (and aliases) in the global registry.
+
+    Atomic: every key is validated before any is inserted, so a clash
+    leaves the registry untouched.
+    """
+    keys = [_canonical(key) for key in (measure.name, *measure.aliases)]
+    for raw, canon in zip((measure.name, *measure.aliases), keys):
+        existing = _REGISTRY.get(canon)
+        if existing is not None and existing.name != measure.name:
+            raise ParameterError(
+                f"registry name clash: {raw!r} is already bound to "
+                f"{existing.name!r}"
+            )
+    for canon in keys:
+        _REGISTRY[canon] = measure
+    return measure
+
+
+def get_measure(name: str | DistanceMeasure) -> DistanceMeasure:
+    """Look up a measure by (case/punctuation-insensitive) name."""
+    if isinstance(name, DistanceMeasure):
+        return name
+    key = _canonical(name)
+    if key not in _REGISTRY:
+        raise UnknownMeasureError(name, list_measures())
+    return _REGISTRY[key]
+
+
+def list_measures(
+    category: str | None = None, family: str | None = None
+) -> list[str]:
+    """Canonical names of registered measures, optionally filtered."""
+    names = {
+        m.name
+        for m in _REGISTRY.values()
+        if (category is None or m.category == category)
+        and (family is None or m.family == family)
+    }
+    return sorted(names)
+
+
+def iter_measures(
+    category: str | None = None, family: str | None = None
+) -> Iterator[DistanceMeasure]:
+    """Iterate unique registered measures in name order."""
+    for name in list_measures(category, family):
+        yield get_measure(name)
+
+
+def category_counts() -> dict[str, int]:
+    """Measure count per category (paper Table 1 census)."""
+    counts: dict[str, int] = {cat: 0 for cat in CATEGORIES}
+    for name in list_measures():
+        counts[get_measure(name).category] += 1
+    return counts
+
+
+def distance(x, y, measure: str = "euclidean", **params: float) -> float:
+    """Convenience one-shot distance between two series.
+
+    >>> from repro.distances import distance
+    >>> distance([0.0, 1.0, 0.0], [0.0, 1.0, 0.0])
+    0.0
+    """
+    return get_measure(measure)(x, y, **params)
+
+
+def pairwise_distances(
+    X, Y=None, measure: str = "euclidean", **params: float
+) -> np.ndarray:
+    """Convenience pairwise matrix for a named measure."""
+    return get_measure(measure).pairwise(X, Y, **params)

@@ -1,0 +1,35 @@
+"""Shared helpers for the dynamic-programming elastic measures.
+
+All elastic measures (paper Section 7) fill an ``m``-by-``m`` matrix with a
+recursive formula; for performance the DP loops run over plain Python lists
+of floats (an order of magnitude faster than scalar numpy indexing), and the
+helpers here handle the Sakoe-Chiba band bookkeeping shared by every banded
+recurrence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+INF = float("inf")
+
+
+def band_width(m: int, n: int, window_pct: float) -> int:
+    """Sakoe-Chiba band half-width in points for a window percentage.
+
+    The paper expresses the window ``delta`` as a percentage of the
+    time-series length (Table 4): ``delta=10`` allows ``|i - j|`` up to 10%
+    of the longer series; ``delta=100`` (or more) is unconstrained;
+    ``delta=0`` restricts the warping path to the diagonal. The band is
+    always widened to cover the length difference so a path exists.
+    """
+    longest = max(m, n)
+    if window_pct >= 100:
+        return longest
+    width = int(round(longest * window_pct / 100.0))
+    return max(width, abs(m - n))
+
+
+def as_float_list(x: np.ndarray) -> list[float]:
+    """Convert a validated series to a plain list for tight DP loops."""
+    return x.tolist()

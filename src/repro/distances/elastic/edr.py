@@ -1,0 +1,68 @@
+r"""Edit Distance on Real sequence (paper Section 7).
+
+EDR [28] quantifies each pointwise comparison as 0 (match, when
+``|x_i - y_j| <= epsilon``) or 1 (mismatch), and charges 1 for every gap,
+penalizing unmatched stretches between matched subsequences. The result is
+an integer edit count; we return it unnormalized (for the equal-length UCR
+setting normalization is a constant factor and cannot change 1-NN ranks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import DistanceMeasure, ParamSpec, register_measure
+from ._dp import as_float_list
+
+_EPSILON_GRID = (
+    0.001, 0.003, 0.005, 0.007, 0.009, 0.01, 0.03, 0.05,
+    0.07, 0.09, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
+)
+
+
+def edr(x: np.ndarray, y: np.ndarray, epsilon: float = 0.1) -> float:
+    """EDR edit count between two series (lower is more similar)."""
+    xs = as_float_list(np.asarray(x, dtype=np.float64))
+    ys = as_float_list(np.asarray(y, dtype=np.float64))
+    m, n = len(xs), len(ys)
+    prev = list(range(n + 1))
+    for i in range(1, m + 1):
+        xi = xs[i - 1]
+        cur = [i] + [0] * n
+        cur_jm1 = float(i)
+        prev_row = prev
+        for j in range(1, n + 1):
+            sub = prev_row[j - 1] + (0 if abs(xi - ys[j - 1]) <= epsilon else 1)
+            gap_x = prev_row[j] + 1
+            gap_y = cur_jm1 + 1
+            best = sub
+            if gap_x < best:
+                best = gap_x
+            if gap_y < best:
+                best = gap_y
+            cur[j] = best
+            cur_jm1 = best
+        prev = cur
+    return float(prev[n])
+
+
+EDR = register_measure(
+    DistanceMeasure(
+        name="edr",
+        label="EDR",
+        category="elastic",
+        family="elastic",
+        func=edr,
+        params=(
+            ParamSpec(
+                name="epsilon",
+                default=0.1,
+                grid=_EPSILON_GRID,
+                description="Match threshold on |x_i - y_j| (Table 4).",
+            ),
+        ),
+        complexity="O(m^2)",
+        equal_length_only=False,
+        description="Edit distance on real sequences (0/1 point costs).",
+    )
+)

@@ -1,0 +1,22 @@
+"""Kernel measures (paper Section 8) — RBF, SINK, GAK, KDTW."""
+
+from .gak import GAK, gak, gak_log_kernel
+from .kdtw import KDTW, kdtw, kdtw_log_kernel, kdtw_similarity
+from .rbf import RBF, rbf, rbf_kernel
+from .sink import SINK, sink, sink_similarity
+
+__all__ = [
+    "rbf",
+    "rbf_kernel",
+    "sink",
+    "sink_similarity",
+    "gak",
+    "gak_log_kernel",
+    "kdtw",
+    "kdtw_similarity",
+    "kdtw_log_kernel",
+    "RBF",
+    "SINK",
+    "GAK",
+    "KDTW",
+]

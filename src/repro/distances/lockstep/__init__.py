@@ -1,0 +1,96 @@
+"""Lock-step distance measures (paper Section 5) — 52 measures.
+
+Importing this package registers all measures:
+
+- Minkowski family (4): euclidean, manhattan, minkowski, chebyshev
+- L1 family (6): sorensen, gower, soergel, kulczynski, canberra, lorentzian
+- Intersection family (7): intersection, wavehedges, czekanowski, motyka,
+  kulczynskis, ruzicka, tanimoto
+- Inner-product family (6): innerproduct, harmonicmean, cosine,
+  kumarhassebrook, jaccard, dice
+- Fidelity family (5): fidelity, bhattacharyya, hellinger, matusita,
+  squaredchord
+- Squared-L2 family (8): squaredeuclidean, pearsonchi2, neymanchi2,
+  squaredchi2, probsymmetricchi2, divergence, clark, additivesymmetricchi2
+- Entropy family (6): kullbackleibler, jeffreys, kdivergence, topsoe,
+  jensenshannon, jensendifference
+- Combinations (3): taneja, kumarjohnson, avgl1linf
+- Vicissitude / "Emanon" (5): viciswavehedges, vicissymmetric1/2/3,
+  maxsymmetricchi2 (+ minsymmetricchi2 as an extra)
+- Special (2): dissim, asd
+"""
+
+from . import (  # noqa: F401 - imported for registration side effects
+    combinations,
+    entropy,
+    fidelity,
+    inner_product,
+    intersection,
+    l1_family,
+    minkowski,
+    special,
+    squared_l2,
+    vicissitude,
+)
+from .combinations import avg_l1_linf, kumar_johnson, taneja
+from .entropy import (
+    jeffreys,
+    jensen_difference,
+    jensen_shannon,
+    k_divergence,
+    kullback_leibler,
+    topsoe,
+)
+from .fidelity import bhattacharyya, fidelity, hellinger, matusita, squared_chord
+from .inner_product import (
+    cosine,
+    dice,
+    harmonic_mean,
+    inner_product,
+    jaccard,
+    kumar_hassebrook,
+)
+from .intersection import (
+    czekanowski,
+    intersection,
+    kulczynski_s,
+    motyka,
+    ruzicka,
+    tanimoto,
+    wave_hedges,
+)
+from .l1_family import canberra, gower, kulczynski, lorentzian, soergel, sorensen
+from .minkowski import chebyshev, euclidean, manhattan, minkowski
+from .special import asd, dissim
+from .squared_l2 import (
+    additive_symmetric_chi2,
+    clark,
+    divergence,
+    neyman_chi2,
+    pearson_chi2,
+    prob_symmetric_chi2,
+    squared_chi2,
+    squared_euclidean,
+)
+from .vicissitude import (
+    max_symmetric_chi2,
+    min_symmetric_chi2,
+    vicis_symmetric_chi2_1,
+    vicis_symmetric_chi2_2,
+    vicis_symmetric_chi2_3,
+    vicis_wave_hedges,
+)
+
+#: The 7 survey families plus combinations, vicissitude and special.
+FAMILIES: tuple[str, ...] = (
+    "minkowski",
+    "l1",
+    "intersection",
+    "inner_product",
+    "fidelity",
+    "squared_l2",
+    "entropy",
+    "combination",
+    "vicissitude",
+    "special",
+)

@@ -1,0 +1,70 @@
+"""Shared helpers for the lock-step measure families.
+
+Lock-step measures compare the *i*-th point of one series with the *i*-th
+point of the other, so every measure here reduces to elementwise arithmetic
+followed by a reduction. The helpers keep the per-family modules focused on
+the survey formulas themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..._validation import EPS
+
+#: Shared numerical floor (re-exported for the family modules).
+__all__ = ["EPS", "safe_div", "safe_log", "broadcast_matrix", "elementwise_matrix"]
+
+
+def safe_div(num: np.ndarray, den: np.ndarray) -> np.ndarray:
+    """Elementwise division with a tiny-denominator guard.
+
+    Probability-style measures divide by values that can legitimately reach
+    zero (e.g. MinMax-scaled series contain exact zeros); flooring the
+    denominator keeps every distance finite and deterministic, which is what
+    the registry promises the 1-NN classifier.
+    """
+    den = np.where(np.abs(den) < EPS, np.copysign(EPS, den + EPS), den)
+    return num / den
+
+
+def safe_log(values: np.ndarray) -> np.ndarray:
+    """Natural log with the argument floored at :data:`EPS`."""
+    return np.log(np.maximum(values, EPS))
+
+
+def elementwise_matrix(
+    row_fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
+    """Build a ``matrix_func`` from a broadcastable last-axis reduction.
+
+    ``row_fn`` receives shapes ``(c, 1, m)`` and ``(1, n_y, m)`` and must
+    reduce the last axis; the returned callable is a drop-in
+    ``DistanceMeasure.matrix_func``.
+    """
+
+    def matrix_func(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        return broadcast_matrix(X, Y, row_fn)
+
+    return matrix_func
+
+
+def broadcast_matrix(
+    X: np.ndarray,
+    Y: np.ndarray,
+    row_fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    chunk: int = 64,
+) -> np.ndarray:
+    """Vectorized pairwise matrix in row chunks to bound peak memory.
+
+    ``row_fn`` receives a broadcastable pair of shapes ``(c, 1, m)`` and
+    ``(1, n_y, m)`` and must reduce the last axis, returning ``(c, n_y)``.
+    """
+    n_x, n_y = X.shape[0], Y.shape[0]
+    out = np.empty((n_x, n_y), dtype=np.float64)
+    for start in range(0, n_x, chunk):
+        stop = min(start + chunk, n_x)
+        out[start:stop] = row_fn(X[start:stop, None, :], Y[None, :, :])
+    return out

@@ -1,0 +1,175 @@
+r"""Shannon-entropy family — 6 measures.
+
+Survey family 7 of Cha (2007): Kullback-Leibler, Jeffreys, K divergence,
+Topsoe, Jensen-Shannon, and Jensen difference. Topsoe appears in the paper's
+Table 2 under MinMax scaling.
+
+All members take logarithms of ratios, so the registry clips inputs to a
+positive floor (``requires_nonnegative=True``); the log arguments are
+additionally floored inside each formula to keep 0/0-style terms finite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import DistanceMeasure, register_measure
+from ._common import elementwise_matrix, safe_div, safe_log
+
+
+def kullback_leibler(x: np.ndarray, y: np.ndarray) -> float:
+    r""":math:`\sum_i x_i \ln(x_i / y_i)` (asymmetric)."""
+    return float((x * safe_log(safe_div(x, y))).sum())
+
+
+def jeffreys(x: np.ndarray, y: np.ndarray) -> float:
+    r""":math:`\sum_i (x_i - y_i) \ln(x_i / y_i)` — symmetrized KL."""
+    return float(((x - y) * safe_log(safe_div(x, y))).sum())
+
+
+def k_divergence(x: np.ndarray, y: np.ndarray) -> float:
+    r""":math:`\sum_i x_i \ln\left(\frac{2 x_i}{x_i + y_i}\right)` (asymmetric)."""
+    return float((x * safe_log(safe_div(2.0 * x, x + y))).sum())
+
+
+def topsoe(x: np.ndarray, y: np.ndarray) -> float:
+    r""":math:`\sum_i \left[x_i \ln\frac{2x_i}{x_i+y_i} + y_i \ln\frac{2y_i}{x_i+y_i}\right]`.
+
+    Twice the Jensen-Shannon divergence; a Table 2 entry under MinMax.
+    """
+    s = x + y
+    return float(
+        (x * safe_log(safe_div(2.0 * x, s)) + y * safe_log(safe_div(2.0 * y, s))).sum()
+    )
+
+
+def jensen_shannon(x: np.ndarray, y: np.ndarray) -> float:
+    r"""Half of :func:`topsoe` — the Jensen-Shannon divergence."""
+    return 0.5 * topsoe(x, y)
+
+
+def jensen_difference(x: np.ndarray, y: np.ndarray) -> float:
+    r""":math:`\sum_i \left[\frac{x_i \ln x_i + y_i \ln y_i}{2} - \frac{x_i+y_i}{2}\ln\frac{x_i+y_i}{2}\right]`."""
+    mid = (x + y) / 2.0
+    return float(
+        (
+            (x * safe_log(x) + y * safe_log(y)) / 2.0
+            - mid * safe_log(mid)
+        ).sum()
+    )
+
+
+_kl_matrix = elementwise_matrix(
+    lambda a, b: (a * safe_log(safe_div(a, b))).sum(axis=-1)
+)
+_jeffreys_matrix = elementwise_matrix(
+    lambda a, b: ((a - b) * safe_log(safe_div(a, b))).sum(axis=-1)
+)
+_kdiv_matrix = elementwise_matrix(
+    lambda a, b: (a * safe_log(safe_div(2.0 * a, a + b))).sum(axis=-1)
+)
+
+
+def _topsoe_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    s = a + b
+    return (
+        a * safe_log(safe_div(2.0 * a, s)) + b * safe_log(safe_div(2.0 * b, s))
+    ).sum(axis=-1)
+
+
+_topsoe_matrix = elementwise_matrix(_topsoe_rows)
+_js_matrix = elementwise_matrix(lambda a, b: 0.5 * _topsoe_rows(a, b))
+
+
+def _jensen_diff_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    mid = (a + b) / 2.0
+    return (
+        (a * safe_log(a) + b * safe_log(b)) / 2.0 - mid * safe_log(mid)
+    ).sum(axis=-1)
+
+
+_jensen_diff_matrix = elementwise_matrix(_jensen_diff_rows)
+
+
+KULLBACK_LEIBLER = register_measure(
+    DistanceMeasure(
+        name="kullbackleibler",
+        label="Kullback-Leibler",
+        category="lockstep",
+        family="entropy",
+        func=kullback_leibler,
+        matrix_func=_kl_matrix,
+        requires_nonnegative=True,
+        symmetric=False,
+        aliases=("kl",),
+        description="Relative entropy (asymmetric).",
+    )
+)
+
+JEFFREYS = register_measure(
+    DistanceMeasure(
+        name="jeffreys",
+        label="Jeffreys",
+        category="lockstep",
+        family="entropy",
+        func=jeffreys,
+        matrix_func=_jeffreys_matrix,
+        requires_nonnegative=True,
+        aliases=("jdivergence",),
+        description="Symmetrized Kullback-Leibler divergence.",
+    )
+)
+
+K_DIVERGENCE = register_measure(
+    DistanceMeasure(
+        name="kdivergence",
+        label="K divergence",
+        category="lockstep",
+        family="entropy",
+        func=k_divergence,
+        matrix_func=_kdiv_matrix,
+        requires_nonnegative=True,
+        symmetric=False,
+        description="KL of x against the midpoint density.",
+    )
+)
+
+TOPSOE = register_measure(
+    DistanceMeasure(
+        name="topsoe",
+        label="Topsoe",
+        category="lockstep",
+        family="entropy",
+        func=topsoe,
+        matrix_func=_topsoe_matrix,
+        requires_nonnegative=True,
+        description="Twice Jensen-Shannon; appears in Table 2 under MinMax.",
+    )
+)
+
+JENSEN_SHANNON = register_measure(
+    DistanceMeasure(
+        name="jensenshannon",
+        label="Jensen-Shannon",
+        category="lockstep",
+        family="entropy",
+        func=jensen_shannon,
+        matrix_func=_js_matrix,
+        requires_nonnegative=True,
+        aliases=("js",),
+        description="Symmetric, bounded entropy divergence.",
+    )
+)
+
+JENSEN_DIFFERENCE = register_measure(
+    DistanceMeasure(
+        name="jensendifference",
+        label="Jensen difference",
+        category="lockstep",
+        family="entropy",
+        func=jensen_difference,
+        matrix_func=_jensen_diff_matrix,
+        requires_nonnegative=True,
+        description="Entropy-difference form of Jensen-Shannon.",
+    )
+)

@@ -1,0 +1,192 @@
+r"""Inner-product family — 6 measures.
+
+Survey family 4 of Cha (2007): Inner product, Harmonic mean, Cosine,
+Kumar-Hassebrook (PCE), Jaccard, and Dice. The Jaccard distance is another
+of the paper's newly surfaced winners — it significantly beats ED, but only
+under MeanNorm scaling (Table 2), illustrating misconception M1.
+
+Similarity-native members (inner product, harmonic mean) are negated so the
+registry's smaller-is-closer contract holds; bounded similarities (cosine,
+Kumar-Hassebrook) use the usual :math:`1 - s` complement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import EPS
+from ..base import DistanceMeasure, register_measure
+from ._common import broadcast_matrix, safe_div
+
+
+def inner_product(x: np.ndarray, y: np.ndarray) -> float:
+    r"""Negated inner product :math:`-\sum x_i y_i`.
+
+    Under z-normalization, ranking by this measure is identical to ranking
+    by Euclidean distance (the paper uses that equivalence to critique
+    [57]); the test suite asserts it.
+    """
+    return float(-np.dot(x, y))
+
+
+def harmonic_mean(x: np.ndarray, y: np.ndarray) -> float:
+    r"""Negated harmonic-mean similarity :math:`-2\sum x_i y_i/(x_i+y_i)`."""
+    return float(-2.0 * safe_div(x * y, x + y).sum())
+
+
+def cosine(x: np.ndarray, y: np.ndarray) -> float:
+    r""":math:`1 - \frac{\sum x_i y_i}{\|x\|\,\|y\|}` (cosine distance)."""
+    denom = np.linalg.norm(x) * np.linalg.norm(y)
+    if denom < EPS:
+        return 1.0
+    return float(1.0 - np.dot(x, y) / denom)
+
+
+def kumar_hassebrook(x: np.ndarray, y: np.ndarray) -> float:
+    r""":math:`1 - \frac{\sum x_i y_i}{\sum x_i^2 + \sum y_i^2 - \sum x_i y_i}`.
+
+    Complement of the PCE (peak-to-correlation energy) similarity.
+    """
+    dot = np.dot(x, y)
+    den = np.dot(x, x) + np.dot(y, y) - dot
+    return float(1.0 - safe_div(np.asarray(dot), np.asarray(den)))
+
+
+def jaccard(x: np.ndarray, y: np.ndarray) -> float:
+    r""":math:`\frac{\sum (x_i-y_i)^2}{\sum x_i^2 + \sum y_i^2 - \sum x_i y_i}`.
+
+    Algebraically equal to :func:`kumar_hassebrook`; a Table 2 winner under
+    MeanNorm scaling.
+    """
+    diff = x - y
+    num = np.dot(diff, diff)
+    den = np.dot(x, x) + np.dot(y, y) - np.dot(x, y)
+    return float(safe_div(np.asarray(num), np.asarray(den)))
+
+
+def dice(x: np.ndarray, y: np.ndarray) -> float:
+    r""":math:`\frac{\sum (x_i-y_i)^2}{\sum x_i^2 + \sum y_i^2}`."""
+    diff = x - y
+    num = np.dot(diff, diff)
+    den = np.dot(x, x) + np.dot(y, y)
+    return float(safe_div(np.asarray(num), np.asarray(den)))
+
+
+def _cosine_matrix(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    nx = np.linalg.norm(X, axis=1)
+    ny = np.linalg.norm(Y, axis=1)
+    denom = np.maximum(nx[:, None] * ny[None, :], EPS)
+    return 1.0 - (X @ Y.T) / denom
+
+
+def _inner_product_matrix(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    return -(X @ Y.T)
+
+
+def _jaccard_matrix(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    def row_fn(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        diff2 = ((a - b) ** 2).sum(axis=-1)
+        den = (a * a).sum(axis=-1) + (b * b).sum(axis=-1) - (a * b).sum(axis=-1)
+        return diff2 / np.maximum(den, EPS)
+
+    return broadcast_matrix(X, Y, row_fn)
+
+
+def _harmonic_mean_matrix(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    return broadcast_matrix(
+        X, Y, lambda a, b: -2.0 * safe_div(a * b, a + b).sum(axis=-1)
+    )
+
+
+def _dice_matrix(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    def row_fn(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        num = ((a - b) ** 2).sum(axis=-1)
+        den = (a * a).sum(axis=-1) + (b * b).sum(axis=-1)
+        return num / np.maximum(den, EPS)
+
+    return broadcast_matrix(X, Y, row_fn)
+
+
+def _kumar_hassebrook_matrix(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    def row_fn(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        dot = (a * b).sum(axis=-1)
+        den = (a * a).sum(axis=-1) + (b * b).sum(axis=-1) - dot
+        return 1.0 - dot / np.maximum(den, EPS)
+
+    return broadcast_matrix(X, Y, row_fn)
+
+
+INNER_PRODUCT = register_measure(
+    DistanceMeasure(
+        name="innerproduct",
+        label="Inner Product",
+        category="lockstep",
+        family="inner_product",
+        func=inner_product,
+        matrix_func=_inner_product_matrix,
+        aliases=("dotproduct",),
+        description="Negated dot product (ED-equivalent under z-score).",
+    )
+)
+
+HARMONIC_MEAN = register_measure(
+    DistanceMeasure(
+        name="harmonicmean",
+        label="Harmonic Mean",
+        category="lockstep",
+        family="inner_product",
+        func=harmonic_mean,
+        matrix_func=_harmonic_mean_matrix,
+        requires_nonnegative=True,
+        description="Negated harmonic-mean similarity.",
+    )
+)
+
+COSINE = register_measure(
+    DistanceMeasure(
+        name="cosine",
+        label="Cosine",
+        category="lockstep",
+        family="inner_product",
+        func=cosine,
+        matrix_func=_cosine_matrix,
+        description="One minus cosine similarity.",
+    )
+)
+
+KUMAR_HASSEBROOK = register_measure(
+    DistanceMeasure(
+        name="kumarhassebrook",
+        label="Kumar-Hassebrook",
+        category="lockstep",
+        family="inner_product",
+        func=kumar_hassebrook,
+        matrix_func=_kumar_hassebrook_matrix,
+        aliases=("pce",),
+        description="Complement of the PCE similarity (== Jaccard distance).",
+    )
+)
+
+JACCARD = register_measure(
+    DistanceMeasure(
+        name="jaccard",
+        label="Jaccard",
+        category="lockstep",
+        family="inner_product",
+        func=jaccard,
+        matrix_func=_jaccard_matrix,
+        description="Squared-difference Jaccard; Table 2 winner under MeanNorm.",
+    )
+)
+
+DICE = register_measure(
+    DistanceMeasure(
+        name="dice",
+        label="Dice",
+        category="lockstep",
+        family="inner_product",
+        func=dice,
+        matrix_func=_dice_matrix,
+        description="Squared-difference Dice coefficient distance.",
+    )
+)

@@ -1,0 +1,132 @@
+r"""Minkowski (:math:`L_p`) family — 4 measures.
+
+Survey family 1 of Cha (2007): Euclidean (:math:`L_2`), City block /
+Manhattan (:math:`L_1`), Minkowski (:math:`L_p`, the only lock-step measure
+with a tunable parameter; paper Table 4 sweeps 20 values of *p*), and
+Chebyshev (:math:`L_\infty`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import DistanceMeasure, ParamSpec, register_measure
+from ._common import broadcast_matrix
+
+
+def euclidean(x: np.ndarray, y: np.ndarray) -> float:
+    r""":math:`\sqrt{\sum_i (x_i - y_i)^2}` — the paper's ED baseline."""
+    return float(np.linalg.norm(x - y))
+
+
+def manhattan(x: np.ndarray, y: np.ndarray) -> float:
+    r""":math:`\sum_i |x_i - y_i|` (city block, :math:`L_1`)."""
+    return float(np.abs(x - y).sum())
+
+
+def minkowski(x: np.ndarray, y: np.ndarray, p: float = 2.0) -> float:
+    r""":math:`\left(\sum_i |x_i - y_i|^p\right)^{1/p}`.
+
+    Fractional ``p`` (the paper sweeps down to 0.1) yields a non-metric but
+    often more accurate measure.
+    """
+    diff = np.abs(x - y)
+    if p == np.inf:
+        return float(diff.max())
+    return float(np.power(np.power(diff, p).sum(), 1.0 / p))
+
+
+def chebyshev(x: np.ndarray, y: np.ndarray) -> float:
+    r""":math:`\max_i |x_i - y_i|` (:math:`L_\infty`)."""
+    return float(np.abs(x - y).max())
+
+
+def _euclidean_matrix(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    # ||x - y||^2 = ||x||^2 + ||y||^2 - 2 x.y, computed without broadcasting
+    # the full (n_x, n_y, m) cube.
+    sq = (
+        np.sum(X * X, axis=1)[:, None]
+        + np.sum(Y * Y, axis=1)[None, :]
+        - 2.0 * (X @ Y.T)
+    )
+    return np.sqrt(np.maximum(sq, 0.0))
+
+
+def _manhattan_matrix(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    return broadcast_matrix(X, Y, lambda a, b: np.abs(a - b).sum(axis=-1))
+
+
+def _minkowski_matrix(X: np.ndarray, Y: np.ndarray, p: float = 2.0) -> np.ndarray:
+    if p == np.inf:
+        return _chebyshev_matrix(X, Y)
+    return broadcast_matrix(
+        X, Y, lambda a, b: np.power(np.power(np.abs(a - b), p).sum(axis=-1), 1.0 / p)
+    )
+
+
+def _chebyshev_matrix(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    return broadcast_matrix(X, Y, lambda a, b: np.abs(a - b).max(axis=-1))
+
+
+EUCLIDEAN = register_measure(
+    DistanceMeasure(
+        name="euclidean",
+        label="ED (L2-norm)",
+        category="lockstep",
+        family="minkowski",
+        func=euclidean,
+        matrix_func=_euclidean_matrix,
+        aliases=("ed", "l2"),
+        description="Euclidean distance; the misconception-M2 baseline.",
+    )
+)
+
+MANHATTAN = register_measure(
+    DistanceMeasure(
+        name="manhattan",
+        label="Manhattan (L1-norm)",
+        category="lockstep",
+        family="minkowski",
+        func=manhattan,
+        matrix_func=_manhattan_matrix,
+        aliases=("cityblock", "l1"),
+        description="City-block distance; significantly beats ED (Table 2).",
+    )
+)
+
+MINKOWSKI = register_measure(
+    DistanceMeasure(
+        name="minkowski",
+        label="Minkowski (Lp-norm)",
+        category="lockstep",
+        family="minkowski",
+        func=minkowski,
+        matrix_func=_minkowski_matrix,
+        params=(
+            ParamSpec(
+                name="p",
+                default=2.0,
+                grid=(
+                    0.1, 0.3, 0.5, 0.7, 0.9, 1.0, 1.3, 1.5, 1.7, 1.9,
+                    2.0, 3.0, 5.0, 7.0, 9.0, 11.0, 13.0, 15.0, 17.0, 20.0,
+                ),
+                description="Order of the Lp norm (paper Table 4 grid).",
+            ),
+        ),
+        aliases=("lp",),
+        description="Tunable Lp norm; best average accuracy in Table 2.",
+    )
+)
+
+CHEBYSHEV = register_measure(
+    DistanceMeasure(
+        name="chebyshev",
+        label="Chebyshev (Linf-norm)",
+        category="lockstep",
+        family="minkowski",
+        func=chebyshev,
+        matrix_func=_chebyshev_matrix,
+        aliases=("linf", "maximum"),
+        description="Maximum pointwise deviation.",
+    )
+)

@@ -1,0 +1,95 @@
+r"""DISSIM and ASD — the two non-survey lock-step measures (paper Section 5).
+
+DISSIM [53] defines the distance between two trajectories as the definite
+integral over time of their Euclidean distance; for equal sampling rates the
+paper uses the trapezoidal approximation, which amounts to a smoothed L1
+that mixes point *i* with point *i+1*. DISSIM significantly beats ED
+(Table 2).
+
+ASD embeds the AdaptiveScaling normalization (paper Eq. 7) inside an inner
+product measure, comparing series under the optimal per-pair scaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import EPS
+from ..base import DistanceMeasure, register_measure
+from ._common import broadcast_matrix
+
+
+def dissim(x: np.ndarray, y: np.ndarray) -> float:
+    r"""Trapezoidal approximation of :math:`\int_t \mathrm{ED}(x(t), y(t))\,dt`.
+
+    .. math::
+        \mathrm{DISSIM}(x, y) = \sum_{i=1}^{m-1}
+            \frac{|x_i - y_i| + |x_{i+1} - y_{i+1}|}{2}
+
+    For a single-point series this degenerates to the plain absolute
+    difference.
+    """
+    diff = np.abs(x - y)
+    if diff.shape[0] == 1:
+        return float(diff[0])
+    return float(0.5 * (diff[:-1] + diff[1:]).sum())
+
+
+def asd(x: np.ndarray, y: np.ndarray) -> float:
+    r"""Adaptive scaling distance: :math:`\|x - a^\* y\|` with the
+    least-squares optimal factor :math:`a^\* = (x \cdot y) / (y \cdot y)`.
+
+    Equivalent to projecting *x* onto the span of *y* and measuring the
+    residual, so it is invariant to any rescaling of *y*.
+    """
+    den = float(np.dot(y, y))
+    a = float(np.dot(x, y)) / den if den >= EPS else 0.0
+    return float(np.linalg.norm(x - a * y))
+
+
+def _dissim_matrix(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    def row_fn(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        diff = np.abs(a - b)
+        if diff.shape[-1] == 1:
+            return diff[..., 0]
+        return 0.5 * (diff[..., :-1] + diff[..., 1:]).sum(axis=-1)
+
+    return broadcast_matrix(X, Y, row_fn)
+
+
+def _asd_matrix(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    dots = X @ Y.T
+    ynorm2 = np.maximum(np.sum(Y * Y, axis=1), EPS)
+    a = dots / ynorm2[None, :]
+    xnorm2 = np.sum(X * X, axis=1)
+    # ||x - a y||^2 = ||x||^2 - 2 a (x.y) + a^2 ||y||^2, and a = (x.y)/||y||^2
+    # collapses it to ||x||^2 - (x.y)^2/||y||^2.
+    sq = xnorm2[:, None] - a * dots
+    return np.sqrt(np.maximum(sq, 0.0))
+
+
+DISSIM = register_measure(
+    DistanceMeasure(
+        name="dissim",
+        label="DISSIM",
+        category="lockstep",
+        family="special",
+        func=dissim,
+        matrix_func=_dissim_matrix,
+        description="Integral-of-ED trajectory distance (smoothed L1).",
+    )
+)
+
+ASD = register_measure(
+    DistanceMeasure(
+        name="asd",
+        label="ASD",
+        category="lockstep",
+        family="special",
+        func=asd,
+        symmetric=False,
+        matrix_func=_asd_matrix,
+        aliases=("adaptivescalingdistance",),
+        description="ED under optimal per-pair scaling (Eq. 7 embedded).",
+    )
+)

@@ -1,0 +1,158 @@
+r"""Multivariate extensions of the core measures (paper footnote 1).
+
+The paper studies univariate series and notes that "most of the measures we
+consider can be extended with some effort for ... *multivariate* time
+series where each point represents a vector [10], but we leave such
+exploration for future work". This module provides that extension for the
+flagship measure of each category, following the conventions of the UEA
+multivariate archive literature:
+
+- **dependent** strategy ("d"): the per-timestamp cost is the Euclidean
+  distance between the d-dimensional points, so all channels warp/shift
+  together;
+- **independent** strategy ("i"): apply the univariate measure per channel
+  and sum — each channel aligns on its own.
+
+Series are ``(m, d)`` arrays (timestamps x channels); ``(m,)`` inputs are
+treated as single-channel and reduce exactly to the univariate measures
+(pinned by the test suite).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.fft import irfft, next_fast_len, rfft
+
+from .._validation import EPS
+from ..exceptions import ValidationError
+from .elastic._dp import INF, band_width
+
+
+def _as_multivariate(x, name: str = "x") -> np.ndarray:
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[:, np.newaxis]
+    if arr.ndim != 2 or arr.size == 0:
+        raise ValidationError(
+            f"{name} must be an (m, d) multivariate series, got {arr.shape}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains NaN or infinite values")
+    return np.ascontiguousarray(arr)
+
+
+def _check_channels(x: np.ndarray, y: np.ndarray) -> None:
+    if x.shape[1] != y.shape[1]:
+        raise ValidationError(
+            f"channel counts differ: {x.shape[1]} vs {y.shape[1]}"
+        )
+
+
+def euclidean_mv(x, y) -> float:
+    """Multivariate ED: Frobenius norm of the pointwise difference."""
+    x = _as_multivariate(x, "x")
+    y = _as_multivariate(y, "y")
+    _check_channels(x, y)
+    if x.shape[0] != y.shape[0]:
+        raise ValidationError(
+            f"lengths differ: {x.shape[0]} vs {y.shape[0]}"
+        )
+    return float(np.linalg.norm(x - y))
+
+
+def dtw_mv(x, y, delta: float = 100.0, strategy: str = "dependent") -> float:
+    """Multivariate DTW (dependent or independent strategy)."""
+    x = _as_multivariate(x, "x")
+    y = _as_multivariate(y, "y")
+    _check_channels(x, y)
+    if strategy == "independent":
+        from .elastic.dtw import dtw
+
+        return float(
+            sum(dtw(x[:, c], y[:, c], delta) for c in range(x.shape[1]))
+        )
+    if strategy != "dependent":
+        raise ValidationError(
+            f"strategy must be 'dependent' or 'independent', got {strategy!r}"
+        )
+    m, n = x.shape[0], y.shape[0]
+    w = band_width(m, n, delta)
+    prev = [INF] * (n + 1)
+    prev[0] = 0.0
+    rows_x = x  # (m, d)
+    for i in range(1, m + 1):
+        xi = rows_x[i - 1]
+        cur = [INF] * (n + 1)
+        j_lo = max(1, i - w)
+        j_hi = min(n, i + w)
+        cur_jm1 = INF if j_lo > 1 else cur[j_lo - 1]
+        prev_row = prev
+        for j in range(j_lo, j_hi + 1):
+            diff = xi - y[j - 1]
+            cost = float(np.dot(diff, diff))
+            best = prev_row[j - 1]
+            up = prev_row[j]
+            if up < best:
+                best = up
+            if cur_jm1 < best:
+                best = cur_jm1
+            cur_jm1 = cost + best
+            cur[j] = cur_jm1
+        prev = cur
+    total = prev[n]
+    return float(total) ** 0.5 if total != INF else INF
+
+
+def cross_correlation_mv(x, y) -> np.ndarray:
+    """Channel-summed cross-correlation sequence (length ``2m - 1``).
+
+    The k-Shape multivariate convention: correlate each channel, sum the
+    sequences, and normalize jointly — so all channels shift together.
+    """
+    x = _as_multivariate(x, "x")
+    y = _as_multivariate(y, "y")
+    _check_channels(x, y)
+    if x.shape[0] != y.shape[0]:
+        raise ValidationError("sliding comparison requires equal lengths")
+    m = x.shape[0]
+    nfft = next_fast_len(2 * m - 1, real=True)
+    fx = rfft(x, nfft, axis=0)
+    fy = rfft(y, nfft, axis=0)
+    cc = irfft(fx * np.conj(fy), nfft, axis=0).sum(axis=1)
+    return np.concatenate((cc[-(m - 1):], cc[:m])) if m > 1 else cc[:1].copy()
+
+
+def sbd_mv(x, y) -> float:
+    """Multivariate shape-based distance (NCC_c with joint normalization)."""
+    x = _as_multivariate(x, "x")
+    y = _as_multivariate(y, "y")
+    denom = float(np.linalg.norm(x) * np.linalg.norm(y))
+    if denom < EPS:
+        return 1.0
+    return float(1.0 - cross_correlation_mv(x, y).max() / denom)
+
+
+def msm_mv(x, y, c: float = 0.5, strategy: str = "independent") -> float:
+    """Multivariate MSM via the independent (per-channel sum) strategy.
+
+    MSM's split/merge costs are defined on scalar orderings, so only the
+    independent strategy has a faithful multivariate form.
+    """
+    if strategy != "independent":
+        raise ValidationError("msm_mv supports only the independent strategy")
+    from .elastic.msm import msm
+
+    x = _as_multivariate(x, "x")
+    y = _as_multivariate(y, "y")
+    _check_channels(x, y)
+    return float(sum(msm(x[:, ch], y[:, ch], c) for ch in range(x.shape[1])))
+
+
+def zscore_mv(x) -> np.ndarray:
+    """Per-channel z-normalization of an ``(m, d)`` series."""
+    x = _as_multivariate(x, "x")
+    mean = x.mean(axis=0, keepdims=True)
+    std = x.std(axis=0, keepdims=True)
+    std = np.where(std < EPS, 1.0, std)
+    out = (x - mean) / std
+    return np.where(x.std(axis=0, keepdims=True) < EPS, 0.0, out)

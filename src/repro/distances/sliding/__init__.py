@@ -1,0 +1,31 @@
+"""Sliding distance measures (paper Section 6)."""
+
+from .cross_correlation import (
+    NCC,
+    NCC_B,
+    NCC_C,
+    NCC_U,
+    best_shift,
+    cross_correlation,
+    cross_correlation_naive,
+    ncc,
+    ncc_b,
+    ncc_c,
+    ncc_u,
+    sbd,
+)
+
+__all__ = [
+    "cross_correlation",
+    "cross_correlation_naive",
+    "best_shift",
+    "ncc",
+    "ncc_b",
+    "ncc_u",
+    "ncc_c",
+    "sbd",
+    "NCC",
+    "NCC_B",
+    "NCC_U",
+    "NCC_C",
+]

@@ -1,0 +1,37 @@
+"""Embedding measures (paper Section 9) — GRAIL, SIDL, SPIRAL, RWS.
+
+Embeddings learn similarity-preserving representations on the training set
+and compare them with ED::
+
+    from repro.embeddings import get_embedding
+
+    grail = get_embedding("grail", dimensions=100)
+    W, E = grail.dissimilarity_matrices(train_X, test_X)
+"""
+
+from .base import (
+    DEFAULT_DIMENSIONS,
+    Embedding,
+    get_embedding,
+    iter_embeddings,
+    list_embeddings,
+    register_embedding,
+)
+from .grail import GRAIL, select_landmarks_sbd
+from .rws import RWS
+from .sidl import SIDL
+from .spiral import SPIRAL
+
+__all__ = [
+    "Embedding",
+    "get_embedding",
+    "list_embeddings",
+    "iter_embeddings",
+    "register_embedding",
+    "DEFAULT_DIMENSIONS",
+    "GRAIL",
+    "RWS",
+    "SIDL",
+    "SPIRAL",
+    "select_landmarks_sbd",
+]

@@ -1,0 +1,135 @@
+"""Dissimilarity-matrix cache.
+
+The paper's evaluation "decouples the processes of distance matrix
+computation, parameter tuning, and distance measure evaluation" precisely
+so matrices can be computed once and reused (their cluster spent four
+months filling that store). This module is the single-machine version: a
+content-addressed ``.npz`` store keyed by dataset, measure, normalization
+and parameters, wrapped around the same ``dissimilarity_matrix`` entry
+point the rest of the framework uses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..classification.matrices import dissimilarity_matrix
+from ..datasets.base import Dataset
+from ..distances.base import get_measure
+from ..exceptions import EvaluationError
+
+
+class MatrixCache:
+    """File-backed cache of W/E dissimilarity matrices.
+
+    >>> import tempfile
+    >>> from repro.datasets import default_archive
+    >>> ds = default_archive(4, size_scale=0.4).load("SynEcg001")
+    >>> cache = MatrixCache(tempfile.mkdtemp())
+    >>> E1 = cache.test_matrix(ds, "euclidean")
+    >>> cache.hits, cache.misses
+    (0, 1)
+    >>> E2 = cache.test_matrix(ds, "euclidean")
+    >>> cache.hits, cache.misses
+    (1, 1)
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _key(
+        self,
+        dataset: Dataset,
+        matrix_kind: str,
+        measure: str,
+        normalization: str | None,
+        params: dict[str, float],
+    ) -> str:
+        """Content hash covering the data and every evaluation knob."""
+        digest = hashlib.sha256()
+        digest.update(dataset.name.encode())
+        digest.update(dataset.train_X.tobytes())
+        if matrix_kind == "E":
+            digest.update(dataset.test_X.tobytes())
+        payload = {
+            "kind": matrix_kind,
+            "measure": get_measure(measure).name,
+            "normalization": normalization,
+            "params": {k: params[k] for k in sorted(params)},
+        }
+        digest.update(json.dumps(payload, sort_keys=True).encode())
+        return digest.hexdigest()[:32]
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.npz"
+
+    # ------------------------------------------------------------------
+    def _get_or_compute(
+        self,
+        dataset: Dataset,
+        matrix_kind: str,
+        measure: str,
+        normalization: str | None,
+        params: dict[str, float],
+    ) -> np.ndarray:
+        if matrix_kind not in ("W", "E"):
+            raise EvaluationError(f"matrix kind must be 'W' or 'E', got {matrix_kind!r}")
+        key = self._key(dataset, matrix_kind, measure, normalization, params)
+        path = self._path(key)
+        if path.exists():
+            self.hits += 1
+            with np.load(path) as payload:
+                return payload["matrix"]
+        self.misses += 1
+        if matrix_kind == "W":
+            matrix = dissimilarity_matrix(
+                measure, dataset.train_X, None, normalization, **params
+            )
+        else:
+            matrix = dissimilarity_matrix(
+                measure, dataset.test_X, dataset.train_X, normalization, **params
+            )
+        np.savez_compressed(path, matrix=matrix)
+        return matrix
+
+    def train_matrix(
+        self,
+        dataset: Dataset,
+        measure: str,
+        normalization: str | None = None,
+        **params: float,
+    ) -> np.ndarray:
+        """The paper's W matrix (train vs train), cached."""
+        return self._get_or_compute(dataset, "W", measure, normalization, params)
+
+    def test_matrix(
+        self,
+        dataset: Dataset,
+        measure: str,
+        normalization: str | None = None,
+        **params: float,
+    ) -> np.ndarray:
+        """The paper's E matrix (test vs train), cached."""
+        return self._get_or_compute(dataset, "E", measure, normalization, params)
+
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Delete all cached matrices; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob("*.npz"):
+            path.unlink()
+            removed += 1
+        self.hits = self.misses = 0
+        return removed
+
+    def size_bytes(self) -> int:
+        """Total on-disk size of the cache."""
+        return sum(p.stat().st_size for p in self.directory.glob("*.npz"))

@@ -1,0 +1,95 @@
+"""Baseline comparisons — the structure of paper Tables 2, 3, 5, 6, 7.
+
+Every results table in the paper has the same shape: candidate variants
+compared against one baseline, with a Wilcoxon "Better" marker, the average
+accuracy, and > / = / < dataset counts. This module builds those rows from
+a :class:`~repro.evaluation.runner.SweepResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..stats.wilcoxon import WilcoxonResult, wilcoxon_comparison
+from .runner import SweepResult
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One candidate-vs-baseline row of a paper-style table."""
+
+    label: str
+    average_accuracy: float
+    wilcoxon: WilcoxonResult
+
+    @property
+    def better(self) -> bool:
+        """The table's checkmark: significantly better than the baseline."""
+        return self.wilcoxon.better
+
+    @property
+    def worse(self) -> bool:
+        """The table's filled circle: significantly worse."""
+        return self.wilcoxon.worse
+
+    @property
+    def counts(self) -> tuple[int, int, int]:
+        """(>, =, <) dataset counts."""
+        return (self.wilcoxon.wins, self.wilcoxon.ties, self.wilcoxon.losses)
+
+
+@dataclass(frozen=True)
+class ComparisonTable:
+    """All rows of a table plus the baseline's own statistics."""
+
+    rows: tuple[ComparisonRow, ...]
+    baseline_label: str
+    baseline_accuracy: float
+    n_datasets: int
+
+    def winners(self) -> list[ComparisonRow]:
+        """Rows that beat the baseline with statistical significance."""
+        return [row for row in self.rows if row.better]
+
+    def sorted_by_accuracy(self) -> list[ComparisonRow]:
+        return sorted(self.rows, key=lambda r: -r.average_accuracy)
+
+
+def compare_to_baseline(
+    sweep: SweepResult,
+    baseline_label: str,
+    candidate_labels: list[str] | None = None,
+    alpha: float = 0.05,
+    only_above_baseline: bool = False,
+) -> ComparisonTable:
+    """Build a paper-style comparison table from sweep results.
+
+    ``only_above_baseline`` mirrors the paper's Tables 2 and 3, which
+    report only combinations whose average accuracy exceeds the
+    baseline's.
+    """
+    baseline = sweep.column(baseline_label)
+    labels = candidate_labels if candidate_labels is not None else [
+        label for label in sweep.labels if label != baseline_label
+    ]
+    rows: list[ComparisonRow] = []
+    for label in labels:
+        acc = sweep.column(label)
+        mean_acc = float(acc.mean())
+        if only_above_baseline and mean_acc <= float(baseline.mean()):
+            continue
+        rows.append(
+            ComparisonRow(
+                label=label,
+                average_accuracy=mean_acc,
+                wilcoxon=wilcoxon_comparison(acc, baseline, alpha=alpha),
+            )
+        )
+    return ComparisonTable(
+        rows=tuple(rows),
+        baseline_label=baseline_label,
+        baseline_accuracy=float(np.mean(baseline)),
+        n_datasets=baseline.shape[0],
+    )

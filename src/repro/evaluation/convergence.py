@@ -1,0 +1,80 @@
+"""Training-set size convergence (paper Section 10, Figure 10).
+
+The misconception-M2 folklore says ED's 1-NN error converges to that of
+more accurate measures as datasets grow [135]. Figure 10 challenges this:
+"the classification error of ED may not always converge to the error of
+more accurate measures, at least not always with the same speed of
+convergence". This module measures error rate as a function of
+(class-stratified) training-set size for a set of variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..datasets.base import Dataset
+from .variants import MeasureVariant
+
+
+@dataclass(frozen=True)
+class ConvergenceCurve:
+    """Error rate per training-set size for one variant."""
+
+    label: str
+    train_sizes: tuple[int, ...]
+    error_rates: tuple[float, ...]
+
+    def final_gap_to(self, other: "ConvergenceCurve") -> float:
+        """Error gap at the largest common training size."""
+        return self.error_rates[-1] - other.error_rates[-1]
+
+
+def convergence_curves(
+    variants: Sequence[MeasureVariant],
+    dataset: Dataset,
+    train_sizes: Sequence[int] | None = None,
+    seed: int = 0,
+) -> list[ConvergenceCurve]:
+    """Error-vs-training-size curves on nested training subsets.
+
+    Subsets are nested in spirit (same seed, growing size) and
+    class-stratified so every class remains represented, mirroring how the
+    paper grows dataset sizes.
+    """
+    if train_sizes is None:
+        n = dataset.n_train
+        ladder = [max(dataset.n_classes * 2, int(round(n * f))) for f in (0.1, 0.25, 0.5, 0.75, 1.0)]
+        train_sizes = sorted(set(min(n, s) for s in ladder))
+    curves: list[ConvergenceCurve] = []
+    for variant in variants:
+        errors: list[float] = []
+        sizes: list[int] = []
+        for size in train_sizes:
+            subset = dataset.subsample_train(size, seed=seed)
+            result = variant.evaluate(subset)
+            errors.append(1.0 - result.accuracy)
+            sizes.append(subset.n_train)
+        curves.append(
+            ConvergenceCurve(
+                label=variant.display,
+                train_sizes=tuple(sizes),
+                error_rates=tuple(errors),
+            )
+        )
+    return curves
+
+
+def convergence_gaps(curves: list[ConvergenceCurve], baseline_label: str) -> dict[str, float]:
+    """Final error gap of every curve to the named baseline curve.
+
+    A persistent positive gap for the baseline is the Figure 10 finding.
+    """
+    baseline = next(c for c in curves if c.label == baseline_label)
+    return {
+        curve.label: float(np.round(curve.final_gap_to(baseline), 6))
+        for curve in curves
+        if curve.label != baseline_label
+    }

@@ -1,0 +1,257 @@
+"""Named experiment definitions — the paper's tables as library objects.
+
+Each function builds the exact variant panel of one paper experiment
+(shared by the corresponding bench and by ``python -m repro experiment``),
+together with the experiment's baseline label. Keeping panels here means a
+bench, the CLI, and user code all run literally the same experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..distances.base import list_measures
+from ..exceptions import EvaluationError
+from ..normalization import PAPER_NORMALIZATIONS
+from .param_grids import reduced_grid, unsupervised_params
+from .variants import MeasureVariant
+
+#: The seven elastic measures in the paper's Table 5 order.
+ELASTIC_MEASURES: tuple[str, ...] = (
+    "msm", "twe", "dtw", "edr", "swale", "erp", "lcss",
+)
+#: The four kernel functions of Table 6.
+KERNEL_MEASURES: tuple[str, ...] = ("kdtw", "gak", "sink", "rbf")
+#: The normalizations reported in Table 2.
+TABLE2_NORMALIZATIONS: tuple[str, ...] = (
+    "zscore", "minmax", "unitlength", "meannorm", "tanh",
+)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A named panel of variants plus its baseline."""
+
+    name: str
+    description: str
+    variants: tuple[MeasureVariant, ...]
+    baseline: str  # display label of the baseline variant
+
+    def baseline_variant(self) -> MeasureVariant:
+        for variant in self.variants:
+            if variant.display == self.baseline:
+                return variant
+        raise EvaluationError(
+            f"experiment {self.name}: baseline {self.baseline!r} missing"
+        )
+
+
+def _unsupervised(name: str, label: str | None = None) -> MeasureVariant:
+    return MeasureVariant(
+        name, params=unsupervised_params(name), label=label or name
+    )
+
+
+def _loocv(name: str, label: str | None = None) -> MeasureVariant:
+    return MeasureVariant(
+        name, tuning="loocv", grid=reduced_grid(name), label=label or name
+    )
+
+
+# ----------------------------------------------------------------------
+# panels
+# ----------------------------------------------------------------------
+def table2_experiment() -> Experiment:
+    """All 52 lock-step measures x Table 2 normalizations vs ED+z-score."""
+    baseline = "ED+zscore"
+    variants = [MeasureVariant("euclidean", "zscore", label=baseline)]
+    for name in list_measures("lockstep"):
+        for norm in TABLE2_NORMALIZATIONS:
+            if name == "euclidean" and norm == "zscore":
+                continue
+            if name == "minkowski":
+                variants.append(
+                    MeasureVariant(
+                        name, norm, tuning="loocv",
+                        grid=reduced_grid("minkowski"),
+                        label=f"{name}+{norm}+loocv",
+                    )
+                )
+            else:
+                variants.append(
+                    MeasureVariant(name, norm, label=f"{name}+{norm}")
+                )
+    return Experiment(
+        name="table2",
+        description="Lock-step measures vs ED+z-score (Table 2)",
+        variants=tuple(variants),
+        baseline=baseline,
+    )
+
+
+def figure2_experiment() -> Experiment:
+    """The z-score lock-step winners panel of Figure 2."""
+    variants = (
+        MeasureVariant(
+            "minkowski", "zscore", tuning="loocv",
+            grid=reduced_grid("minkowski"), label="Minkowski(LOOCV)",
+        ),
+        MeasureVariant("lorentzian", "zscore", label="Lorentzian"),
+        MeasureVariant("manhattan", "zscore", label="Manhattan"),
+        MeasureVariant("avgl1linf", "zscore", label="AvgL1/Linf"),
+        MeasureVariant("dissim", "zscore", label="DISSIM"),
+        MeasureVariant("euclidean", "zscore", label="ED"),
+    )
+    return Experiment(
+        name="figure2",
+        description="Lock-step winners' ranks under z-score (Figure 2)",
+        variants=variants,
+        baseline="ED",
+    )
+
+
+def figure3_experiment() -> Experiment:
+    """Lorentzian x all 8 normalizations vs ED+z-score (Figure 3)."""
+    variants = [
+        MeasureVariant("lorentzian", norm, label=f"Lorentzian+{norm}")
+        for norm in PAPER_NORMALIZATIONS
+    ]
+    variants.append(MeasureVariant("euclidean", "zscore", label="ED+zscore"))
+    return Experiment(
+        name="figure3",
+        description="Normalizations for Lorentzian vs ED+z-score (Figure 3)",
+        variants=tuple(variants),
+        baseline="ED+zscore",
+    )
+
+
+def table3_experiment() -> Experiment:
+    """4 sliding variants x 8 normalizations vs Lorentzian (Table 3)."""
+    baseline = "lorentzian+unitlength"
+    variants = [MeasureVariant("lorentzian", "unitlength", label=baseline)]
+    for name in ("ncc", "nccb", "nccu", "nccc"):
+        for norm in PAPER_NORMALIZATIONS:
+            variants.append(MeasureVariant(name, norm, label=f"{name}+{norm}"))
+    return Experiment(
+        name="table3",
+        description="Sliding measures vs Lorentzian (Table 3)",
+        variants=tuple(variants),
+        baseline=baseline,
+    )
+
+
+def table5_experiment() -> Experiment:
+    """Elastic measures, supervised + unsupervised, vs NCC_c (Table 5)."""
+    variants = [MeasureVariant("nccc", label="NCC_c")]
+    for name in ELASTIC_MEASURES:
+        variants.append(_unsupervised(name, f"{name}-fixed"))
+        if name != "erp":  # parameter-free
+            variants.append(_loocv(name, f"{name}-loocv"))
+    return Experiment(
+        name="table5",
+        description="Elastic measures vs NCC_c (Table 5)",
+        variants=tuple(variants),
+        baseline="NCC_c",
+    )
+
+
+def elastic_rank_experiment(supervised: bool) -> Experiment:
+    """The Figure 5 (supervised) / Figure 6 (unsupervised) panels."""
+    variants = [MeasureVariant("nccc", label="NCC_c")]
+    for name in ELASTIC_MEASURES:
+        if supervised and name != "erp":
+            variants.append(_loocv(name, name.upper()))
+        else:
+            variants.append(_unsupervised(name, name.upper()))
+    return Experiment(
+        name="figure5" if supervised else "figure6",
+        description=(
+            "Elastic vs sliding ranks "
+            + ("(supervised, Figure 5)" if supervised else "(unsupervised, Figure 6)")
+        ),
+        variants=tuple(variants),
+        baseline="NCC_c",
+    )
+
+
+def table6_experiment() -> Experiment:
+    """Kernel functions, supervised + unsupervised, vs NCC_c (Table 6)."""
+    variants = [MeasureVariant("nccc", label="NCC_c")]
+    for name in KERNEL_MEASURES:
+        variants.append(_unsupervised(name, f"{name}-fixed"))
+        variants.append(_loocv(name, f"{name}-loocv"))
+    return Experiment(
+        name="table6",
+        description="Kernel measures vs NCC_c (Table 6)",
+        variants=tuple(variants),
+        baseline="NCC_c",
+    )
+
+
+def kernel_rank_experiment(supervised: bool) -> Experiment:
+    """The Figure 7 (supervised) / Figure 8 (unsupervised) panels."""
+    panel = ("kdtw", "gak", "msm", "twe", "dtw")
+    variants = [MeasureVariant("nccc", label="NCC_c")]
+    for name in panel:
+        if supervised:
+            variants.append(_loocv(name, name.upper()))
+        else:
+            variants.append(_unsupervised(name, name.upper()))
+    return Experiment(
+        name="figure7" if supervised else "figure8",
+        description=(
+            "Kernel vs elastic vs sliding ranks "
+            + ("(supervised, Figure 7)" if supervised else "(unsupervised, Figure 8)")
+        ),
+        variants=tuple(variants),
+        baseline="NCC_c",
+    )
+
+
+def table7_experiment(dimensions: int = 20) -> Experiment:
+    """Embedding measures vs NCC_c (Table 7)."""
+    variants = (
+        MeasureVariant("nccc", label="NCC_c"),
+        MeasureVariant("grail", params={"dimensions": dimensions}, label="GRAIL"),
+        MeasureVariant("rws", params={"dimensions": dimensions}, label="RWS"),
+        MeasureVariant("spiral", params={"dimensions": dimensions}, label="SPIRAL"),
+        MeasureVariant("sidl", params={"dimensions": dimensions}, label="SIDL"),
+    )
+    return Experiment(
+        name="table7",
+        description="Embedding measures vs NCC_c (Table 7)",
+        variants=variants,
+        baseline="NCC_c",
+    )
+
+
+#: Registry of named experiments for the CLI.
+_EXPERIMENTS: dict[str, Callable[[], Experiment]] = {
+    "table2": table2_experiment,
+    "figure2": figure2_experiment,
+    "figure3": figure3_experiment,
+    "table3": table3_experiment,
+    "table5": table5_experiment,
+    "figure5": lambda: elastic_rank_experiment(supervised=True),
+    "figure6": lambda: elastic_rank_experiment(supervised=False),
+    "table6": table6_experiment,
+    "figure7": lambda: kernel_rank_experiment(supervised=True),
+    "figure8": lambda: kernel_rank_experiment(supervised=False),
+    "table7": table7_experiment,
+}
+
+
+def list_experiments() -> list[str]:
+    """Names accepted by :func:`get_experiment` and the CLI."""
+    return sorted(_EXPERIMENTS)
+
+
+def get_experiment(name: str) -> Experiment:
+    """Build a named experiment panel."""
+    key = name.lower()
+    if key not in _EXPERIMENTS:
+        raise EvaluationError(
+            f"unknown experiment {name!r}; available: {list_experiments()}"
+        )
+    return _EXPERIMENTS[key]()

@@ -1,0 +1,79 @@
+"""Parallel sweep execution.
+
+The paper's evaluation ran on 360 cores for four months; its framework was
+designed so "the computation of the dissimilarity matrixes for different
+parameters" distributes trivially (Section 3). This module provides the
+single-machine version: a process pool over (variant, dataset) cells that
+produces the exact same :class:`~repro.evaluation.runner.SweepResult` as
+the serial runner (asserted by the test suite).
+
+Workers re-import :mod:`repro`, so everything shipped to them must be
+picklable — variants and datasets are plain dataclasses, which is why the
+runner was designed around them.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..datasets.base import Dataset
+from ..exceptions import EvaluationError
+from .runner import SweepResult
+from .variants import MeasureVariant, VariantResult
+
+
+def _evaluate_cell(
+    payload: tuple[int, int, MeasureVariant, Dataset]
+) -> tuple[int, int, VariantResult]:
+    vi, di, variant, dataset = payload
+    return vi, di, variant.evaluate(dataset)
+
+
+def run_sweep_parallel(
+    variants: Sequence[MeasureVariant],
+    datasets: Iterable[Dataset],
+    n_jobs: int = 2,
+) -> SweepResult:
+    """Evaluate every variant on every dataset across worker processes.
+
+    Produces results identical to
+    :func:`~repro.evaluation.runner.run_sweep` (cells are independent and
+    deterministic); only wall-clock differs. ``n_jobs=1`` falls back to
+    the serial runner.
+    """
+    dataset_list = list(datasets)
+    if not dataset_list or not variants:
+        raise EvaluationError("need at least one dataset and one variant")
+    if n_jobs < 1:
+        raise EvaluationError(f"n_jobs must be >= 1, got {n_jobs}")
+    if n_jobs == 1:
+        from .runner import run_sweep
+
+        return run_sweep(variants, dataset_list)
+
+    n_d, n_v = len(dataset_list), len(variants)
+    cells = [
+        (vi, di, variant, dataset)
+        for vi, variant in enumerate(variants)
+        for di, dataset in enumerate(dataset_list)
+    ]
+    accuracies = np.empty((n_d, n_v), dtype=np.float64)
+    runtimes = np.empty((n_d, n_v), dtype=np.float64)
+    details: list[list[VariantResult | None]] = [
+        [None] * n_d for _ in range(n_v)
+    ]
+    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+        for vi, di, result in pool.map(_evaluate_cell, cells):
+            accuracies[di, vi] = result.accuracy
+            runtimes[di, vi] = result.inference_seconds
+            details[vi][di] = result
+    return SweepResult(
+        variants=tuple(variants),
+        dataset_names=tuple(ds.name for ds in dataset_list),
+        accuracies=accuracies,
+        inference_seconds=runtimes,
+        details=tuple(tuple(row) for row in details),  # type: ignore[arg-type]
+    )

@@ -1,0 +1,97 @@
+"""Parameter grids — paper Table 4, plus reduced laptop-scale presets.
+
+The full grids live on each measure's :class:`ParamSpec` (and are rendered
+by the Table 4 bench). The paper's sweeps consumed 360 cores for four
+months; the ``REDUCED_GRIDS`` here subsample each grid while keeping its
+endpoints and the paper's unsupervised picks, so the benches finish on a
+laptop while exercising the identical tuning machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..distances.base import get_measure
+
+#: Laptop-scale grids: endpoints + paper's unsupervised picks + midpoints.
+REDUCED_GRIDS: dict[str, list[dict[str, float]]] = {
+    "minkowski": [{"p": p} for p in (0.5, 1.0, 2.0, 5.0, 20.0)],
+    "dtw": [{"delta": d} for d in (0.0, 5.0, 10.0, 20.0, 100.0)],
+    "lcss": [
+        {"epsilon": e, "delta": d}
+        for e in (0.05, 0.2, 0.5, 1.0)
+        for d in (5.0, 10.0)
+    ],
+    "edr": [{"epsilon": e} for e in (0.01, 0.1, 0.25, 0.5, 1.0)],
+    "swale": [
+        {"epsilon": e, "p": 5.0, "r": 1.0} for e in (0.05, 0.2, 0.5, 1.0)
+    ],
+    "msm": [{"c": c} for c in (0.01, 0.1, 0.5, 1.0, 10.0)],
+    "twe": [
+        {"lam": lam, "nu": nu}
+        for lam in (0.0, 0.5, 1.0)
+        for nu in (1e-4, 1e-2, 1.0)
+    ],
+    "rbf": [{"gamma": g} for g in (2.0**-15, 2.0**-8, 2.0**-4, 1.0, 2.0)],
+    "sink": [{"gamma": g} for g in (1.0, 5.0, 10.0, 20.0)],
+    "gak": [{"gamma": g} for g in (0.05, 0.1, 1.0, 5.0, 20.0)],
+    "kdtw": [{"gamma": g} for g in (2.0**-15, 2.0**-8, 0.125, 1.0)],
+}
+
+#: Paper's unsupervised parameter choices (Tables 5 and 6 "fixed" rows).
+UNSUPERVISED_PARAMS: dict[str, dict[str, float]] = {
+    "msm": {"c": 0.5},
+    "twe": {"lam": 1.0, "nu": 1e-4},
+    "dtw": {"delta": 10.0},
+    "edr": {"epsilon": 0.1},
+    "swale": {"epsilon": 0.2, "p": 5.0, "r": 1.0},
+    "lcss": {"delta": 5.0, "epsilon": 0.2},
+    "erp": {},
+    "kdtw": {"gamma": 0.125},
+    "gak": {"gamma": 0.1},
+    "sink": {"gamma": 5.0},
+    "rbf": {"gamma": 2.0},
+    "minkowski": {"p": 2.0},
+}
+
+
+def full_grid(measure: str) -> list[dict[str, float]]:
+    """The complete Table 4 grid for a measure (cartesian product)."""
+    return get_measure(measure).param_grid()
+
+
+def reduced_grid(measure: str) -> list[dict[str, float]]:
+    """Laptop-scale grid; falls back to the full grid for small grids."""
+    name = get_measure(measure).name
+    if name in REDUCED_GRIDS:
+        return [dict(combo) for combo in REDUCED_GRIDS[name]]
+    return full_grid(name)
+
+
+def unsupervised_params(measure: str) -> dict[str, float]:
+    """The paper's fixed unsupervised parameters for a measure."""
+    name = get_measure(measure).name
+    if name in UNSUPERVISED_PARAMS:
+        return dict(UNSUPERVISED_PARAMS[name])
+    return get_measure(name).default_params
+
+
+def table4_rows() -> list[tuple[str, str]]:
+    """(measure label, grid description) rows reproducing Table 4."""
+    rows: list[tuple[str, str]] = []
+    for name in (
+        "msm", "dtw", "edr", "lcss", "twe", "swale", "minkowski",
+        "kdtw", "gak", "sink", "rbf",
+    ):
+        measure = get_measure(name)
+        pieces = []
+        for spec in measure.params:
+            values = ", ".join(f"{v:g}" for v in spec.grid)
+            pieces.append(f"{spec.name} in {{{values}}}")
+        rows.append((measure.label, "; ".join(pieces)))
+    return rows
+
+
+def grid_for(measure: str, scale: str = "reduced") -> Sequence[Mapping[str, float]]:
+    """Grid selector used by benches: ``"full"`` or ``"reduced"``."""
+    return full_grid(measure) if scale == "full" else reduced_grid(measure)

@@ -1,0 +1,111 @@
+"""Experiment runner: evaluate many variants over many datasets.
+
+Produces the accuracy matrix every statistical analysis and paper-style
+table consumes. Results are plain dataclasses convertible to dicts so
+benches can dump them for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..datasets.base import Dataset
+from ..exceptions import EvaluationError
+from .variants import MeasureVariant, VariantResult
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Accuracy/runtime matrices for (datasets x variants)."""
+
+    variants: tuple[MeasureVariant, ...]
+    dataset_names: tuple[str, ...]
+    accuracies: np.ndarray  # (n_datasets, n_variants)
+    inference_seconds: np.ndarray  # (n_datasets, n_variants)
+    details: tuple[tuple[VariantResult, ...], ...]  # [variant][dataset]
+
+    @property
+    def labels(self) -> list[str]:
+        return [v.display for v in self.variants]
+
+    def column(self, label: str) -> np.ndarray:
+        """Per-dataset accuracies of the variant with this display label."""
+        labels = self.labels
+        if label not in labels:
+            raise EvaluationError(
+                f"unknown variant {label!r}; have {labels}"
+            )
+        return self.accuracies[:, labels.index(label)]
+
+    def mean_accuracy(self) -> dict[str, float]:
+        """Average accuracy per variant (the tables' 'Average Accuracy')."""
+        return {
+            label: float(self.accuracies[:, i].mean())
+            for i, label in enumerate(self.labels)
+        }
+
+    def mean_inference_seconds(self) -> dict[str, float]:
+        """Average inference time per variant (Figure 9 x-axis)."""
+        return {
+            label: float(self.inference_seconds[:, i].mean())
+            for i, label in enumerate(self.labels)
+        }
+
+    def to_rows(self) -> list[dict]:
+        """Flat records for serialization into EXPERIMENTS.md tables."""
+        rows = []
+        for vi, variant in enumerate(self.variants):
+            for di, name in enumerate(self.dataset_names):
+                rows.append(
+                    {
+                        "variant": variant.display,
+                        "dataset": name,
+                        "accuracy": float(self.accuracies[di, vi]),
+                        "inference_seconds": float(
+                            self.inference_seconds[di, vi]
+                        ),
+                    }
+                )
+        return rows
+
+
+def run_sweep(
+    variants: Sequence[MeasureVariant],
+    datasets: Iterable[Dataset],
+    progress: Callable[[str], None] | None = None,
+) -> SweepResult:
+    """Evaluate every variant on every dataset.
+
+    ``progress`` receives one human-readable line per (variant, dataset)
+    pair — benches pass ``print`` for long sweeps.
+    """
+    dataset_list = list(datasets)
+    if not dataset_list or not variants:
+        raise EvaluationError("need at least one dataset and one variant")
+    n_d, n_v = len(dataset_list), len(variants)
+    accuracies = np.empty((n_d, n_v), dtype=np.float64)
+    runtimes = np.empty((n_d, n_v), dtype=np.float64)
+    details: list[tuple[VariantResult, ...]] = []
+    for vi, variant in enumerate(variants):
+        per_dataset: list[VariantResult] = []
+        for di, dataset in enumerate(dataset_list):
+            result = variant.evaluate(dataset)
+            accuracies[di, vi] = result.accuracy
+            runtimes[di, vi] = result.inference_seconds
+            per_dataset.append(result)
+            if progress is not None:
+                progress(
+                    f"{variant.display} on {dataset.name}: "
+                    f"acc={result.accuracy:.4f}"
+                )
+        details.append(tuple(per_dataset))
+    return SweepResult(
+        variants=tuple(variants),
+        dataset_names=tuple(ds.name for ds in dataset_list),
+        accuracies=accuracies,
+        inference_seconds=runtimes,
+        details=tuple(details),
+    )

@@ -1,0 +1,70 @@
+"""Accuracy-to-runtime analysis (paper Section 10, Figure 9).
+
+Collects, for a set of prominent variants, the mean 1-NN accuracy and mean
+inference time over a dataset collection, together with each measure's
+asymptotic class — the data behind the paper's scatter plot showing
+O(m) lock-step < O(m log m) sliding < O(m^2) elastic/kernel cost tiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..datasets.base import Dataset
+from ..distances.base import get_measure
+from ..embeddings.base import list_embeddings
+from .runner import run_sweep
+from .variants import MeasureVariant
+
+
+@dataclass(frozen=True)
+class RuntimePoint:
+    """One point of the Figure 9 scatter."""
+
+    label: str
+    accuracy: float
+    inference_seconds: float
+    complexity: str
+
+
+def accuracy_runtime_points(
+    variants: Sequence[MeasureVariant],
+    datasets: Iterable[Dataset],
+) -> list[RuntimePoint]:
+    """Mean accuracy and inference time per variant."""
+    sweep = run_sweep(variants, datasets)
+    mean_acc = sweep.mean_accuracy()
+    mean_time = sweep.mean_inference_seconds()
+    points: list[RuntimePoint] = []
+    for variant in variants:
+        if variant.is_embedding or variant.measure.lower() in list_embeddings():
+            complexity = "O(m) over learned representations"
+        else:
+            complexity = get_measure(variant.measure).complexity
+        points.append(
+            RuntimePoint(
+                label=variant.display,
+                accuracy=mean_acc[variant.display],
+                inference_seconds=mean_time[variant.display],
+                complexity=complexity,
+            )
+        )
+    return sorted(points, key=lambda p: p.inference_seconds)
+
+
+def default_figure9_variants() -> list[MeasureVariant]:
+    """The prominent measures the paper plots in Figure 9."""
+    return [
+        MeasureVariant("euclidean", label="ED"),
+        MeasureVariant("lorentzian", label="Lorentzian"),
+        MeasureVariant("nccc", label="NCC_c"),
+        MeasureVariant("sink", params={"gamma": 5.0}, label="SINK"),
+        MeasureVariant("dtw", params={"delta": 10.0}, label="DTW-10"),
+        MeasureVariant("msm", params={"c": 0.5}, label="MSM"),
+        MeasureVariant("twe", params={"lam": 1.0, "nu": 1e-4}, label="TWE"),
+        MeasureVariant("erp", label="ERP"),
+        MeasureVariant("kdtw", params={"gamma": 0.125}, label="KDTW"),
+        MeasureVariant("gak", params={"gamma": 0.1}, label="GAK"),
+        MeasureVariant("grail", params={"dimensions": 20}, label="GRAIL"),
+    ]

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` from misuse of numpy, etc.)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input array or parameter failed validation.
+
+    Inherits from :class:`ValueError` so code written against plain numpy
+    conventions keeps working.
+    """
+
+
+class UnknownMeasureError(ReproError, KeyError):
+    """A distance measure name was not found in the registry."""
+
+    def __init__(self, name: str, available: list[str] | None = None):
+        self.name = name
+        self.available = available or []
+        hint = ""
+        if self.available:
+            close = [a for a in self.available if name.lower() in a.lower()]
+            if close:
+                hint = f" Did you mean one of {close}?"
+        super().__init__(f"Unknown distance measure: {name!r}.{hint}")
+
+
+class UnknownNormalizationError(ReproError, KeyError):
+    """A normalization method name was not found in the registry."""
+
+    def __init__(self, name: str, available: list[str] | None = None):
+        self.name = name
+        self.available = available or []
+        super().__init__(
+            f"Unknown normalization method: {name!r}. "
+            f"Available: {sorted(self.available)}"
+        )
+
+
+class DatasetError(ReproError):
+    """A dataset could not be located, parsed, or generated."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A measure was invoked with missing or out-of-range parameters."""
+
+
+class EvaluationError(ReproError):
+    """An experiment could not be evaluated (e.g. empty split)."""

@@ -1,0 +1,70 @@
+"""Time-series normalization methods (paper Section 4).
+
+Public API::
+
+    from repro.normalization import normalize, get_normalizer
+
+    z = normalize(series, "meannorm")
+    norm = get_normalizer("zscore")
+    X_normed = norm.apply_dataset(X)
+"""
+
+from .base import (
+    Normalizer,
+    describe_normalizations,
+    get_normalizer,
+    iter_normalizers,
+    list_normalizers,
+    normalize,
+    normalize_dataset,
+    register_normalizer,
+)
+from .methods import (
+    ADAPTIVE_SCALING,
+    LOGISTIC,
+    MEAN_NORM,
+    MEDIAN_NORM,
+    MINMAX,
+    PAPER_NORMALIZATIONS,
+    TANH,
+    UNIT_LENGTH,
+    ZSCORE,
+    adaptive_scaling_factor,
+    logistic,
+    make_minmax_range,
+    mean_norm,
+    median_norm,
+    minmax,
+    tanh,
+    unit_length,
+    zscore,
+)
+
+__all__ = [
+    "Normalizer",
+    "normalize",
+    "normalize_dataset",
+    "get_normalizer",
+    "list_normalizers",
+    "iter_normalizers",
+    "register_normalizer",
+    "describe_normalizations",
+    "PAPER_NORMALIZATIONS",
+    "zscore",
+    "minmax",
+    "make_minmax_range",
+    "mean_norm",
+    "median_norm",
+    "unit_length",
+    "adaptive_scaling_factor",
+    "logistic",
+    "tanh",
+    "ZSCORE",
+    "MINMAX",
+    "MEAN_NORM",
+    "MEDIAN_NORM",
+    "UNIT_LENGTH",
+    "ADAPTIVE_SCALING",
+    "LOGISTIC",
+    "TANH",
+]

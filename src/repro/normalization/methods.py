@@ -1,0 +1,234 @@
+"""The 8 normalization methods studied in Section 4 of the paper.
+
+Equations (1)-(9) of the paper, implemented with numerically safe guards:
+constant series (zero variance / zero range / zero norm / zero median) would
+divide by zero under the textbook formulas, so each method documents and
+implements a deterministic fallback instead of emitting NaN.
+
+All methods are pure functions of the input series except
+:data:`ADAPTIVE_SCALING`, which is pairwise: it rescales the second series of
+every comparison by the least-squares optimal factor (paper Eq. 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import EPS, as_series
+from .base import Normalizer, register_normalizer
+
+
+def zscore(x: np.ndarray) -> np.ndarray:
+    """Eq. (1): zero mean, unit variance. Constant series map to zeros."""
+    x = as_series(x)
+    centered = x - x.mean()
+    std = x.std()
+    if std < EPS:
+        return np.zeros_like(x)
+    return centered / std
+
+
+def minmax(x: np.ndarray, low: float = 0.0, high: float = 1.0) -> np.ndarray:
+    """Eqs. (2)/(3): scale values into ``[low, high]``.
+
+    Constant series map to the midpoint of the target range.
+    """
+    x = as_series(x)
+    span = x.max() - x.min()
+    if span < EPS:
+        return np.full_like(x, (low + high) / 2.0)
+    scaled = (x - x.min()) / span
+    return low + scaled * (high - low)
+
+
+def mean_norm(x: np.ndarray) -> np.ndarray:
+    """Eq. (4): z-score numerator over MinMax denominator."""
+    x = as_series(x)
+    span = x.max() - x.min()
+    if span < EPS:
+        return np.zeros_like(x)
+    return (x - x.mean()) / span
+
+
+def median_norm(x: np.ndarray) -> np.ndarray:
+    """Eq. (5): divide by the median.
+
+    The paper notes this method "is less popular due to numerical issues
+    that may arise"; when the median is (near) zero we fall back to dividing
+    by the mean, and if that is also degenerate we return the series
+    unchanged — the least surprising of the bad options.
+    """
+    x = as_series(x)
+    med = np.median(x)
+    if abs(med) >= EPS:
+        return x / med
+    mean = x.mean()
+    if abs(mean) >= EPS:
+        return x / mean
+    return x.copy()
+
+
+def unit_length(x: np.ndarray) -> np.ndarray:
+    """Eq. (6): scale so the Euclidean norm of the series is one."""
+    x = as_series(x)
+    norm = np.linalg.norm(x)
+    if norm < EPS:
+        return np.zeros_like(x)
+    return x / norm
+
+
+def adaptive_scaling_factor(x: np.ndarray, y: np.ndarray) -> float:
+    """Eq. (7): per-pair scaling factor ``a`` such that ``a*y`` matches ``x``.
+
+    We use the least-squares optimum ``a = (x . y) / (y . y)`` which
+    minimizes ``||x - a*y||``; the paper prints the denominator as
+    ``x_i . x_i`` but applies the factor as ``ED(x_i, a * x_j)``, for which
+    the least-squares denominator is the scaled series' self-product. Both
+    conventions coincide for unit-length inputs; we keep the optimal one and
+    note the deviation here.
+    """
+    x = as_series(x, "x")
+    y = as_series(y, "y")
+    denom = float(np.dot(y, y))
+    if denom < EPS:
+        return 0.0
+    return float(np.dot(x, y)) / denom
+
+
+def _adaptive_pair(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = adaptive_scaling_factor(x, y)
+    return x, a * y
+
+
+def logistic(x: np.ndarray) -> np.ndarray:
+    """Eq. (8): logistic (sigmoid) activation of each value."""
+    x = as_series(x)
+    # Split by sign for numerical stability on large magnitudes.
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    expx = np.exp(x[~pos])
+    out[~pos] = expx / (1.0 + expx)
+    return out
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Eq. (9): hyperbolic tangent activation of each value."""
+    return np.tanh(as_series(x))
+
+
+ZSCORE = register_normalizer(
+    Normalizer(
+        name="zscore",
+        label="z-score",
+        transform=zscore,
+        description="Zero mean, unit variance (the literature's default).",
+        aliases=("z", "z-score", "znorm", "standard"),
+    )
+)
+
+MINMAX = register_normalizer(
+    Normalizer(
+        name="minmax",
+        label="MinMax",
+        transform=minmax,
+        description="Scale values into [0, 1].",
+        aliases=("min-max", "range"),
+    )
+)
+
+MEAN_NORM = register_normalizer(
+    Normalizer(
+        name="meannorm",
+        label="MeanNorm",
+        transform=mean_norm,
+        description="Center by mean, scale by range (z-score x MinMax mix).",
+        aliases=("mean",),
+    )
+)
+
+MEDIAN_NORM = register_normalizer(
+    Normalizer(
+        name="mediannorm",
+        label="MedianNorm",
+        transform=median_norm,
+        description="Divide by the median (mean fallback when degenerate).",
+        aliases=("median",),
+    )
+)
+
+UNIT_LENGTH = register_normalizer(
+    Normalizer(
+        name="unitlength",
+        label="UnitLength",
+        transform=unit_length,
+        description="Scale the series to unit Euclidean norm.",
+        aliases=("unit", "l2norm"),
+    )
+)
+
+ADAPTIVE_SCALING = register_normalizer(
+    Normalizer(
+        name="adaptive",
+        label="AdaptiveScaling",
+        transform=None,
+        pair_transform=_adaptive_pair,
+        description="Per-pair least-squares scaling factor (Eq. 7).",
+        aliases=("adaptivescaling", "as"),
+    )
+)
+
+LOGISTIC = register_normalizer(
+    Normalizer(
+        name="logistic",
+        label="Logistic",
+        transform=logistic,
+        description="Sigmoid activation of each value.",
+        aliases=("sigmoid",),
+    )
+)
+
+TANH = register_normalizer(
+    Normalizer(
+        name="tanh",
+        label="Tanh",
+        transform=tanh,
+        description="Hyperbolic tangent activation of each value.",
+        aliases=("hyperbolictangent",),
+    )
+)
+
+def make_minmax_range(low: float, high: float) -> Normalizer:
+    """Eq. (3) factory: MinMax into an arbitrary ``[low, high]`` range.
+
+    The paper notes many measures "cannot deal with zero values and,
+    therefore, scaling time series between an arbitrary set of values
+    [a, b] is often preferred"; the returned normalizer can be registered
+    for such sweeps (e.g. ``make_minmax_range(0.1, 1.0)`` keeps every
+    value strictly positive for the probability-style measures).
+    """
+    if not high > low:
+        raise ValueError(f"need high > low, got [{low}, {high}]")
+
+    def transform(x: np.ndarray) -> np.ndarray:
+        return minmax(x, low=low, high=high)
+
+    return Normalizer(
+        name=f"minmax[{low:g},{high:g}]",
+        label=f"MinMax[{low:g},{high:g}]",
+        transform=transform,
+        description=f"Scale values into [{low:g}, {high:g}] (Eq. 3).",
+    )
+
+
+#: The 8 methods of Section 4 in paper order (Figure 1 panels).
+PAPER_NORMALIZATIONS: tuple[str, ...] = (
+    "zscore",
+    "minmax",
+    "meannorm",
+    "mediannorm",
+    "unitlength",
+    "adaptive",
+    "logistic",
+    "tanh",
+)

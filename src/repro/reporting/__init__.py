@@ -1,0 +1,27 @@
+"""Paper-style text renderings of tables and figures."""
+
+from .figures import (
+    format_convergence_figure,
+    format_rank_figure,
+    format_runtime_figure,
+)
+from .markdown import (
+    comparison_table_markdown,
+    rank_figure_markdown,
+    runtime_figure_markdown,
+)
+from .sparkline import sparkline, sparkline_pair
+from .tables import format_census_table, format_comparison_table
+
+__all__ = [
+    "sparkline",
+    "sparkline_pair",
+    "format_comparison_table",
+    "format_census_table",
+    "format_rank_figure",
+    "format_runtime_figure",
+    "format_convergence_figure",
+    "comparison_table_markdown",
+    "rank_figure_markdown",
+    "runtime_figure_markdown",
+]

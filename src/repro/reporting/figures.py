@@ -1,0 +1,67 @@
+"""Text renderings of the paper's figures.
+
+The paper's Figures 2-8 are critical-difference (average-rank) diagrams;
+Figure 9 is an accuracy/runtime scatter; Figure 10 plots error against
+training-set size. Each renderer turns the corresponding result object
+into a terminal-friendly chart so benches can print what the paper plots.
+"""
+
+from __future__ import annotations
+
+from ..evaluation.convergence import ConvergenceCurve
+from ..evaluation.runtime import RuntimePoint
+from ..stats.nemenyi import NemenyiResult
+
+
+def format_rank_figure(result: NemenyiResult, title: str, width: int = 50) -> str:
+    """Critical-difference diagram as text (Figures 2-8 style).
+
+    Shows each measure's average rank as a bar; measures inside one clique
+    (not separated by the CD) would be joined by the paper's thick line,
+    listed below the bars.
+    """
+    lines = [title, "=" * len(title)]
+    gate = "significant" if result.significant else "NOT significant"
+    lines.append(
+        f"Friedman p={result.friedman.p_value:.4g} ({gate} at "
+        f"alpha={result.alpha:g}); Nemenyi CD={result.cd:.3f}"
+    )
+    max_rank = max(result.ranks)
+    label_width = max(len(n) for n in result.names)
+    for name, rank in zip(result.names, result.ranks):
+        bar = "#" * max(1, int(round(rank / max_rank * width)))
+        lines.append(f"{name:<{label_width}}  {rank:6.3f}  {bar}")
+    for i, clique in enumerate(result.cliques, 1):
+        if len(clique) > 1:
+            lines.append(f"clique {i} (no significant difference): {', '.join(clique)}")
+    return "\n".join(lines)
+
+
+def format_runtime_figure(points: list[RuntimePoint], title: str) -> str:
+    """Accuracy-to-runtime table (Figure 9 scatter as text)."""
+    lines = [title, "=" * len(title)]
+    label_width = max(len(p.label) for p in points)
+    lines.append(
+        f"{'Measure':<{label_width}}  {'AvgAcc':>7}  {'Inference(s)':>12}  Complexity"
+    )
+    for p in points:
+        lines.append(
+            f"{p.label:<{label_width}}  {p.accuracy:>7.4f}  "
+            f"{p.inference_seconds:>12.4f}  {p.complexity}"
+        )
+    return "\n".join(lines)
+
+
+def format_convergence_figure(curves: list[ConvergenceCurve], title: str) -> str:
+    """Error-vs-training-size table (Figure 10 as text)."""
+    lines = [title, "=" * len(title)]
+    sizes = curves[0].train_sizes
+    label_width = max(len(c.label) for c in curves)
+    header = f"{'train size':<{label_width}}  " + "  ".join(
+        f"{s:>7d}" for s in sizes
+    )
+    lines.append(header)
+    for curve in curves:
+        cells = "  ".join(f"{e:>7.4f}" for e in curve.error_rates)
+        lines.append(f"{curve.label:<{label_width}}  {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Markdown renderers for tables and figures.
+
+EXPERIMENTS.md quotes paper-vs-measured results; these renderers produce
+the measured side as GitHub-flavored markdown from the same result objects
+the text renderers consume.
+"""
+
+from __future__ import annotations
+
+from ..evaluation.comparison import ComparisonTable
+from ..evaluation.runtime import RuntimePoint
+from ..stats.nemenyi import NemenyiResult
+
+
+def comparison_table_markdown(table: ComparisonTable, title: str) -> str:
+    """Markdown version of a baseline-comparison table."""
+    lines = [
+        f"### {title}",
+        "",
+        "| Measure | Better | Avg Acc | > | = | < |",
+        "|---|---|---:|---:|---:|---:|",
+    ]
+    for row in table.sorted_by_accuracy():
+        wins, ties, losses = row.counts
+        marker = "yes" if row.better else ("worse" if row.worse else "no")
+        lines.append(
+            f"| {row.label} | {marker} | {row.average_accuracy:.4f} "
+            f"| {wins} | {ties} | {losses} |"
+        )
+    lines.append(
+        f"| **{table.baseline_label}** (baseline) | — "
+        f"| {table.baseline_accuracy:.4f} | — | — | — |"
+    )
+    lines.append("")
+    lines.append(f"*{table.n_datasets} datasets.*")
+    return "\n".join(lines)
+
+
+def rank_figure_markdown(result: NemenyiResult, title: str) -> str:
+    """Markdown version of a critical-difference figure."""
+    gate = "significant" if result.significant else "not significant"
+    lines = [
+        f"### {title}",
+        "",
+        f"Friedman p = {result.friedman.p_value:.4g} ({gate} at "
+        f"alpha = {result.alpha:g}); Nemenyi CD = {result.cd:.3f}",
+        "",
+        "| Rank | Measure | Avg rank |",
+        "|---:|---|---:|",
+    ]
+    for position, (name, rank) in enumerate(
+        zip(result.names, result.ranks), start=1
+    ):
+        lines.append(f"| {position} | {name} | {rank:.3f} |")
+    cliques = [c for c in result.cliques if len(c) > 1]
+    if cliques:
+        lines.append("")
+        for i, clique in enumerate(cliques, 1):
+            lines.append(
+                f"- clique {i} (no significant difference): "
+                + ", ".join(clique)
+            )
+    return "\n".join(lines)
+
+
+def runtime_figure_markdown(points: list[RuntimePoint], title: str) -> str:
+    """Markdown version of the accuracy-to-runtime scatter."""
+    lines = [
+        f"### {title}",
+        "",
+        "| Measure | Avg Acc | Inference (s) | Complexity |",
+        "|---|---:|---:|---|",
+    ]
+    for p in points:
+        lines.append(
+            f"| {p.label} | {p.accuracy:.4f} | {p.inference_seconds:.4f} "
+            f"| {p.complexity} |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Collate benchmark results into a single report.
+
+The paper publishes its full result set on a website; this library's
+analog is ``benchmarks/results/`` plus this collator, which stitches every
+rendered table/figure into one markdown document (used to refresh
+EXPERIMENTS.md quotes and to share a run's complete output).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..exceptions import ReproError
+
+#: Canonical presentation order: tables, figures, then ablations.
+_SECTION_ORDER = (
+    "table1_inventory",
+    "figure1_normalizations",
+    "table2_lockstep",
+    "figure2_lockstep_ranks",
+    "figure3_norm_ranks",
+    "table3_sliding",
+    "figure4_nccc_ranks",
+    "table4_param_grids",
+    "table5_elastic",
+    "figure5_elastic_supervised_ranks",
+    "figure6_elastic_unsupervised_ranks",
+    "table6_kernels",
+    "figure7_kernel_supervised_ranks",
+    "figure8_kernel_unsupervised_ranks",
+    "table7_embeddings",
+    "figure9_accuracy_runtime",
+    "figure10_convergence",
+)
+
+
+def collate_results(results_dir: str | Path, title: str = "Benchmark report") -> str:
+    """Merge every ``*.txt`` under *results_dir* into one markdown report.
+
+    Known tables/figures come first in paper order; anything else
+    (ablations, scaling) follows alphabetically.
+    """
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        raise ReproError(f"no results directory at {results_dir}")
+    available = {p.stem: p for p in sorted(results_dir.glob("*.txt"))}
+    if not available:
+        raise ReproError(
+            f"no results in {results_dir}; run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+    ordered = [name for name in _SECTION_ORDER if name in available]
+    ordered += [name for name in sorted(available) if name not in ordered]
+    parts = [f"# {title}", ""]
+    for name in ordered:
+        parts.append(f"## {name}")
+        parts.append("")
+        parts.append("```")
+        parts.append(available[name].read_text().rstrip())
+        parts.append("```")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def write_report(
+    results_dir: str | Path, output: str | Path | None = None
+) -> Path:
+    """Write the collated report next to the results (default REPORT.md)."""
+    results_dir = Path(results_dir)
+    target = Path(output) if output else results_dir / "REPORT.md"
+    target.write_text(collate_results(results_dir) + "\n")
+    return target

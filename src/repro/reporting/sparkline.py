@@ -1,0 +1,45 @@
+"""Terminal sparklines for time series.
+
+Tiny unicode renderings used by the CLI's ``archive`` command and the
+examples so a reader can *see* the shapes being compared without leaving
+the terminal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_series
+
+_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(x, width: int | None = None) -> str:
+    """Unicode sparkline of a series.
+
+    ``width`` resamples the series to that many characters (``None``
+    renders one character per point). Constant series render as a flat
+    mid-level line.
+    """
+    x = as_series(x)
+    if width is not None and width > 0 and x.shape[0] != width:
+        from ..datasets.preprocessing import resample_to_length
+
+        x = resample_to_length(x, width)
+    span = x.max() - x.min()
+    if span <= 0:
+        return _LEVELS[3] * x.shape[0]
+    scaled = (x - x.min()) / span
+    indices = np.minimum(
+        (scaled * len(_LEVELS)).astype(int), len(_LEVELS) - 1
+    )
+    return "".join(_LEVELS[i] for i in indices)
+
+
+def sparkline_pair(x, y, width: int = 40, labels: tuple[str, str] = ("x", "y")) -> str:
+    """Two aligned sparklines with labels (for comparison displays)."""
+    label_width = max(len(labels[0]), len(labels[1]))
+    return (
+        f"{labels[0]:<{label_width}} {sparkline(x, width)}\n"
+        f"{labels[1]:<{label_width}} {sparkline(y, width)}"
+    )

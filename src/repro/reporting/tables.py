@@ -1,0 +1,69 @@
+"""Render paper-style comparison tables as plain text.
+
+Reproduces the layout of Tables 2, 3, 5, 6 and 7: measure, scaling/tuning,
+Better marker, average accuracy, and > / = / < dataset counts, with the
+baseline on the last row exactly as the paper prints it.
+"""
+
+from __future__ import annotations
+
+from ..evaluation.comparison import ComparisonTable
+
+
+def _marker(row) -> str:
+    if row.better:
+        return "YES"
+    if row.worse:
+        return "WORSE"
+    return "no"
+
+
+def format_comparison_table(
+    table: ComparisonTable,
+    title: str,
+    sort_by_accuracy: bool = True,
+) -> str:
+    """Text rendering of a baseline-comparison table."""
+    rows = table.sorted_by_accuracy() if sort_by_accuracy else list(table.rows)
+    label_width = max(
+        [len(r.label) for r in rows] + [len(table.baseline_label), 16]
+    )
+    lines = [title, "=" * len(title)]
+    header = (
+        f"{'Measure':<{label_width}}  {'Better':>6}  {'AvgAcc':>7}  "
+        f"{'>':>4}  {'=':>4}  {'<':>4}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        wins, ties, losses = row.counts
+        lines.append(
+            f"{row.label:<{label_width}}  {_marker(row):>6}  "
+            f"{row.average_accuracy:>7.4f}  {wins:>4}  {ties:>4}  {losses:>4}"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{table.baseline_label:<{label_width}}  {'base':>6}  "
+        f"{table.baseline_accuracy:>7.4f}  {'-':>4}  {'-':>4}  {'-':>4}"
+    )
+    lines.append(f"({table.n_datasets} datasets)")
+    return "\n".join(lines)
+
+
+def format_census_table(counts: dict[str, int]) -> str:
+    """Table 1: measure census per category vs the prior study [45]."""
+    prior = {"lockstep": 4, "sliding": 0, "elastic": 5, "kernel": 0, "embedding": 0}
+    labels = {
+        "lockstep": "Lock-step",
+        "sliding": "Sliding",
+        "elastic": "Elastic",
+        "kernel": "Kernel",
+        "embedding": "Embedding",
+    }
+    lines = [
+        "Table 1: measure census (this reproduction vs Ding et al. [45])",
+        f"{'Category':<12} {'Ours':>5} {'[45]':>5}",
+    ]
+    for key, label in labels.items():
+        lines.append(f"{label:<12} {counts.get(key, 0):>5} {prior[key]:>5}")
+    return "\n".join(lines)

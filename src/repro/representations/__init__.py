@@ -1,0 +1,41 @@
+"""Dimensionality-reducing representations with lower-bounding distances.
+
+The indexing substrate behind misconceptions M1/M2 (paper Section 2): the
+Fourier representation of the seminal search papers [2, 51], PAA of the
+index family [73], and SAX of iSAX [25, 135]. Each representation ships
+with the lower-bounding distance that made z-normalized ED the default::
+
+    from repro.representations import paa_distance, dft_distance, sax_distance
+
+    assert paa_distance(x, y, 8) <= euclidean(x, y)
+"""
+
+from .dft import (
+    dft_distance,
+    dft_inverse,
+    dft_transform,
+    reconstruction_error,
+)
+from .paa import paa_distance, paa_inverse, paa_transform
+from .sax import (
+    gaussian_breakpoints,
+    mindist,
+    sax_distance,
+    sax_to_string,
+    sax_transform,
+)
+
+__all__ = [
+    "paa_transform",
+    "paa_inverse",
+    "paa_distance",
+    "dft_transform",
+    "dft_inverse",
+    "dft_distance",
+    "reconstruction_error",
+    "sax_transform",
+    "sax_to_string",
+    "sax_distance",
+    "mindist",
+    "gaussian_breakpoints",
+]

@@ -1,0 +1,75 @@
+r"""Truncated Fourier representation (DFT).
+
+The seminal sequence-search papers ([2] Agrawal et al.; [51] Faloutsos et
+al.) index the first few DFT coefficients because Parseval's theorem makes
+the coefficient-space ED a *lower bound* of the time-domain ED — the very
+property that, per Section 2, entrenched both z-normalization (M1) and ED
+(M2). We implement the orthonormal transform, truncation, reconstruction,
+and the lower-bounding distance the indexes rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_series
+from ..exceptions import ValidationError
+
+
+def dft_transform(x, coefficients: int) -> np.ndarray:
+    """First ``coefficients`` complex DFT coefficients (orthonormal norm).
+
+    With ``norm="ortho"`` Parseval's theorem reads
+    ``||x||^2 == sum_k |X_k|^2``, so truncation can only shrink distances.
+    """
+    x = as_series(x)
+    max_coeffs = x.shape[0] // 2 + 1
+    if not 1 <= coefficients <= max_coeffs:
+        raise ValidationError(
+            f"coefficients must be in [1, {max_coeffs}], got {coefficients}"
+        )
+    return np.fft.rfft(x, norm="ortho")[:coefficients]
+
+
+def dft_inverse(coefficients, length: int) -> np.ndarray:
+    """Reconstruct a length-``length`` series from truncated coefficients."""
+    coefficients = np.asarray(coefficients, dtype=np.complex128)
+    full = np.zeros(length // 2 + 1, dtype=np.complex128)
+    full[: coefficients.shape[0]] = coefficients
+    return np.fft.irfft(full, length, norm="ortho")
+
+
+def _coefficient_weights(n_kept: int, length: int) -> np.ndarray:
+    """Energy multiplicity of each rfft bin for real inputs.
+
+    Every interior bin represents two conjugate coefficients of the full
+    DFT; bin 0 (and the Nyquist bin for even lengths) represent one.
+    """
+    weights = np.full(n_kept, 2.0)
+    weights[0] = 1.0
+    if length % 2 == 0 and n_kept == length // 2 + 1:
+        weights[-1] = 1.0
+    return weights
+
+
+def dft_distance(x, y, coefficients: int) -> float:
+    """Coefficient-space ED — a lower bound of the time-domain ED."""
+    x = as_series(x, "x")
+    y = as_series(y, "y")
+    if x.shape[0] != y.shape[0]:
+        raise ValidationError("DFT distance requires equal lengths")
+    dx = dft_transform(x, coefficients)
+    dy = dft_transform(y, coefficients)
+    weights = _coefficient_weights(dx.shape[0], x.shape[0])
+    energy = float((weights * np.abs(dx - dy) ** 2).sum())
+    return float(np.sqrt(energy))
+
+
+def reconstruction_error(x, coefficients: int) -> float:
+    """Relative L2 error of the truncated-DFT reconstruction."""
+    x = as_series(x)
+    approx = dft_inverse(dft_transform(x, coefficients), x.shape[0])
+    denom = float(np.linalg.norm(x))
+    if denom == 0.0:
+        return 0.0
+    return float(np.linalg.norm(x - approx) / denom)

@@ -1,0 +1,79 @@
+r"""Piecewise Aggregate Approximation (PAA).
+
+PAA underlies the indexing line of work (Keogh et al. [73]; iSAX [25, 135])
+whose success cemented misconceptions M1 and M2: z-normalized ED is what
+PAA/SAX lower-bound, so it became the default measure. We implement PAA
+with the classic lower-bounding distance
+
+.. math::
+    d_{PAA}(\bar x, \bar y) = \sqrt{\frac{m}{w}}\,
+        \sqrt{\sum_{i=1}^{w} (\bar x_i - \bar y_i)^2}
+        \;\le\; \mathrm{ED}(x, y)
+
+which the property tests verify against the raw Euclidean distance.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._validation import as_series
+from ..exceptions import ValidationError
+
+
+def paa_transform(x, segments: int) -> np.ndarray:
+    """PAA representation: mean of each of ``segments`` equal frames.
+
+    When the length is not divisible by ``segments`` the classic
+    fractional-weight scheme is used (every sample contributes its exact
+    overlap with each frame), keeping the transform exact for any length.
+    """
+    x = as_series(x)
+    m = x.shape[0]
+    if not 1 <= segments <= m:
+        raise ValidationError(
+            f"segments must be in [1, {m}], got {segments}"
+        )
+    if m % segments == 0:
+        return x.reshape(segments, m // segments).mean(axis=1)
+    # Fractional frames: sample j spreads uniformly over [j, j+1) in a
+    # timeline rescaled to `segments` frames. In frame units every frame
+    # has width exactly 1, so the accumulated overlap-weighted sum is
+    # already the frame mean.
+    out = np.zeros(segments)
+    frame_width = m / segments
+    for j in range(m):
+        start = j / frame_width
+        stop = (j + 1) / frame_width
+        first = int(start)
+        last = min(int(math.ceil(stop)), segments)
+        for frame in range(first, last):
+            overlap = min(stop, frame + 1) - max(start, frame)
+            if overlap > 0:
+                out[frame] += overlap * x[j]
+    return out
+
+
+def paa_inverse(coefficients, length: int) -> np.ndarray:
+    """Reconstruct a series from its PAA frames (piecewise constant)."""
+    coefficients = as_series(coefficients, "coefficients")
+    if length < coefficients.shape[0]:
+        raise ValidationError("length must be >= number of segments")
+    positions = (
+        np.arange(length) * coefficients.shape[0] // length
+    ).clip(max=coefficients.shape[0] - 1)
+    return coefficients[positions]
+
+
+def paa_distance(x, y, segments: int) -> float:
+    """PAA lower bound of the Euclidean distance between *x* and *y*."""
+    x = as_series(x, "x")
+    y = as_series(y, "y")
+    if x.shape[0] != y.shape[0]:
+        raise ValidationError("PAA distance requires equal lengths")
+    px = paa_transform(x, segments)
+    py = paa_transform(y, segments)
+    scale = math.sqrt(x.shape[0] / segments)
+    return float(scale * np.linalg.norm(px - py))

@@ -1,0 +1,100 @@
+r"""SAX — Symbolic Aggregate approXimation.
+
+SAX quantizes PAA frames of a z-normalized series into symbols using
+equiprobable Gaussian breakpoints; it powers the iSAX index family ([25],
+[135]) whose results ("with increased dataset sizes, the classification
+error of ED converges...") seeded misconception M2. We implement the
+transform and the classic MINDIST lower bound
+
+.. math::
+    \mathrm{MINDIST}(\hat x, \hat y) = \sqrt{\frac{m}{w}}
+        \sqrt{\sum_{i=1}^{w} \mathrm{cell}(\hat x_i, \hat y_i)^2}
+
+where ``cell`` is the breakpoint gap between non-adjacent symbols.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.stats import norm
+
+from .._validation import as_series
+from ..exceptions import ValidationError
+from ..normalization import zscore
+from .paa import paa_transform
+
+
+def gaussian_breakpoints(alphabet_size: int) -> np.ndarray:
+    """The ``alphabet_size - 1`` equiprobable N(0, 1) breakpoints."""
+    if alphabet_size < 2:
+        raise ValidationError("alphabet_size must be >= 2")
+    quantiles = np.arange(1, alphabet_size) / alphabet_size
+    return norm.ppf(quantiles)
+
+
+def sax_transform(
+    x, segments: int, alphabet_size: int = 8, normalize: bool = True
+) -> np.ndarray:
+    """SAX word (integer symbols ``0 .. alphabet_size - 1``) of a series.
+
+    ``normalize=True`` applies the z-normalization SAX assumes; pass
+    ``False`` only for pre-normalized input.
+    """
+    x = as_series(x)
+    if normalize:
+        x = zscore(x)
+    frames = paa_transform(x, segments)
+    breakpoints = gaussian_breakpoints(alphabet_size)
+    return np.searchsorted(breakpoints, frames).astype(np.intp)
+
+
+def sax_to_string(word: np.ndarray) -> str:
+    """Letter rendering of a SAX word (``a`` = lowest symbol)."""
+    return "".join(chr(ord("a") + int(s)) for s in word)
+
+
+def mindist(
+    word_x, word_y, original_length: int, alphabet_size: int = 8
+) -> float:
+    """MINDIST lower bound between two SAX words.
+
+    Zero for identical or adjacent symbols; otherwise the gap between the
+    breakpoints separating the symbols.
+    """
+    word_x = np.asarray(word_x, dtype=np.intp)
+    word_y = np.asarray(word_y, dtype=np.intp)
+    if word_x.shape != word_y.shape or word_x.ndim != 1:
+        raise ValidationError("SAX words must be 1-D and equal length")
+    segments = word_x.shape[0]
+    if original_length < segments:
+        raise ValidationError("original_length must be >= word length")
+    breakpoints = gaussian_breakpoints(alphabet_size)
+    hi = np.maximum(word_x, word_y)
+    lo = np.minimum(word_x, word_y)
+    gaps = np.where(
+        hi - lo <= 1,
+        0.0,
+        breakpoints[np.clip(hi - 1, 0, breakpoints.shape[0] - 1)]
+        - breakpoints[np.clip(lo, 0, breakpoints.shape[0] - 1)],
+    )
+    scale = math.sqrt(original_length / segments)
+    return float(scale * np.sqrt((gaps * gaps).sum()))
+
+
+def sax_distance(
+    x, y, segments: int, alphabet_size: int = 8
+) -> float:
+    """MINDIST between the SAX words of two raw series.
+
+    Lower-bounds the ED of the *z-normalized* series (the setting SAX is
+    defined for), which the property tests verify.
+    """
+    x = as_series(x, "x")
+    y = as_series(y, "y")
+    if x.shape[0] != y.shape[0]:
+        raise ValidationError("SAX distance requires equal lengths")
+    wx = sax_transform(x, segments, alphabet_size)
+    wy = sax_transform(y, segments, alphabet_size)
+    return mindist(wx, wy, x.shape[0], alphabet_size)

@@ -1,0 +1,35 @@
+"""Subsequence similarity search: MASS and the matrix profile.
+
+The fast-subsequence-search substrate the paper's Section 6 connects to
+cross-correlation (reference [103]) plus the matrix profile ([157, 158])
+for motif and anomaly discovery::
+
+    from repro.search import mass, best_match, matrix_profile
+
+    profile = mass(query, long_series)      # z-normalized ED profile
+    mp = matrix_profile(long_series, window=50)
+    a, b, d = mp.motif()
+"""
+
+from .cascade import CascadeStats, cascade_nn_search, dtw_early_abandon
+from .mass import (
+    best_match,
+    mass,
+    rolling_mean_std,
+    sliding_dot_product,
+    top_k_matches,
+)
+from .matrix_profile import MatrixProfile, matrix_profile
+
+__all__ = [
+    "mass",
+    "best_match",
+    "top_k_matches",
+    "sliding_dot_product",
+    "rolling_mean_std",
+    "matrix_profile",
+    "MatrixProfile",
+    "cascade_nn_search",
+    "dtw_early_abandon",
+    "CascadeStats",
+]

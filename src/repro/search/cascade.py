@@ -1,0 +1,129 @@
+r"""UCR-suite-style cascading 1-NN search (paper reference [118]).
+
+Rakthanmanon et al.'s "trillions of subsequences" system — cited in the
+paper's introduction — combines cheap-to-expensive pruning stages so that
+the full O(m^2) DTW is computed only for candidates that survive every
+cheaper test. This module implements the whole-series version of that
+cascade for the library's banded DTW:
+
+1. **LB_Kim** (O(1)) — first/last point bound;
+2. **LB_Keogh** (O(m)) — envelope bound, query envelope precomputed;
+3. **early-abandoning DTW** — the banded DP aborts a row as soon as the
+   row minimum exceeds the best-so-far distance.
+
+Statistics of how much each stage pruned are returned so callers (and the
+pruning ablation) can report the cascade's effectiveness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_dataset, as_series
+from ..distances.elastic._dp import INF, as_float_list, band_width
+from ..distances.elastic.lower_bounds import envelope, lb_keogh, lb_kim
+
+
+def dtw_early_abandon(
+    x: np.ndarray, y: np.ndarray, delta: float, best_so_far: float
+) -> float:
+    """Banded DTW that aborts once no path can beat ``best_so_far``.
+
+    Returns the exact distance when it is below ``best_so_far`` and
+    ``inf`` otherwise (the caller only needs to know it lost).
+    """
+    xs = as_float_list(np.asarray(x, dtype=np.float64))
+    ys = as_float_list(np.asarray(y, dtype=np.float64))
+    m, n = len(xs), len(ys)
+    w = band_width(m, n, delta)
+    threshold = best_so_far * best_so_far  # DP accumulates squared costs
+    prev = [INF] * (n + 1)
+    prev[0] = 0.0
+    for i in range(1, m + 1):
+        xi = xs[i - 1]
+        cur = [INF] * (n + 1)
+        j_lo = max(1, i - w)
+        j_hi = min(n, i + w)
+        cur_jm1 = INF if j_lo > 1 else cur[j_lo - 1]
+        row_min = INF
+        prev_row = prev
+        for j in range(j_lo, j_hi + 1):
+            d = xi - ys[j - 1]
+            best = prev_row[j - 1]
+            up = prev_row[j]
+            if up < best:
+                best = up
+            if cur_jm1 < best:
+                best = cur_jm1
+            cur_jm1 = d * d + best
+            cur[j] = cur_jm1
+            if cur_jm1 < row_min:
+                row_min = cur_jm1
+        if row_min >= threshold:
+            return float("inf")  # every extension can only grow
+        prev = cur
+    total = prev[n]
+    return total ** 0.5 if total < threshold else float("inf")
+
+
+@dataclass(frozen=True)
+class CascadeStats:
+    """Where each candidate was eliminated."""
+
+    total: int
+    pruned_by_kim: int
+    pruned_by_keogh: int
+    abandoned: int
+    full_computations: int
+
+    @property
+    def pruning_rate(self) -> float:
+        """Fraction of candidates that skipped the full DTW cost."""
+        if self.total == 0:
+            return 0.0
+        return 1.0 - self.full_computations / self.total
+
+
+def cascade_nn_search(
+    query, candidates, delta: float = 10.0
+) -> tuple[int, float, CascadeStats]:
+    """Exact 1-NN under banded DTW with the LB_Kim -> LB_Keogh ->
+    early-abandon cascade.
+
+    Returns ``(best_index, best_distance, stats)``; the result always
+    equals the exhaustive scan (asserted by the test suite).
+    """
+    query = as_series(query, "query")
+    candidates = as_dataset(candidates, "candidates")
+    query_env = envelope(query, delta)
+    # Visit candidates by ascending LB_Keogh for an early tight best.
+    keogh_bounds = np.array(
+        [lb_keogh(cand, query, delta, y_envelope=query_env) for cand in candidates]
+    )
+    order = np.argsort(keogh_bounds)
+    best_idx, best_dist = -1, np.inf
+    kim_pruned = keogh_pruned = abandoned = full = 0
+    for idx in order:
+        if keogh_bounds[idx] >= best_dist:
+            keogh_pruned += 1
+            continue
+        if lb_kim(query, candidates[idx]) >= best_dist:
+            kim_pruned += 1
+            continue
+        d = dtw_early_abandon(query, candidates[idx], delta, best_dist)
+        if np.isinf(d):
+            abandoned += 1
+            continue
+        full += 1
+        if d < best_dist:
+            best_dist, best_idx = d, int(idx)
+    stats = CascadeStats(
+        total=candidates.shape[0],
+        pruned_by_kim=kim_pruned,
+        pruned_by_keogh=keogh_pruned,
+        abandoned=abandoned,
+        full_computations=full,
+    )
+    return best_idx, float(best_dist), stats

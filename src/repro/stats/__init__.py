@@ -1,0 +1,36 @@
+"""Statistical validation (paper Section 3): Wilcoxon, Friedman, Nemenyi."""
+
+from .friedman import FriedmanResult, friedman_test
+from .nemenyi import (
+    NemenyiResult,
+    critical_difference,
+    nemenyi_test,
+    q_critical,
+)
+from .posthoc import (
+    BonferroniDunnResult,
+    bonferroni_dunn,
+    holm_adjusted_p_values,
+    holm_correction,
+)
+from .ranking import RankSummary, average_ranks, rank_matrix, rank_summary
+from .wilcoxon import WilcoxonResult, wilcoxon_comparison
+
+__all__ = [
+    "wilcoxon_comparison",
+    "WilcoxonResult",
+    "friedman_test",
+    "FriedmanResult",
+    "nemenyi_test",
+    "NemenyiResult",
+    "critical_difference",
+    "q_critical",
+    "rank_matrix",
+    "average_ranks",
+    "rank_summary",
+    "RankSummary",
+    "bonferroni_dunn",
+    "BonferroniDunnResult",
+    "holm_correction",
+    "holm_adjusted_p_values",
+]

@@ -1,0 +1,68 @@
+"""Friedman test for comparing multiple measures over multiple datasets.
+
+Following Demsar [42] and the paper's Section 3, the Friedman test checks
+whether at least one of *k* measures ranks systematically differently
+across *N* datasets; only when it rejects is the post-hoc Nemenyi test
+meaningful. The paper uses a 90% confidence level for this pipeline
+"because these tests require more evidence than Wilcoxon".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from ..exceptions import EvaluationError
+from .ranking import average_ranks
+
+#: Paper's confidence level for the Friedman/Nemenyi pipeline.
+DEFAULT_ALPHA = 0.10
+
+
+@dataclass(frozen=True)
+class FriedmanResult:
+    """Friedman test outcome plus the rank statistics it was built from."""
+
+    statistic: float
+    p_value: float
+    significant: bool
+    average_ranks: tuple[float, ...]
+    n_datasets: int
+    n_measures: int
+
+
+def friedman_test(accuracies: np.ndarray, alpha: float = DEFAULT_ALPHA) -> FriedmanResult:
+    """Run the Friedman test on an ``(n_datasets, k_measures)`` matrix."""
+    acc = np.asarray(accuracies, dtype=np.float64)
+    if acc.ndim != 2 or acc.shape[1] < 3:
+        raise EvaluationError(
+            "Friedman test needs a 2-D matrix with at least 3 measures "
+            f"(got shape {acc.shape}); use Wilcoxon for pairs"
+        )
+    if acc.shape[0] < 2:
+        raise EvaluationError("Friedman test needs at least 2 datasets")
+    ranks = average_ranks(acc)
+    try:
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            stat, p_value = stats.friedmanchisquare(
+                *[acc[:, j] for j in range(acc.shape[1])]
+            )
+    except ValueError:
+        stat, p_value = 0.0, 1.0
+    if not (np.isfinite(stat) and np.isfinite(p_value)):
+        # All-identical columns: zero rank variance means no evidence of a
+        # difference; report the trivially insignificant outcome.
+        stat, p_value = 0.0, 1.0
+    return FriedmanResult(
+        statistic=float(stat),
+        p_value=float(p_value),
+        significant=bool(p_value < alpha),
+        average_ranks=tuple(float(r) for r in ranks),
+        n_datasets=acc.shape[0],
+        n_measures=acc.shape[1],
+    )

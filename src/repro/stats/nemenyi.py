@@ -1,0 +1,141 @@
+r"""Post-hoc Nemenyi test and critical-difference analysis.
+
+After a significant Friedman test, the Nemenyi test [104] declares two
+measures different when their average ranks differ by at least the critical
+difference
+
+.. math::
+    CD = q_\alpha \sqrt{\frac{k (k + 1)}{6 N}}
+
+where :math:`q_\alpha` is the Studentized-range quantile divided by
+:math:`\sqrt 2` (Demsar [42]). The "thick line" connecting statistically
+indistinguishable measures in the paper's Figures 2-8 corresponds to the
+*cliques* computed here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import EvaluationError
+from .friedman import DEFAULT_ALPHA, FriedmanResult, friedman_test
+from .ranking import rank_summary
+
+# Studentized range q / sqrt(2) for infinite degrees of freedom
+# (Demsar 2006, Table 5); index = number of measures k.
+_Q_TABLE = {
+    0.05: {
+        2: 1.960, 3: 2.343, 4: 2.569, 5: 2.728, 6: 2.850, 7: 2.949,
+        8: 3.031, 9: 3.102, 10: 3.164, 11: 3.219, 12: 3.268, 13: 3.313,
+        14: 3.354, 15: 3.391, 16: 3.426, 17: 3.458, 18: 3.489, 19: 3.517,
+        20: 3.544,
+    },
+    0.10: {
+        2: 1.645, 3: 2.052, 4: 2.291, 5: 2.459, 6: 2.589, 7: 2.693,
+        8: 2.780, 9: 2.855, 10: 2.920, 11: 2.978, 12: 3.030, 13: 3.077,
+        14: 3.120, 15: 3.159, 16: 3.196, 17: 3.230, 18: 3.261, 19: 3.291,
+        20: 3.319,
+    },
+}
+
+
+def q_critical(k: int, alpha: float = DEFAULT_ALPHA) -> float:
+    """Nemenyi critical value :math:`q_\\alpha` for *k* measures.
+
+    Uses scipy's Studentized-range distribution when available for the
+    requested ``(k, alpha)`` and falls back to Demsar's published table.
+    """
+    if k < 2:
+        raise EvaluationError("need at least 2 measures")
+    try:
+        from scipy.stats import studentized_range
+
+        value = float(studentized_range.ppf(1.0 - alpha, k, np.inf) / math.sqrt(2.0))
+        if math.isfinite(value):
+            return value
+    except Exception:  # pragma: no cover - scipy version without the dist
+        pass
+    table = _Q_TABLE.get(round(alpha, 2))
+    if table is None or k not in table:
+        raise EvaluationError(
+            f"no critical value for k={k}, alpha={alpha}; available alphas "
+            f"{sorted(_Q_TABLE)} up to k=20"
+        )
+    return table[k]
+
+
+def critical_difference(k: int, n_datasets: int, alpha: float = DEFAULT_ALPHA) -> float:
+    """The CD radius for *k* measures over *n_datasets* datasets."""
+    return q_critical(k, alpha) * math.sqrt(k * (k + 1) / (6.0 * n_datasets))
+
+
+@dataclass(frozen=True)
+class NemenyiResult:
+    """Everything needed to render a critical-difference 'figure'.
+
+    ``names``/``ranks`` are ordered best-first. ``cliques`` lists maximal
+    groups of measures whose ranks differ by less than the CD — the
+    paper's thick connector lines. ``significant`` mirrors the gating
+    Friedman test.
+    """
+
+    names: tuple[str, ...]
+    ranks: tuple[float, ...]
+    cd: float
+    alpha: float
+    friedman: FriedmanResult
+
+    @property
+    def significant(self) -> bool:
+        return self.friedman.significant
+
+    @property
+    def cliques(self) -> tuple[tuple[str, ...], ...]:
+        """Maximal groups not separated by the critical difference."""
+        k = len(self.names)
+        groups: list[tuple[int, int]] = []
+        for i in range(k):
+            j = i
+            while j + 1 < k and self.ranks[j + 1] - self.ranks[i] <= self.cd:
+                j += 1
+            groups.append((i, j))
+        maximal = [
+            (lo, hi)
+            for lo, hi in set(groups)
+            if not any(
+                (lo2 <= lo and hi <= hi2 and (lo2, hi2) != (lo, hi))
+                for lo2, hi2 in groups
+            )
+        ]
+        return tuple(
+            tuple(self.names[lo : hi + 1]) for lo, hi in sorted(maximal)
+        )
+
+    def difference_from_best(self, name: str) -> float:
+        """Rank gap between *name* and the top-ranked measure."""
+        idx = self.names.index(name)
+        return self.ranks[idx] - self.ranks[0]
+
+    def significantly_worse_than_best(self, name: str) -> bool:
+        """Whether *name* is separated from the best measure by the CD."""
+        return self.significant and self.difference_from_best(name) > self.cd
+
+
+def nemenyi_test(
+    names: list[str], accuracies: np.ndarray, alpha: float = DEFAULT_ALPHA
+) -> NemenyiResult:
+    """Friedman gate + Nemenyi CD analysis for a measure-accuracy matrix."""
+    acc = np.asarray(accuracies, dtype=np.float64)
+    friedman = friedman_test(acc, alpha)
+    summary = rank_summary(names, acc)
+    cd = critical_difference(acc.shape[1], acc.shape[0], alpha)
+    return NemenyiResult(
+        names=summary.names,
+        ranks=summary.ranks,
+        cd=cd,
+        alpha=alpha,
+        friedman=friedman,
+    )

@@ -1,0 +1,139 @@
+r"""Additional post-hoc machinery from Demsar's toolkit [42].
+
+The paper uses Wilcoxon for pairs and Friedman + Nemenyi for groups. Two
+companions from the same reference complete the toolkit:
+
+- **Bonferroni-Dunn** — when comparing *k - 1* measures against one
+  *control* (exactly the shape of Tables 2/3/5/6/7, where everything is
+  compared to a baseline), the critical difference uses the z-test with a
+  Bonferroni-corrected level and is more powerful than Nemenyi's
+  all-pairs correction.
+- **Holm step-down correction** — the paper runs "all pairwise
+  comparisons with Wilcoxon"; Holm-adjusted p-values control the
+  family-wise error of such batteries without Bonferroni's full
+  conservatism.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from ..exceptions import EvaluationError
+from .ranking import average_ranks
+
+DEFAULT_ALPHA = 0.10
+
+
+@dataclass(frozen=True)
+class ControlComparison:
+    """Bonferroni-Dunn outcome for one candidate vs the control."""
+
+    name: str
+    average_rank: float
+    rank_difference: float  # candidate rank - control rank
+    significantly_better: bool
+    significantly_worse: bool
+
+
+@dataclass(frozen=True)
+class BonferroniDunnResult:
+    """Control-comparison analysis over a measure-accuracy matrix."""
+
+    control: str
+    control_rank: float
+    critical_difference: float
+    comparisons: tuple[ControlComparison, ...]
+
+    def better_than_control(self) -> list[str]:
+        return [c.name for c in self.comparisons if c.significantly_better]
+
+    def worse_than_control(self) -> list[str]:
+        return [c.name for c in self.comparisons if c.significantly_worse]
+
+
+def bonferroni_dunn(
+    names: list[str],
+    accuracies: np.ndarray,
+    control: str,
+    alpha: float = DEFAULT_ALPHA,
+) -> BonferroniDunnResult:
+    """Compare every measure against a control (Demsar Section 3.2.2).
+
+    CD = z_{alpha / (2(k-1))} * sqrt(k(k+1) / (6N)); a candidate whose
+    average rank differs from the control's by more than CD is
+    significantly different.
+    """
+    acc = np.asarray(accuracies, dtype=np.float64)
+    if acc.ndim != 2 or acc.shape[1] != len(names):
+        raise EvaluationError("need one name per accuracy column")
+    if control not in names:
+        raise EvaluationError(f"control {control!r} not among {names}")
+    k, n = acc.shape[1], acc.shape[0]
+    if k < 2 or n < 2:
+        raise EvaluationError("need at least 2 measures and 2 datasets")
+    ranks = average_ranks(acc)
+    control_rank = float(ranks[names.index(control)])
+    z = scipy_stats.norm.ppf(1.0 - alpha / (2.0 * (k - 1)))
+    cd = float(z * math.sqrt(k * (k + 1) / (6.0 * n)))
+    comparisons = []
+    for name, rank in zip(names, ranks):
+        if name == control:
+            continue
+        diff = float(rank - control_rank)
+        comparisons.append(
+            ControlComparison(
+                name=name,
+                average_rank=float(rank),
+                rank_difference=diff,
+                significantly_better=diff < -cd,
+                significantly_worse=diff > cd,
+            )
+        )
+    return BonferroniDunnResult(
+        control=control,
+        control_rank=control_rank,
+        critical_difference=cd,
+        comparisons=tuple(comparisons),
+    )
+
+
+def holm_correction(p_values: dict[str, float], alpha: float = 0.05) -> dict[str, bool]:
+    """Holm step-down rejection decisions for a battery of tests.
+
+    Returns ``{test_name: rejected}`` controlling the family-wise error
+    at *alpha*: p-values are visited smallest first against thresholds
+    ``alpha / (m - i)``, stopping at the first non-rejection.
+    """
+    if not p_values:
+        return {}
+    items = sorted(p_values.items(), key=lambda kv: kv[1])
+    m = len(items)
+    decisions: dict[str, bool] = {}
+    still_rejecting = True
+    for i, (name, p) in enumerate(items):
+        threshold = alpha / (m - i)
+        if still_rejecting and p <= threshold:
+            decisions[name] = True
+        else:
+            still_rejecting = False
+            decisions[name] = False
+    return decisions
+
+
+def holm_adjusted_p_values(p_values: dict[str, float]) -> dict[str, float]:
+    """Holm-adjusted p-values (monotone, capped at 1)."""
+    if not p_values:
+        return {}
+    items = sorted(p_values.items(), key=lambda kv: kv[1])
+    m = len(items)
+    adjusted: dict[str, float] = {}
+    running_max = 0.0
+    for i, (name, p) in enumerate(items):
+        value = min(1.0, (m - i) * p)
+        running_max = max(running_max, value)
+        adjusted[name] = running_max
+    return adjusted

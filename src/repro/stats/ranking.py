@@ -1,0 +1,59 @@
+"""Average-rank computation for multi-measure comparisons.
+
+The Friedman/Nemenyi analysis (and the paper's rank "figures" 2-8) starts
+from the rank of every measure on every dataset: rank 1 for the most
+accurate measure, ties sharing the average of the ranks they span —
+exactly the ranking Demsar [42] prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from ..exceptions import EvaluationError
+
+
+def rank_matrix(accuracies: np.ndarray) -> np.ndarray:
+    """Per-dataset ranks of an ``(n_datasets, k_measures)`` accuracy matrix.
+
+    Higher accuracy gets the *lower* (better) rank; ties receive average
+    ranks.
+    """
+    acc = np.asarray(accuracies, dtype=np.float64)
+    if acc.ndim != 2:
+        raise EvaluationError(
+            f"accuracy matrix must be 2-D (datasets x measures), got {acc.shape}"
+        )
+    # rankdata ranks ascending, so negate to rank best-first.
+    return np.vstack([stats.rankdata(-row, method="average") for row in acc])
+
+
+def average_ranks(accuracies: np.ndarray) -> np.ndarray:
+    """Mean rank of each measure across datasets (the figures' x-axis)."""
+    return rank_matrix(accuracies).mean(axis=0)
+
+
+@dataclass(frozen=True)
+class RankSummary:
+    """Measures ordered best-first with their average ranks."""
+
+    names: tuple[str, ...]
+    ranks: tuple[float, ...]
+
+    def __iter__(self):
+        return iter(zip(self.names, self.ranks))
+
+
+def rank_summary(names: list[str], accuracies: np.ndarray) -> RankSummary:
+    """Names + average ranks sorted best (lowest rank) first."""
+    if len(names) != np.asarray(accuracies).shape[1]:
+        raise EvaluationError("one name per accuracy column required")
+    avg = average_ranks(accuracies)
+    order = np.argsort(avg)
+    return RankSummary(
+        names=tuple(names[i] for i in order),
+        ranks=tuple(float(avg[i]) for i in order),
+    )

@@ -1,0 +1,98 @@
+"""Wilcoxon signed-rank test for pairwise measure comparison.
+
+The paper follows Demsar [42] and uses the Wilcoxon test with a 95%
+confidence level to compare pairs of measures over multiple datasets —
+"more appropriate than the t-test" because it makes no normality
+assumption. This module wraps scipy's implementation with the bookkeeping
+the paper's tables need: the one-sided "is A better than B" decision plus
+the > / = / < dataset counts printed in every comparison table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from ..exceptions import EvaluationError
+
+#: Paper's confidence level for pairwise tests (Section 3).
+DEFAULT_ALPHA = 0.05
+
+
+@dataclass(frozen=True)
+class WilcoxonResult:
+    """Outcome of one paired comparison over multiple datasets.
+
+    ``better`` is the paper's checkmark: candidate significantly better
+    than baseline; ``worse`` is the filled-circle marker (significantly
+    worse). ``wins``/``ties``/``losses`` are the > / = / < columns.
+    """
+
+    p_value: float
+    better: bool
+    worse: bool
+    wins: int
+    ties: int
+    losses: int
+    mean_difference: float
+
+    @property
+    def marker(self) -> str:
+        """Paper-style marker: check, cross, or filled circle."""
+        if self.better:
+            return "v"  # the paper's checkmark
+        if self.worse:
+            return "*"  # the paper's filled circle (significantly worse)
+        return "x"
+
+
+def wilcoxon_comparison(
+    candidate: np.ndarray,
+    baseline: np.ndarray,
+    alpha: float = DEFAULT_ALPHA,
+    tie_tolerance: float = 1e-12,
+) -> WilcoxonResult:
+    """Compare per-dataset accuracies of a candidate against a baseline.
+
+    Parameters
+    ----------
+    candidate, baseline:
+        Equal-length arrays of per-dataset accuracies.
+    alpha:
+        Significance level (paper: 0.05).
+    tie_tolerance:
+        Accuracy differences below this count as ties (the ``=`` column).
+    """
+    cand = np.asarray(candidate, dtype=np.float64)
+    base = np.asarray(baseline, dtype=np.float64)
+    if cand.shape != base.shape or cand.ndim != 1:
+        raise EvaluationError(
+            f"accuracy vectors must be 1-D and equal length, got "
+            f"{cand.shape} vs {base.shape}"
+        )
+    diff = cand - base
+    wins = int((diff > tie_tolerance).sum())
+    losses = int((diff < -tie_tolerance).sum())
+    ties = int(diff.shape[0] - wins - losses)
+    nonzero = diff[np.abs(diff) > tie_tolerance]
+    if nonzero.size == 0:
+        # Identical accuracy everywhere: no evidence either way.
+        return WilcoxonResult(1.0, False, False, wins, ties, losses, 0.0)
+    if nonzero.size < 3:
+        # Too few informative datasets for the test to ever reject.
+        return WilcoxonResult(
+            1.0, False, False, wins, ties, losses, float(diff.mean())
+        )
+    stat_better = stats.wilcoxon(nonzero, alternative="greater")
+    stat_worse = stats.wilcoxon(nonzero, alternative="less")
+    return WilcoxonResult(
+        p_value=float(min(stat_better.pvalue, stat_worse.pvalue)),
+        better=bool(stat_better.pvalue < alpha),
+        worse=bool(stat_worse.pvalue < alpha),
+        wins=wins,
+        ties=ties,
+        losses=losses,
+        mean_difference=float(diff.mean()),
+    )

@@ -1,0 +1,74 @@
+"""Tests for the dissimilarity-matrix cache."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.cache import MatrixCache
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return MatrixCache(tmp_path / "matrices")
+
+
+class TestMatrixCache:
+    def test_miss_then_hit(self, cache, small_dataset):
+        E1 = cache.test_matrix(small_dataset, "euclidean")
+        assert (cache.hits, cache.misses) == (0, 1)
+        E2 = cache.test_matrix(small_dataset, "euclidean")
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert np.array_equal(E1, E2)
+
+    def test_cached_equals_direct(self, cache, small_dataset):
+        from repro.classification import dissimilarity_matrix
+
+        E = cache.test_matrix(small_dataset, "lorentzian")
+        direct = dissimilarity_matrix(
+            "lorentzian", small_dataset.test_X, small_dataset.train_X
+        )
+        assert np.allclose(E, direct)
+
+    def test_params_partition_keys(self, cache, small_dataset):
+        a = cache.test_matrix(small_dataset, "dtw", delta=0.0)
+        b = cache.test_matrix(small_dataset, "dtw", delta=100.0)
+        assert cache.misses == 2
+        assert not np.allclose(a, b)
+
+    def test_normalization_partitions_keys(self, cache, small_dataset):
+        cache.test_matrix(small_dataset, "euclidean", normalization="minmax")
+        cache.test_matrix(small_dataset, "euclidean", normalization="zscore")
+        assert cache.misses == 2
+
+    def test_train_and_test_matrices_distinct(self, cache, small_dataset):
+        W = cache.train_matrix(small_dataset, "euclidean")
+        E = cache.test_matrix(small_dataset, "euclidean")
+        assert W.shape == (small_dataset.n_train,) * 2
+        assert E.shape == (small_dataset.n_test, small_dataset.n_train)
+        assert cache.misses == 2
+
+    def test_measure_aliases_share_entries(self, cache, small_dataset):
+        cache.test_matrix(small_dataset, "sbd")
+        cache.test_matrix(small_dataset, "nccc")
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_data_content_in_key(self, cache, small_dataset, shifted_dataset):
+        cache.test_matrix(small_dataset, "euclidean")
+        cache.test_matrix(shifted_dataset, "euclidean")
+        assert cache.misses == 2
+
+    def test_clear(self, cache, small_dataset):
+        cache.test_matrix(small_dataset, "euclidean")
+        assert cache.size_bytes() > 0
+        removed = cache.clear()
+        assert removed == 1
+        assert cache.size_bytes() == 0
+        cache.test_matrix(small_dataset, "euclidean")
+        assert cache.misses == 1
+
+    def test_persistence_across_instances(self, tmp_path, small_dataset):
+        first = MatrixCache(tmp_path / "store")
+        E1 = first.test_matrix(small_dataset, "euclidean")
+        second = MatrixCache(tmp_path / "store")
+        E2 = second.test_matrix(small_dataset, "euclidean")
+        assert second.hits == 1 and second.misses == 0
+        assert np.array_equal(E1, E2)

@@ -1,0 +1,70 @@
+"""Tests for the UCR-suite-style cascading 1-NN search."""
+
+import numpy as np
+import pytest
+
+from repro.distances.elastic import dtw
+from repro.search import CascadeStats, cascade_nn_search, dtw_early_abandon
+
+
+@pytest.fixture(scope="module")
+def corpus(rng):
+    base = np.sin(np.linspace(0, 6 * np.pi, 48))
+    rows = [base + rng.normal(0, 0.2, size=48) for _ in range(8)]
+    rows += [rng.normal(0, 1.0, size=48) + 5.0 * i for i in range(12)]
+    return np.vstack(rows)
+
+
+class TestEarlyAbandonDTW:
+    def test_exact_when_below_threshold(self, random_pairs):
+        for x, y in random_pairs:
+            exact = dtw(x, y, 10.0)
+            assert dtw_early_abandon(x, y, 10.0, exact + 1.0) == pytest.approx(
+                exact
+            )
+
+    def test_inf_when_cannot_win(self, random_pairs):
+        for x, y in random_pairs:
+            exact = dtw(x, y, 10.0)
+            if exact > 0.1:
+                assert np.isinf(dtw_early_abandon(x, y, 10.0, exact * 0.5))
+
+    def test_threshold_just_below_distance_abandons(self, sine_pair):
+        # (Exactly-at-threshold is ambiguous by one ulp through the
+        # sqrt/square roundtrip, so test a strictly smaller threshold.)
+        x, y = sine_pair
+        exact = dtw(x, y, 10.0)
+        assert np.isinf(dtw_early_abandon(x, y, 10.0, exact * (1 - 1e-6)))
+
+
+class TestCascadeSearch:
+    @pytest.mark.parametrize("delta", [0.0, 10.0, 100.0])
+    def test_matches_exhaustive(self, corpus, rng, delta):
+        query = corpus[0] + rng.normal(0, 0.1, size=48)
+        idx, dist, stats = cascade_nn_search(query, corpus, delta)
+        exhaustive = [dtw(query, c, delta) for c in corpus]
+        assert idx == int(np.argmin(exhaustive))
+        assert dist == pytest.approx(min(exhaustive))
+        assert isinstance(stats, CascadeStats)
+
+    def test_stats_partition_candidates(self, corpus, rng):
+        query = corpus[0] + rng.normal(0, 0.1, size=48)
+        _, _, stats = cascade_nn_search(query, corpus, 10.0)
+        assert (
+            stats.pruned_by_kim
+            + stats.pruned_by_keogh
+            + stats.abandoned
+            + stats.full_computations
+            == stats.total
+        )
+
+    def test_cascade_prunes_diverse_corpus(self, corpus, rng):
+        query = corpus[0] + rng.normal(0, 0.1, size=48)
+        _, _, stats = cascade_nn_search(query, corpus, 10.0)
+        # The 12 offset-by-5i rows are trivially far: most must be pruned
+        # or abandoned before a full DTW.
+        assert stats.pruning_rate > 0.3
+
+    def test_pruning_rate_zero_on_empty_stats(self):
+        stats = CascadeStats(0, 0, 0, 0, 0)
+        assert stats.pruning_rate == 0.0

@@ -1,0 +1,48 @@
+"""Tests for the generated measure catalog."""
+
+from pathlib import Path
+
+from repro.reporting.catalog import catalog_markdown
+
+DOCS_PATH = Path(__file__).parent.parent / "docs" / "measures.md"
+
+
+class TestCatalogMarkdown:
+    def test_all_categories_present(self):
+        md = catalog_markdown()
+        for heading in (
+            "Normalization methods",
+            "Lock-step measures",
+            "Sliding measures",
+            "Elastic measures",
+            "Kernel measures",
+            "Embedding measures",
+            "Extensions",
+        ):
+            assert heading in md
+
+    def test_counts(self):
+        md = catalog_markdown()
+        # One table row per lock-step measure.
+        lockstep_section = md.split("## Lock-step")[1].split("## Sliding")[0]
+        rows = [l for l in lockstep_section.splitlines() if l.startswith("| `")]
+        assert len(rows) == 52
+
+    def test_parameter_grids_mentioned(self):
+        md = catalog_markdown()
+        assert "`delta` (default 10" in md  # DTW
+        assert "`c` (default 0.5" in md  # MSM
+
+    def test_committed_docs_in_sync(self):
+        """docs/measures.md must match the registry (regenerate with
+        ``python -m repro catalog > docs/measures.md``)."""
+        assert DOCS_PATH.exists(), "docs/measures.md missing"
+        committed = DOCS_PATH.read_text().strip()
+        assert committed == catalog_markdown().strip()
+
+    def test_cli_catalog_prints(self, capsys):
+        from repro.cli import main
+
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "# Measure catalog" in out

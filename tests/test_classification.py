@@ -1,0 +1,149 @@
+"""Tests for the 1-NN framework (paper Algorithm 1) and LOOCV tuning."""
+
+import numpy as np
+import pytest
+
+from repro.classification import (
+    dissimilarity_matrix,
+    evaluation_matrices,
+    leave_one_out_accuracy,
+    one_nn_accuracy,
+    one_nn_predict,
+    tune_parameters,
+)
+from repro.exceptions import EvaluationError
+
+
+class TestOneNN:
+    def test_perfect_separation(self):
+        E = np.array([[0.1, 5.0], [5.0, 0.1]])
+        assert one_nn_accuracy(E, [0, 1], [0, 1]) == 1.0
+
+    def test_total_confusion(self):
+        E = np.array([[5.0, 0.1], [0.1, 5.0]])
+        assert one_nn_accuracy(E, [0, 1], [0, 1]) == 0.0
+
+    def test_tie_breaks_to_first_index(self):
+        """Algorithm 1 keeps the first minimum (strict < comparison)."""
+        E = np.array([[1.0, 1.0, 1.0]])
+        assert one_nn_predict(E, [7, 8, 9]).tolist() == [7]
+
+    def test_fractional_accuracy(self):
+        E = np.array([[0.0, 1.0], [0.0, 1.0]])
+        assert one_nn_accuracy(E, [0, 1], [0, 1]) == 0.5
+
+    def test_nan_matrix_rejected(self):
+        E = np.array([[np.nan, 1.0]])
+        with pytest.raises(EvaluationError, match="NaN"):
+            one_nn_predict(E, [0, 1])
+
+    def test_label_length_checked(self):
+        with pytest.raises(Exception):
+            one_nn_predict(np.ones((2, 3)), [0, 1])
+
+
+class TestLeaveOneOut:
+    def test_diagonal_excluded(self):
+        # Without masking, every series would pick itself (accuracy 1).
+        W = np.array(
+            [
+                [0.0, 1.0, 9.0],
+                [1.0, 0.0, 9.0],
+                [9.0, 9.0, 0.0],
+            ]
+        )
+        labels = np.array([0, 0, 1])
+        # Series 2's nearest non-self neighbor has label 0 -> misclassified.
+        assert leave_one_out_accuracy(W, labels) == pytest.approx(2.0 / 3.0)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(EvaluationError):
+            leave_one_out_accuracy(np.ones((2, 3)), [0, 1])
+
+    def test_single_series_rejected(self):
+        with pytest.raises(EvaluationError):
+            leave_one_out_accuracy(np.zeros((1, 1)), [0])
+
+
+class TestDissimilarityMatrix:
+    def test_self_matrix_square(self, small_dataset):
+        W = dissimilarity_matrix("euclidean", small_dataset.train_X)
+        assert W.shape == (small_dataset.n_train,) * 2
+        # The vectorized ED path uses the dot-product identity, which
+        # carries ~1e-7 float error on the diagonal.
+        assert np.allclose(np.diag(W), 0.0, atol=1e-6)
+
+    def test_normalization_applied(self, small_dataset):
+        raw = dissimilarity_matrix(
+            "euclidean", small_dataset.test_X, small_dataset.train_X
+        )
+        normed = dissimilarity_matrix(
+            "euclidean",
+            small_dataset.test_X,
+            small_dataset.train_X,
+            normalization="minmax",
+        )
+        assert not np.allclose(raw, normed)
+
+    def test_adaptive_scaling_path(self, small_dataset):
+        """AdaptiveScaling is pairwise: the matrix must equal scaling each
+        comparison's second series by the optimal factor."""
+        from repro.normalization import adaptive_scaling_factor
+
+        test_X = small_dataset.test_X[:3]
+        train_X = small_dataset.train_X[:4]
+        E = dissimilarity_matrix(
+            "euclidean", test_X, train_X, normalization="adaptive"
+        )
+        for i in range(3):
+            for j in range(4):
+                a = adaptive_scaling_factor(test_X[i], train_X[j])
+                expected = float(np.linalg.norm(test_X[i] - a * train_X[j]))
+                assert E[i, j] == pytest.approx(expected)
+
+    def test_evaluation_matrices_shapes(self, small_dataset):
+        W, E = evaluation_matrices("lorentzian", small_dataset)
+        assert W.shape == (small_dataset.n_train,) * 2
+        assert E.shape == (small_dataset.n_test, small_dataset.n_train)
+
+    def test_evaluation_matrices_skip_train(self, small_dataset):
+        W, E = evaluation_matrices(
+            "lorentzian", small_dataset, need_train_matrix=False
+        )
+        assert W is None and E is not None
+
+
+class TestTuning:
+    def test_parameter_free_measure_short_circuits(self, small_dataset):
+        result = tune_parameters(
+            "euclidean", small_dataset.train_X, small_dataset.train_y
+        )
+        assert result.params == {}
+        assert result.trials == ()
+
+    def test_grid_is_swept_and_best_kept(self, small_dataset):
+        grid = [{"delta": 0.0}, {"delta": 10.0}]
+        result = tune_parameters(
+            "dtw", small_dataset.train_X, small_dataset.train_y, grid=grid
+        )
+        assert result.params in grid
+        assert len(result.trials) == 2
+        best = max(acc for _, acc in result.trials)
+        assert result.train_accuracy == best
+
+    def test_tie_breaks_to_first_grid_entry(self, small_dataset):
+        # Identical combinations force a tie; the first must win.
+        grid = [{"delta": 10.0}, {"delta": 10.0}]
+        result = tune_parameters(
+            "dtw", small_dataset.train_X, small_dataset.train_y, grid=grid
+        )
+        assert result.params == {"delta": 10.0}
+        assert result.trials[0][1] == result.trials[1][1]
+
+    def test_tuning_on_shifted_data_prefers_wide_band(self, shifted_dataset):
+        """On shift-dominated data LOOCV must not pick the diagonal band."""
+        grid = [{"delta": 0.0}, {"delta": 100.0}]
+        result = tune_parameters(
+            "dtw", shifted_dataset.train_X, shifted_dataset.train_y, grid=grid
+        )
+        assert result.params == {"delta": 100.0}

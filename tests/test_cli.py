@@ -1,0 +1,73 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestMeasuresCommand:
+    def test_lists_all_measures(self, capsys):
+        code, out = run_cli(capsys, "measures")
+        assert code == 0
+        assert "lorentzian" in out and "nccc" in out and "kdtw" in out
+
+    def test_category_filter(self, capsys):
+        code, out = run_cli(capsys, "measures", "--category", "elastic")
+        assert code == 0
+        assert "(7 measures)" in out
+        assert "lorentzian" not in out
+
+    def test_family_filter(self, capsys):
+        code, out = run_cli(capsys, "measures", "--family", "l1")
+        assert code == 0
+        assert "(6 measures)" in out
+
+
+class TestNormalizationsCommand:
+    def test_lists_eight(self, capsys):
+        code, out = run_cli(capsys, "normalizations")
+        assert code == 0
+        assert out.count("\n") == 8
+        assert "z-score" in out and "AdaptiveScaling" in out
+
+
+class TestArchiveCommand:
+    def test_describes_synthetic_archive(self, capsys, monkeypatch):
+        monkeypatch.delenv("UCR_ARCHIVE_PATH", raising=False)
+        code, out = run_cli(capsys, "archive", "--datasets", "4")
+        assert code == 0
+        assert "synthetic archive" in out
+        assert out.count("train") == 4
+
+
+class TestEvaluateCommand:
+    def test_reports_accuracies(self, capsys, monkeypatch):
+        monkeypatch.delenv("UCR_ARCHIVE_PATH", raising=False)
+        code, out = run_cli(
+            capsys, "evaluate", "euclidean", "nccc", "--datasets", "3"
+        )
+        assert code == 0
+        assert "NCC_c" in out and "ED" in out
+
+
+class TestCompareCommand:
+    def test_renders_table_and_ranks(self, capsys, monkeypatch):
+        monkeypatch.delenv("UCR_ARCHIVE_PATH", raising=False)
+        code, out = run_cli(
+            capsys,
+            "compare", "euclidean", "lorentzian",
+            "--baseline", "nccc", "--datasets", "3",
+        )
+        assert code == 0
+        assert "Measures vs NCC_c (SBD)" in out
+        assert "Average ranks" in out
+
+    def test_unknown_measure_raises(self, capsys):
+        with pytest.raises(Exception):
+            main(["evaluate", "not-a-measure"])

@@ -1,0 +1,155 @@
+"""Tests for the clustering subpackage (k-Shape, k-medoids, Rand indices)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    adjusted_rand_index,
+    kmedoids,
+    kmedoids_from_matrix,
+    kshape,
+    rand_index,
+    shape_extract,
+)
+from repro.datasets import DatasetSpec, generate_dataset
+from repro.exceptions import EvaluationError, ParameterError
+
+
+@pytest.fixture(scope="module")
+def shifted_clusters():
+    """Three shape classes whose instances differ mainly by shifts —
+    k-Shape's home turf."""
+    spec = DatasetSpec(
+        name="Clusters", domain="sensor", n_classes=3, length=48,
+        train_size=24, test_size=10, noise=0.1, shift_frac=0.15, seed=2,
+    )
+    return generate_dataset(spec)
+
+
+class TestRandIndices:
+    def test_identical_partitions(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert rand_index(labels, labels) == 1.0
+        assert adjusted_rand_index(labels, labels) == 1.0
+
+    def test_permuted_label_names_equivalent(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([1, 1, 0, 0])
+        assert rand_index(a, b) == 1.0
+        assert adjusted_rand_index(a, b) == 1.0
+
+    def test_opposite_partition_low_ari(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        assert adjusted_rand_index(a, b) <= 0.0 + 1e-12
+
+    def test_random_labels_near_zero_ari(self):
+        rng = np.random.default_rng(0)
+        true = np.repeat(np.arange(4), 25)
+        scores = [
+            adjusted_rand_index(true, rng.permutation(true))
+            for _ in range(20)
+        ]
+        assert abs(float(np.mean(scores))) < 0.05
+
+    def test_rand_index_bounds(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 3, 30)
+        b = rng.integers(0, 3, 30)
+        assert 0.0 <= rand_index(a, b) <= 1.0
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(EvaluationError):
+            rand_index([0], [0])
+
+
+class TestShapeExtract:
+    def test_extract_is_zscored(self, shifted_clusters):
+        X = shifted_clusters.train_X[:8]
+        centroid = shape_extract(X, X[0])
+        assert abs(centroid.mean()) < 1e-8
+        assert centroid.std() == pytest.approx(1.0, abs=1e-8)
+
+    def test_extract_correlates_with_members(self, shifted_clusters):
+        from repro.distances.sliding import ncc_c
+
+        members = shifted_clusters.train_X[shifted_clusters.train_y == 0]
+        centroid = shape_extract(members, members[0])
+        sbd_values = [ncc_c(row, centroid) for row in members]
+        assert float(np.mean(sbd_values)) < 0.5
+
+
+class TestKShape:
+    def test_recovers_shift_invariant_clusters(self, shifted_clusters):
+        result = kshape(shifted_clusters.train_X, 3, random_state=1)
+        ari = adjusted_rand_index(shifted_clusters.train_y, result.labels)
+        assert ari > 0.7
+
+    def test_deterministic_given_seed(self, shifted_clusters):
+        a = kshape(shifted_clusters.train_X, 3, random_state=5)
+        b = kshape(shifted_clusters.train_X, 3, random_state=5)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_all_clusters_used(self, shifted_clusters):
+        result = kshape(shifted_clusters.train_X, 3, random_state=1)
+        assert set(result.labels.tolist()) == {0, 1, 2}
+
+    def test_centroid_shape(self, shifted_clusters):
+        result = kshape(shifted_clusters.train_X, 3, random_state=1)
+        assert result.centroids.shape == (3, shifted_clusters.length)
+
+    def test_invalid_k_rejected(self, shifted_clusters):
+        with pytest.raises(ParameterError):
+            kshape(shifted_clusters.train_X, 1)
+        with pytest.raises(EvaluationError):
+            kshape(shifted_clusters.train_X[:2], 5)
+
+    def test_inertia_nonnegative(self, shifted_clusters):
+        result = kshape(shifted_clusters.train_X, 3, random_state=1)
+        assert result.inertia >= 0.0
+
+
+class TestKMedoids:
+    def test_recovers_clusters_under_sbd(self, shifted_clusters):
+        result = kmedoids(
+            shifted_clusters.train_X, 3, measure="sbd", random_state=1
+        )
+        ari = adjusted_rand_index(shifted_clusters.train_y, result.labels)
+        assert ari > 0.7
+
+    def test_medoids_are_dataset_rows(self, shifted_clusters):
+        result = kmedoids(shifted_clusters.train_X, 3, measure="sbd")
+        n = shifted_clusters.train_X.shape[0]
+        assert all(0 <= idx < n for idx in result.medoid_indices)
+
+    def test_any_measure_pluggable(self, shifted_clusters):
+        result = kmedoids(
+            shifted_clusters.train_X, 3, measure="msm", random_state=1, c=0.5
+        )
+        assert set(result.labels.tolist()) <= {0, 1, 2}
+
+    def test_from_matrix_direct(self):
+        # Two obvious blocks.
+        W = np.array(
+            [
+                [0.0, 0.1, 5.0, 5.0],
+                [0.1, 0.0, 5.0, 5.0],
+                [5.0, 5.0, 0.0, 0.1],
+                [5.0, 5.0, 0.1, 0.0],
+            ]
+        )
+        result = kmedoids_from_matrix(W, 2, random_state=0)
+        assert result.labels[0] == result.labels[1]
+        assert result.labels[2] == result.labels[3]
+        assert result.labels[0] != result.labels[2]
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(EvaluationError):
+            kmedoids_from_matrix(np.ones((2, 3)), 2)
+
+    def test_inertia_decreases_vs_random_assignment(self, shifted_clusters):
+        result = kmedoids(
+            shifted_clusters.train_X, 3, measure="euclidean", random_state=1
+        )
+        assert result.inertia >= 0.0
+        assert result.iterations >= 1

@@ -1,0 +1,254 @@
+"""Tests for the dataset substrate: container, preprocessing, synthetic
+archive, and the UCR loader."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Dataset,
+    DatasetSpec,
+    SyntheticArchive,
+    clean_collection,
+    default_archive,
+    generate_dataset,
+    interpolate_missing,
+    list_ucr_datasets,
+    load_ucr,
+    make_archive_specs,
+    resample_to_length,
+    ucr_available,
+)
+from repro.exceptions import DatasetError
+
+
+class TestInterpolateMissing:
+    def test_no_missing_is_copy(self):
+        x = np.array([1.0, 2.0, 3.0])
+        out = interpolate_missing(x)
+        assert np.array_equal(out, x)
+        assert out is not x
+
+    def test_interior_gap_linear(self):
+        out = interpolate_missing([0.0, np.nan, 2.0])
+        assert out.tolist() == [0.0, 1.0, 2.0]
+
+    def test_leading_trailing_extrapolate_constant(self):
+        out = interpolate_missing([np.nan, 1.0, 2.0, np.nan])
+        assert out.tolist() == [1.0, 1.0, 2.0, 2.0]
+
+    def test_all_missing_rejected(self):
+        with pytest.raises(DatasetError):
+            interpolate_missing([np.nan, np.nan])
+
+
+class TestResample:
+    def test_identity_when_lengths_match(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(resample_to_length(x, 3), x)
+
+    def test_upsample_endpoints_preserved(self):
+        out = resample_to_length(np.array([0.0, 1.0]), 5)
+        assert out[0] == 0.0 and out[-1] == 1.0
+        assert out.shape == (5,)
+
+    def test_linear_values(self):
+        out = resample_to_length(np.array([0.0, 2.0]), 3)
+        assert out.tolist() == [0.0, 1.0, 2.0]
+
+    def test_single_point_broadcast(self):
+        assert resample_to_length(np.array([7.0]), 4).tolist() == [7.0] * 4
+
+    def test_clean_collection_equalizes(self):
+        rows = [np.arange(5.0), np.arange(8.0), np.array([1.0, np.nan, 3.0])]
+        out = clean_collection(rows)
+        assert out.shape == (3, 8)
+        assert np.isfinite(out).all()
+
+
+class TestDatasetContainer:
+    def test_summary_mentions_sizes(self, small_dataset):
+        text = small_dataset.summary()
+        assert str(small_dataset.n_train) in text
+        assert str(small_dataset.n_classes) in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset(
+                name="bad",
+                train_X=np.ones((3, 5)),
+                train_y=np.zeros(3, dtype=int),
+                test_X=np.ones((2, 6)),
+                test_y=np.zeros(2, dtype=int),
+            )
+
+    def test_unseen_test_class_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset(
+                name="bad",
+                train_X=np.ones((3, 5)),
+                train_y=np.array([0, 0, 0]),
+                test_X=np.ones((2, 5)),
+                test_y=np.array([0, 1]),
+            )
+
+    def test_normalized_copy_zscores_rows(self, small_dataset):
+        normed = small_dataset.normalized("zscore")
+        assert np.allclose(normed.train_X.mean(axis=1), 0.0, atol=1e-9)
+        assert normed.name == small_dataset.name
+
+    def test_subsample_train_stratified(self, small_dataset):
+        sub = small_dataset.subsample_train(6, seed=1)
+        assert sub.n_train >= small_dataset.n_classes
+        assert set(np.unique(sub.train_y)) == set(np.unique(small_dataset.train_y))
+        assert sub.n_test == small_dataset.n_test
+
+    def test_subsample_full_size_is_identity(self, small_dataset):
+        assert small_dataset.subsample_train(10**6) is small_dataset
+
+
+class TestSyntheticGeneration:
+    def test_deterministic(self):
+        spec = DatasetSpec(
+            name="Det", domain="sensor", n_classes=2, length=32,
+            train_size=8, test_size=8, seed=5,
+        )
+        a = generate_dataset(spec)
+        b = generate_dataset(spec)
+        assert np.array_equal(a.train_X, b.train_X)
+        assert np.array_equal(a.test_y, b.test_y)
+
+    def test_z_normalized_by_default(self):
+        spec = DatasetSpec(
+            name="Z", domain="ecg", n_classes=2, length=32,
+            train_size=8, test_size=8, seed=5,
+        )
+        ds = generate_dataset(spec)
+        assert np.allclose(ds.train_X.mean(axis=1), 0.0, atol=1e-9)
+
+    def test_raw_mode_keeps_scale(self):
+        spec = DatasetSpec(
+            name="Raw", domain="device", n_classes=2, length=32,
+            train_size=8, test_size=8, seed=5, offset_jitter=2.0,
+        )
+        ds = generate_dataset(spec, normalize=None)
+        assert not np.allclose(ds.train_X.mean(axis=1), 0.0, atol=1e-3)
+
+    def test_missing_values_cleaned(self):
+        spec = DatasetSpec(
+            name="Miss", domain="sensor", n_classes=2, length=32,
+            train_size=8, test_size=8, seed=5, missing_frac=0.2,
+        )
+        ds = generate_dataset(spec)
+        assert np.isfinite(ds.train_X).all()
+
+    def test_vary_length_resampled(self):
+        spec = DatasetSpec(
+            name="Vary", domain="sensor", n_classes=2, length=40,
+            train_size=8, test_size=8, seed=5, vary_length=True,
+        )
+        ds = generate_dataset(spec)
+        assert ds.length == 40
+
+    def test_imbalanced_class_sizes_differ(self):
+        spec = DatasetSpec(
+            name="Imb", domain="sensor", n_classes=3, length=32,
+            train_size=24, test_size=12, seed=5, imbalanced=True,
+        )
+        ds = generate_dataset(spec)
+        counts = np.bincount(ds.train_y)
+        assert counts.max() > counts.min()
+
+    def test_learnable_class_structure(self, small_dataset):
+        """1-NN with ED must beat chance by a wide margin on an easy
+        dataset — otherwise the archive is noise, not a benchmark."""
+        from repro.classification import dissimilarity_matrix, one_nn_accuracy
+
+        ds = small_dataset
+        E = dissimilarity_matrix("euclidean", ds.test_X, ds.train_X)
+        acc = one_nn_accuracy(E, ds.test_y, ds.train_y)
+        assert acc > 2.0 / ds.n_classes
+
+    def test_invalid_domain_rejected(self):
+        with pytest.raises(DatasetError):
+            DatasetSpec(
+                name="X", domain="bogus", n_classes=2, length=16,
+                train_size=4, test_size=4,
+            )
+
+    def test_too_few_classes_rejected(self):
+        with pytest.raises(DatasetError):
+            DatasetSpec(
+                name="X", domain="sensor", n_classes=1, length=16,
+                train_size=4, test_size=4,
+            )
+
+
+class TestArchive:
+    def test_default_has_128_specs(self):
+        specs = make_archive_specs()
+        assert len(specs) == 128
+        assert len({s.name for s in specs}) == 128
+
+    def test_distortion_profiles_all_present(self):
+        specs = make_archive_specs(16)
+        assert any(s.spike_prob > 0 for s in specs)
+        assert any(s.shift_frac > 0.1 for s in specs)
+        assert any(s.warp_frac > 0 for s in specs)
+
+    def test_load_caches(self, tiny_archive):
+        name = tiny_archive.names[0]
+        assert tiny_archive.load(name) is tiny_archive.load(name)
+
+    def test_unknown_name_rejected(self, tiny_archive):
+        with pytest.raises(DatasetError):
+            tiny_archive.load("NotADataset")
+
+    def test_subset_spreads_over_specs(self, tiny_archive):
+        subset = tiny_archive.subset(3)
+        assert len(subset) == 3
+        names = [ds.name for ds in subset]
+        assert names[0] == tiny_archive.names[0]
+        assert names[-1] == tiny_archive.names[-1]
+
+    def test_subset_larger_than_archive_returns_all(self, tiny_archive):
+        assert len(tiny_archive.subset(100)) == len(tiny_archive)
+
+    def test_iteration_yields_datasets(self):
+        archive = SyntheticArchive(n_datasets=3, size_scale=0.4)
+        assert sum(1 for _ in archive) == 3
+
+
+class TestUCRLoader:
+    def test_unavailable_without_env(self, monkeypatch):
+        monkeypatch.delenv("UCR_ARCHIVE_PATH", raising=False)
+        assert not ucr_available()
+        assert list_ucr_datasets() == []
+        with pytest.raises(DatasetError):
+            load_ucr("Coffee")
+
+    def test_loads_written_archive(self, tmp_path, monkeypatch):
+        folder = tmp_path / "Toy"
+        folder.mkdir()
+        train = "1\t0.0\t1.0\t2.0\n2\t2.0\t1.0\t0.0\n"
+        # Second test series is shorter (trailing NaN padding) and has an
+        # interior missing value — exercises both Section 3 steps.
+        test = "1\t0.1\t1.1\t2.1\n2\t2.0\tNaN\t0.0\n1\t0.0\t1.0\tNaN\n"
+        (folder / "Toy_TRAIN.tsv").write_text(train)
+        (folder / "Toy_TEST.tsv").write_text(test)
+        monkeypatch.setenv("UCR_ARCHIVE_PATH", str(tmp_path))
+        assert ucr_available()
+        assert list_ucr_datasets() == ["Toy"]
+        ds = load_ucr("Toy")
+        assert ds.n_train == 2 and ds.n_test == 3
+        assert ds.length == 3
+        assert np.isfinite(ds.test_X).all()
+        assert set(np.unique(ds.train_y)) == {0, 1}
+
+    def test_comma_separated_supported(self, tmp_path, monkeypatch):
+        folder = tmp_path / "Csv"
+        folder.mkdir()
+        (folder / "Csv_TRAIN.tsv").write_text("1,0.0,1.0\n2,1.0,0.0\n")
+        (folder / "Csv_TEST.tsv").write_text("1,0.0,1.0\n")
+        monkeypatch.setenv("UCR_ARCHIVE_PATH", str(tmp_path))
+        ds = load_ucr("Csv")
+        assert ds.train_X.shape == (2, 2)

@@ -1,0 +1,63 @@
+"""Round-trip tests for the UCR-format exporter."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SyntheticArchive,
+    export_archive,
+    load_ucr,
+    save_ucr_format,
+)
+from repro.exceptions import DatasetError
+
+
+class TestSaveUcrFormat:
+    def test_files_created(self, tmp_path, small_dataset):
+        folder = save_ucr_format(small_dataset, tmp_path)
+        assert (folder / f"{small_dataset.name}_TRAIN.tsv").exists()
+        assert (folder / f"{small_dataset.name}_TEST.tsv").exists()
+
+    def test_roundtrip_through_loader(self, tmp_path, small_dataset, monkeypatch):
+        save_ucr_format(small_dataset, tmp_path)
+        monkeypatch.setenv("UCR_ARCHIVE_PATH", str(tmp_path))
+        loaded = load_ucr(small_dataset.name)
+        assert loaded.n_train == small_dataset.n_train
+        assert loaded.n_test == small_dataset.n_test
+        assert loaded.length == small_dataset.length
+        assert np.allclose(loaded.train_X, small_dataset.train_X, atol=1e-8)
+        assert np.allclose(loaded.test_X, small_dataset.test_X, atol=1e-8)
+        assert np.array_equal(loaded.train_y, small_dataset.train_y)
+
+    def test_export_is_idempotent(self, tmp_path, small_dataset):
+        first = save_ucr_format(small_dataset, tmp_path)
+        second = save_ucr_format(small_dataset, tmp_path)
+        assert first == second
+        content = (first / f"{small_dataset.name}_TRAIN.tsv").read_text()
+        assert content  # written twice without corruption
+
+
+class TestExportArchive:
+    def test_exports_limit_datasets(self, tmp_path):
+        archive = SyntheticArchive(n_datasets=5, size_scale=0.4)
+        folders = export_archive(archive, tmp_path, limit=3)
+        assert len(folders) == 3
+        assert all(f.is_dir() for f in folders)
+
+    def test_exported_archive_is_loadable_as_ucr(self, tmp_path, monkeypatch):
+        archive = SyntheticArchive(n_datasets=3, size_scale=0.4)
+        export_archive(archive, tmp_path)
+        monkeypatch.setenv("UCR_ARCHIVE_PATH", str(tmp_path))
+        from repro.datasets import list_ucr_datasets
+
+        assert list_ucr_datasets() == sorted(archive.names)
+        loaded = load_ucr(archive.names[0])
+        original = archive.load(archive.names[0])
+        assert np.allclose(loaded.train_X, original.train_X, atol=1e-8)
+
+    def test_empty_archive_rejected(self, tmp_path):
+        class Empty:
+            names: list = []
+
+        with pytest.raises(DatasetError):
+            export_archive(Empty(), tmp_path)

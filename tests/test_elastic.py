@@ -1,0 +1,269 @@
+"""Unit tests for the 7 elastic measures (paper Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.distances import get_measure, list_measures
+from repro.distances.elastic import (
+    dtw,
+    dtw_path,
+    edr,
+    erp,
+    lcss,
+    msm,
+    swale,
+    swale_score,
+    twe,
+)
+from repro.distances.elastic._dp import band_width
+
+
+class TestBandWidth:
+    def test_full_window(self):
+        assert band_width(50, 50, 100.0) == 50
+
+    def test_percentage_window(self):
+        assert band_width(100, 100, 10.0) == 10
+
+    def test_zero_window_is_diagonal(self):
+        assert band_width(50, 50, 0.0) == 0
+
+    def test_widened_to_length_difference(self):
+        assert band_width(50, 40, 0.0) == 10
+
+
+class TestDTW:
+    def test_identity_zero(self, sine_pair):
+        x, _ = sine_pair
+        assert dtw(x, x) == 0.0
+
+    def test_symmetric(self, random_pairs):
+        for x, y in random_pairs:
+            assert dtw(x, y) == pytest.approx(dtw(y, x))
+
+    def test_unconstrained_leq_euclidean(self, random_pairs):
+        """Full DTW can only do better than the diagonal alignment."""
+        for x, y in random_pairs:
+            ed = float(np.linalg.norm(x - y))
+            assert dtw(x, y, delta=100.0) <= ed + 1e-9
+
+    def test_band_monotone_in_window(self, random_pairs):
+        """Wider bands allow more paths, so distance cannot increase."""
+        for x, y in random_pairs:
+            d0 = dtw(x, y, delta=0.0)
+            d10 = dtw(x, y, delta=10.0)
+            d100 = dtw(x, y, delta=100.0)
+            assert d100 <= d10 + 1e-9 <= d0 + 2e-9
+
+    def test_zero_window_equals_euclidean(self, random_pairs):
+        for x, y in random_pairs:
+            assert dtw(x, y, delta=0.0) == pytest.approx(
+                float(np.linalg.norm(x - y))
+            )
+
+    def test_absorbs_local_warp(self):
+        t = np.linspace(0, 2 * np.pi, 40)
+        x = np.sin(t)
+        # The same sine sampled on a locally stretched clock.
+        warped_t = t + 0.3 * np.sin(t / 2.0)
+        y = np.sin(warped_t)
+        assert dtw(x, y, delta=20.0) < 0.5 * float(np.linalg.norm(x - y))
+
+    def test_unequal_lengths_supported(self):
+        assert np.isfinite(dtw(np.sin(np.linspace(0, 6, 30)), np.sin(np.linspace(0, 6, 45))))
+
+    def test_known_small_example(self):
+        x = np.array([0.0, 1.0, 2.0])
+        y = np.array([0.0, 2.0])
+        # Optimal path: (0,0)=0, (1,?) -> 1 matched to 2 costs 1, 2->2 costs 0
+        assert dtw(x, y) == pytest.approx(1.0)
+
+    def test_path_endpoints(self, sine_pair):
+        x, y = sine_pair
+        d, path = dtw_path(x, y, delta=100.0)
+        assert path[0] == (0, 0)
+        assert path[-1] == (x.shape[0] - 1, y.shape[0] - 1)
+        assert d == pytest.approx(dtw(x, y, delta=100.0))
+
+    def test_path_monotone_contiguous(self, sine_pair):
+        x, y = sine_pair
+        _, path = dtw_path(x, y)
+        for (i0, j0), (i1, j1) in zip(path, path[1:]):
+            assert (i1 - i0, j1 - j0) in {(0, 1), (1, 0), (1, 1)}
+
+
+class TestLCSS:
+    def test_identical_zero(self, sine_pair):
+        x, _ = sine_pair
+        assert lcss(x, x, epsilon=0.01) == 0.0
+
+    def test_bounded_unit_interval(self, random_pairs):
+        for x, y in random_pairs:
+            assert 0.0 <= lcss(x, y) <= 1.0
+
+    def test_nothing_matches_at_tiny_epsilon(self):
+        x = np.zeros(10)
+        y = np.ones(10)
+        assert lcss(x, y, epsilon=0.5) == 1.0
+
+    def test_everything_matches_at_huge_epsilon(self, random_pairs):
+        for x, y in random_pairs:
+            assert lcss(x, y, epsilon=100.0, delta=100.0) == 0.0
+
+    def test_monotone_in_epsilon(self, random_pairs):
+        for x, y in random_pairs:
+            assert lcss(x, y, epsilon=0.5) <= lcss(x, y, epsilon=0.1) + 1e-12
+
+
+class TestEDR:
+    def test_identical_zero(self, sine_pair):
+        x, _ = sine_pair
+        assert edr(x, x, epsilon=0.01) == 0.0
+
+    def test_upper_bounded_by_length(self, random_pairs):
+        for x, y in random_pairs:
+            assert edr(x, y, epsilon=0.001) <= max(x.shape[0], y.shape[0])
+
+    def test_counts_mismatches(self):
+        x = np.array([0.0, 0.0, 0.0])
+        y = np.array([0.0, 5.0, 0.0])
+        assert edr(x, y, epsilon=0.1) == 1.0
+
+    def test_gap_cost_for_unequal_lengths(self):
+        x = np.zeros(5)
+        y = np.zeros(3)
+        assert edr(x, y, epsilon=0.1) == 2.0
+
+
+class TestERP:
+    def test_identical_zero(self, sine_pair):
+        x, _ = sine_pair
+        assert erp(x, x) == 0.0
+
+    def test_symmetric(self, random_pairs):
+        for x, y in random_pairs:
+            assert erp(x, y) == pytest.approx(erp(y, x))
+
+    def test_triangle_inequality_sampled(self, rng):
+        """ERP is a metric [27]; spot-check the triangle inequality."""
+        for _ in range(15):
+            x, y, z = (rng.normal(size=12) for _ in range(3))
+            assert erp(x, z) <= erp(x, y) + erp(y, z) + 1e-9
+
+    def test_empty_against_gap_value(self):
+        """Deleting everything costs the distance to the gap constant."""
+        x = np.array([1.0, -2.0, 3.0])
+        assert erp(x, np.array([0.0])) == pytest.approx(
+            np.abs(x).sum() - 0.0, abs=1e-12
+        )
+
+    def test_upper_bounded_by_manhattan(self, random_pairs):
+        for x, y in random_pairs:
+            assert erp(x, y) <= np.abs(x - y).sum() + 1e-9
+
+
+class TestMSM:
+    def test_identical_zero(self, sine_pair):
+        x, _ = sine_pair
+        assert msm(x, x) == 0.0
+
+    def test_symmetric(self, random_pairs):
+        for x, y in random_pairs:
+            assert msm(x, y, c=0.5) == pytest.approx(msm(y, x, c=0.5))
+
+    def test_triangle_inequality_sampled(self, rng):
+        """MSM is a metric [137]; spot-check the triangle inequality."""
+        for _ in range(15):
+            x, y, z = (rng.normal(size=10) for _ in range(3))
+            assert msm(x, z, c=0.5) <= msm(x, y, c=0.5) + msm(y, z, c=0.5) + 1e-9
+
+    def test_single_move_costs_value_change(self):
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([1.0, 2.5, 3.0])
+        assert msm(x, y, c=10.0) == pytest.approx(0.5)
+
+    def test_split_cheaper_than_move_when_between(self):
+        # Aligning [1, 2] with [1, 1, 2]: a split (cost c) beats any move.
+        x = np.array([1.0, 2.0])
+        y = np.array([1.0, 1.0, 2.0])
+        assert msm(x, y, c=0.1) == pytest.approx(0.1)
+
+    def test_monotone_in_cost(self, random_pairs):
+        for x, y in random_pairs:
+            assert msm(x, y, c=0.1) <= msm(x, y, c=1.0) + 1e-12
+
+
+class TestTWE:
+    def test_identical_zero(self, sine_pair):
+        x, _ = sine_pair
+        assert twe(x, x) == 0.0
+
+    def test_symmetric(self, random_pairs):
+        for x, y in random_pairs:
+            assert twe(x, y) == pytest.approx(twe(y, x))
+
+    def test_stiffness_penalizes_warping(self):
+        t = np.linspace(0, 2 * np.pi, 30)
+        x = np.sin(t)
+        y = np.roll(np.sin(t), 4)
+        soft = twe(x, y, lam=0.0, nu=1e-5)
+        stiff = twe(x, y, lam=0.0, nu=1.0)
+        assert stiff >= soft
+
+    def test_triangle_inequality_sampled(self, rng):
+        """TWE is a metric for nu > 0 [92]."""
+        for _ in range(15):
+            x, y, z = (rng.normal(size=10) for _ in range(3))
+            assert twe(x, z) <= twe(x, y) + twe(y, z) + 1e-9
+
+
+class TestSwale:
+    def test_score_of_identical_is_full_reward(self, sine_pair):
+        x, _ = sine_pair
+        assert swale_score(x, x, epsilon=0.01, r=1.0) == x.shape[0]
+
+    def test_distance_is_negated_score(self, random_pairs):
+        for x, y in random_pairs:
+            assert swale(x, y) == pytest.approx(-swale_score(x, y))
+
+    def test_mismatch_pays_penalty(self):
+        x = np.zeros(3)
+        y = np.full(3, 10.0)
+        # No matches possible: best alignment deletes everything.
+        assert swale_score(x, y, epsilon=0.1, p=5.0) == -30.0
+
+    def test_reward_scales_matches(self, sine_pair):
+        x, _ = sine_pair
+        assert swale_score(x, x, epsilon=0.01, r=2.0) == 2.0 * x.shape[0]
+
+
+class TestElasticRegistry:
+    def test_seven_elastic_measures(self):
+        assert len(list_measures("elastic")) == 7
+
+    @pytest.mark.parametrize("name", list_measures("elastic"))
+    def test_callable_via_registry(self, name, sine_pair):
+        x, y = sine_pair
+        assert np.isfinite(get_measure(name)(x, y))
+
+    def test_dtw_grid_is_table4(self):
+        grid = get_measure("dtw").param_grid()
+        deltas = [combo["delta"] for combo in grid]
+        assert deltas[:3] == [0.0, 1.0, 2.0] and deltas[-1] == 100.0
+        assert len(deltas) == 22
+
+    def test_elastic_beats_lockstep_on_warped_data(self, warped_dataset):
+        """On warp-dominated data the best elastic measure must beat the
+        lock-step baseline (the terrain misconceptions M3/M4 live on)."""
+        from repro.classification import dissimilarity_matrix, one_nn_accuracy
+
+        ds = warped_dataset
+        acc = {}
+        for name, params in (
+            ("euclidean", {}),
+            ("dtw", {"delta": 20.0}),
+            ("msm", {"c": 0.5}),
+        ):
+            E = dissimilarity_matrix(name, ds.test_X, ds.train_X, **params)
+            acc[name] = one_nn_accuracy(E, ds.test_y, ds.train_y)
+        assert max(acc["dtw"], acc["msm"]) >= acc["euclidean"]

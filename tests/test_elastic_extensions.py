@@ -1,0 +1,129 @@
+"""Tests for the Section 7 elastic extensions (DDTW, WDTW, CID)."""
+
+import numpy as np
+import pytest
+
+from repro.distances import get_measure
+from repro.distances.elastic import (
+    cid,
+    cid_factor,
+    complexity,
+    ddtw,
+    derivative,
+    dtw,
+    wdtw,
+)
+
+
+class TestDerivative:
+    def test_constant_series_zero_derivative(self):
+        assert np.array_equal(derivative(np.full(10, 3.0)), np.zeros(10))
+
+    def test_linear_series_constant_slope(self):
+        x = np.arange(10, dtype=float) * 2.0
+        d = derivative(x)
+        assert np.allclose(d, 2.0)
+
+    def test_short_series_fallback(self):
+        assert np.array_equal(derivative(np.array([1.0, 2.0])), np.zeros(2))
+
+    def test_length_preserved(self, sine_pair):
+        x, _ = sine_pair
+        assert derivative(x).shape == x.shape
+
+
+class TestDDTW:
+    def test_identity_zero(self, sine_pair):
+        x, _ = sine_pair
+        assert ddtw(x, x) == 0.0
+
+    def test_alpha_one_is_derivative_dtw(self, sine_pair):
+        x, y = sine_pair
+        assert ddtw(x, y, delta=100.0, alpha=1.0) == pytest.approx(
+            dtw(derivative(x), derivative(y), 100.0)
+        )
+
+    def test_alpha_zero_is_plain_dtw(self, sine_pair):
+        x, y = sine_pair
+        assert ddtw(x, y, delta=100.0, alpha=0.0) == pytest.approx(
+            dtw(x, y, 100.0)
+        )
+
+    def test_offset_invariance(self, sine_pair):
+        """Derivatives kill constant offsets — DDTW's selling point."""
+        x, y = sine_pair
+        assert ddtw(x, y + 5.0, alpha=1.0) == pytest.approx(
+            ddtw(x, y, alpha=1.0)
+        )
+
+    def test_registered(self):
+        assert get_measure("ddtw").category == "extra"
+
+
+class TestWDTW:
+    def test_identity_zero(self, sine_pair):
+        x, _ = sine_pair
+        assert wdtw(x, x) == 0.0
+
+    def test_symmetric(self, random_pairs):
+        for x, y in random_pairs:
+            assert wdtw(x, y, g=0.1) == pytest.approx(wdtw(y, x, g=0.1))
+
+    def test_zero_steepness_is_half_weighted_dtw(self, sine_pair):
+        """Jeong's sigmoid weight at g=0 is exactly 1/2 for every phase
+        difference, so WDTW collapses to sqrt(1/2) * unconstrained DTW."""
+        x, y = sine_pair
+        assert wdtw(x, y, g=0.0) == pytest.approx(
+            np.sqrt(0.5) * dtw(x, y, delta=100.0)
+        )
+
+    def test_weights_increase_with_phase_difference(self):
+        """The defining WDTW property: for fixed g > 0 the per-cell weight
+        w(|i-j|) is monotonically increasing, so a path forced far off the
+        diagonal costs more than the same costs on the diagonal."""
+        from math import exp
+
+        m, g = 40, 0.25
+        weights = [1.0 / (1.0 + exp(-g * (d - m / 2))) for d in range(m)]
+        assert all(b >= a for a, b in zip(weights, weights[1:]))
+
+    def test_nonnegative(self, random_pairs):
+        for x, y in random_pairs:
+            assert wdtw(x, y) >= 0.0
+
+
+class TestCID:
+    def test_complexity_of_constant_is_zero(self):
+        assert complexity(np.full(10, 2.0)) == 0.0
+
+    def test_complexity_monotone_in_roughness(self, rng):
+        smooth = np.sin(np.linspace(0, 2 * np.pi, 50))
+        rough = smooth + rng.normal(0, 0.5, size=50)
+        assert complexity(rough) > complexity(smooth)
+
+    def test_factor_at_least_one(self, random_pairs):
+        for x, y in random_pairs:
+            assert cid_factor(x, y) >= 1.0
+
+    def test_equal_complexity_factor_one(self, sine_pair):
+        x, _ = sine_pair
+        assert cid_factor(x, x) == pytest.approx(1.0)
+
+    def test_cid_scales_base_distance(self, rng):
+        smooth = np.sin(np.linspace(0, 2 * np.pi, 50))
+        rough = smooth + rng.normal(0, 0.5, size=50)
+        ed = float(np.linalg.norm(smooth - rough))
+        assert cid(smooth, rough) == pytest.approx(
+            ed * cid_factor(smooth, rough)
+        )
+
+    def test_cid_with_other_base_measure(self, sine_pair):
+        x, y = sine_pair
+        value = cid(x, y, base="manhattan")
+        assert value == pytest.approx(
+            float(np.abs(x - y).sum()) * cid_factor(x, y)
+        )
+
+    def test_registered_measure_matches_function(self, sine_pair):
+        x, y = sine_pair
+        assert get_measure("cid")(x, y) == pytest.approx(cid(x, y))

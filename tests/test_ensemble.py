@@ -1,0 +1,113 @@
+"""Tests for the Elastic Ensemble-style classifier."""
+
+import numpy as np
+import pytest
+
+from repro.classification.ensemble import (
+    ElasticEnsemble,
+    default_elastic_ensemble,
+)
+from repro.evaluation import MeasureVariant
+from repro.exceptions import EvaluationError
+
+
+@pytest.fixture(scope="module")
+def fitted_ensemble(small_dataset):
+    members = [
+        MeasureVariant("euclidean", label="ED"),
+        MeasureVariant("nccc", label="NCC_c"),
+        MeasureVariant("msm", params={"c": 0.5}, label="MSM"),
+    ]
+    return ElasticEnsemble(members).fit(small_dataset)
+
+
+class TestConstruction:
+    def test_empty_member_list_rejected(self):
+        with pytest.raises(EvaluationError):
+            ElasticEnsemble([])
+
+    def test_embedding_members_rejected(self, small_dataset):
+        ensemble = ElasticEnsemble([MeasureVariant("grail")])
+        with pytest.raises(EvaluationError):
+            ensemble.fit(small_dataset)
+
+    def test_predict_before_fit_rejected(self, small_dataset):
+        ensemble = ElasticEnsemble([MeasureVariant("euclidean")])
+        with pytest.raises(EvaluationError):
+            ensemble.predict(small_dataset.test_X)
+
+    def test_default_members(self):
+        ensemble = default_elastic_ensemble()
+        names = {v.measure for v in ensemble.variants}
+        assert names == {"msm", "twe", "erp", "dtw", "nccc"}
+
+
+class TestFitting:
+    def test_weights_are_loo_accuracies(self, fitted_ensemble, small_dataset):
+        from repro.classification import (
+            dissimilarity_matrix,
+            leave_one_out_accuracy,
+        )
+
+        weights = fitted_ensemble.member_weights()
+        W = dissimilarity_matrix("euclidean", small_dataset.train_X)
+        expected = leave_one_out_accuracy(W, small_dataset.train_y)
+        assert weights["ED"] == pytest.approx(expected)
+
+    def test_loocv_member_tunes(self, small_dataset):
+        ensemble = ElasticEnsemble(
+            [
+                MeasureVariant(
+                    "dtw", tuning="loocv",
+                    grid=[{"delta": 0.0}, {"delta": 10.0}],
+                    label="DTW",
+                )
+            ]
+        ).fit(small_dataset)
+        assert ensemble.members[0].params["delta"] in (0.0, 10.0)
+
+
+class TestPrediction:
+    def test_predictions_are_training_classes(self, fitted_ensemble, small_dataset):
+        predictions = fitted_ensemble.predict(small_dataset.test_X)
+        assert set(predictions.tolist()) <= set(
+            np.unique(small_dataset.train_y).tolist()
+        )
+
+    def test_score_in_unit_interval(self, fitted_ensemble, small_dataset):
+        acc = fitted_ensemble.score(small_dataset.test_X, small_dataset.test_y)
+        assert 0.0 <= acc <= 1.0
+
+    def test_ensemble_at_least_matches_worst_member(self, small_dataset):
+        """The weighted vote should not collapse below the weakest member
+        on data where members broadly agree."""
+        members = [
+            MeasureVariant("euclidean", label="ED"),
+            MeasureVariant("nccc", label="NCC_c"),
+        ]
+        ensemble = ElasticEnsemble(members).fit(small_dataset)
+        member_scores = []
+        from repro.classification import dissimilarity_matrix, one_nn_accuracy
+
+        for variant in members:
+            E = dissimilarity_matrix(
+                variant.measure, small_dataset.test_X, small_dataset.train_X
+            )
+            member_scores.append(
+                one_nn_accuracy(E, small_dataset.test_y, small_dataset.train_y)
+            )
+        assert ensemble.score(
+            small_dataset.test_X, small_dataset.test_y
+        ) >= min(member_scores) - 0.1
+
+    def test_single_member_equals_that_member(self, small_dataset):
+        from repro.classification import dissimilarity_matrix, one_nn_predict
+
+        ensemble = ElasticEnsemble(
+            [MeasureVariant("lorentzian", label="L")]
+        ).fit(small_dataset)
+        E = dissimilarity_matrix(
+            "lorentzian", small_dataset.test_X, small_dataset.train_X
+        )
+        expected = one_nn_predict(E, small_dataset.train_y)
+        assert np.array_equal(ensemble.predict(small_dataset.test_X), expected)

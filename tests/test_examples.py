@@ -1,0 +1,53 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples rot silently otherwise; each is executed in a subprocess exactly
+as a user would run it. The slowest (measure_benchmark with LOOCV) gets a
+reduced dataset count through its CLI argument.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "ecg_alignment.py",
+    "motif_anomaly_discovery.py",
+    "clustering_kshape.py",
+    "representation_indexing.py",
+    "embedding_representations.py",
+    "similarity_search.py",
+]
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = _run(script)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must print their findings"
+
+
+def test_measure_benchmark_with_reduced_datasets():
+    result = _run("measure_benchmark.py", "4")
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "Average ranks" in result.stdout
+
+
+def test_examples_directory_complete():
+    """Every shipped example is exercised by this module."""
+    shipped = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    covered = set(FAST_EXAMPLES) | {"measure_benchmark.py"}
+    assert shipped == covered

@@ -1,0 +1,111 @@
+"""Tests for the named experiment panels (repro.evaluation.experiments)."""
+
+import pytest
+
+from repro.evaluation import (
+    Experiment,
+    get_experiment,
+    list_experiments,
+    run_sweep,
+)
+from repro.evaluation.experiments import (
+    ELASTIC_MEASURES,
+    KERNEL_MEASURES,
+    elastic_rank_experiment,
+    kernel_rank_experiment,
+    table2_experiment,
+    table5_experiment,
+    table6_experiment,
+    table7_experiment,
+)
+from repro.exceptions import EvaluationError
+
+
+class TestRegistry:
+    def test_all_paper_experiments_listed(self):
+        names = list_experiments()
+        for expected in (
+            "table2", "table3", "table5", "table6", "table7",
+            "figure2", "figure3", "figure5", "figure6", "figure7", "figure8",
+        ):
+            assert expected in names
+
+    def test_get_by_name_case_insensitive(self):
+        assert get_experiment("Table5").name == "table5"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(EvaluationError, match="unknown experiment"):
+            get_experiment("table99")
+
+    def test_baseline_variant_resolvable(self):
+        for name in list_experiments():
+            experiment = get_experiment(name)
+            assert isinstance(experiment, Experiment)
+            assert experiment.baseline_variant().display == experiment.baseline
+
+
+class TestPanelShapes:
+    def test_table2_covers_all_lockstep_x_normalizations(self):
+        exp = table2_experiment()
+        # 52 measures x 5 normalizations = 260 combos; ED+zscore appears
+        # exactly once (as the baseline).
+        assert len(exp.variants) == 260
+        labels = [v.display for v in exp.variants]
+        assert "ED+zscore" in labels
+        assert "lorentzian+meannorm" in labels
+        assert "minkowski+zscore+loocv" in labels
+
+    def test_table5_has_fixed_and_loocv_rows(self):
+        exp = table5_experiment()
+        labels = {v.display for v in exp.variants}
+        for name in ELASTIC_MEASURES:
+            assert f"{name}-fixed" in labels
+            if name != "erp":
+                assert f"{name}-loocv" in labels
+        assert "erp-loocv" not in labels  # parameter-free
+
+    def test_table6_covers_kernels_both_settings(self):
+        exp = table6_experiment()
+        labels = {v.display for v in exp.variants}
+        for name in KERNEL_MEASURES:
+            assert {f"{name}-fixed", f"{name}-loocv"} <= labels
+
+    def test_table7_dimension_parameter(self):
+        exp = table7_experiment(dimensions=7)
+        grail = next(v for v in exp.variants if v.display == "GRAIL")
+        assert grail.params["dimensions"] == 7
+
+    def test_rank_panels_switch_tuning_mode(self):
+        supervised = elastic_rank_experiment(supervised=True)
+        unsupervised = elastic_rank_experiment(supervised=False)
+        msm_sup = next(v for v in supervised.variants if v.display == "MSM")
+        msm_unsup = next(v for v in unsupervised.variants if v.display == "MSM")
+        assert msm_sup.tuning == "loocv"
+        assert msm_unsup.tuning == "fixed"
+
+    def test_kernel_rank_panel_contains_dtw_for_comparison(self):
+        exp = kernel_rank_experiment(supervised=False)
+        labels = {v.display for v in exp.variants}
+        assert {"KDTW", "GAK", "DTW", "NCC_c"} <= labels
+
+
+class TestPanelsRun:
+    def test_figure2_panel_evaluates(self, tiny_archive):
+        exp = get_experiment("figure2")
+        sweep = run_sweep(list(exp.variants), tiny_archive.subset(2))
+        assert sweep.accuracies.shape == (2, len(exp.variants))
+
+    def test_cli_experiment_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "figure8" in out
+
+    def test_cli_experiment_runs_small(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.delenv("UCR_ARCHIVE_PATH", raising=False)
+        assert main(["experiment", "figure2", "--datasets", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Average ranks" in out

@@ -1,0 +1,130 @@
+"""Known algebraic equivalences among lock-step measures.
+
+The paper criticizes the earlier lock-step study [57] for treating
+equivalent measures as distinct evidence ("several of the evaluated
+measures are known to be equivalent to each other and, therefore, they
+should provide identical classification accuracy results"). These tests pin
+the equivalences our implementation is expected to honor — both exact value
+identities and 1-NN rank equivalences.
+"""
+
+import numpy as np
+import pytest
+
+from repro.classification import dissimilarity_matrix, one_nn_predict
+from repro.distances import get_measure
+from repro.normalization import unit_length, zscore
+
+
+@pytest.fixture(scope="module")
+def positive_batch():
+    rng = np.random.default_rng(77)
+    return rng.uniform(0.1, 2.0, size=(12, 30))
+
+
+def _pairs(batch):
+    for i in range(0, batch.shape[0] - 1, 2):
+        yield batch[i], batch[i + 1]
+
+
+class TestValueEquivalences:
+    def test_czekanowski_equals_sorensen(self, positive_batch):
+        cz = get_measure("czekanowski")
+        so = get_measure("sorensen")
+        for x, y in _pairs(positive_batch):
+            assert cz(x, y) == pytest.approx(so(x, y))
+
+    def test_kulczynski_s_equals_kulczynski_d(self, positive_batch):
+        ks = get_measure("kulczynskis")
+        kd = get_measure("kulczynski")
+        for x, y in _pairs(positive_batch):
+            assert ks(x, y) == pytest.approx(kd(x, y))
+
+    def test_ruzicka_equals_soergel_over_max_sum(self, positive_batch):
+        """1 - sum(min)/sum(max) == sum|x-y|/sum(max) (== Soergel)."""
+        rz = get_measure("ruzicka")
+        sg = get_measure("soergel")
+        for x, y in _pairs(positive_batch):
+            assert rz(x, y) == pytest.approx(sg(x, y))
+
+    def test_tanimoto_equals_soergel(self, positive_batch):
+        tn = get_measure("tanimoto")
+        sg = get_measure("soergel")
+        for x, y in _pairs(positive_batch):
+            assert tn(x, y) == pytest.approx(sg(x, y))
+
+    def test_intersection_is_half_manhattan(self, positive_batch):
+        inter = get_measure("intersection")
+        man = get_measure("manhattan")
+        for x, y in _pairs(positive_batch):
+            assert inter(x, y) == pytest.approx(man(x, y) / 2.0)
+
+    def test_jaccard_equals_one_minus_kumar_hassebrook_similarity(
+        self, positive_batch
+    ):
+        jc = get_measure("jaccard")
+        kh = get_measure("kumarhassebrook")
+        for x, y in _pairs(positive_batch):
+            assert jc(x, y) == pytest.approx(kh(x, y))
+
+    def test_matusita_squared_is_squared_chord(self, positive_batch):
+        mt = get_measure("matusita")
+        sc = get_measure("squaredchord")
+        for x, y in _pairs(positive_batch):
+            assert mt(x, y) ** 2 == pytest.approx(sc(x, y))
+
+    def test_hellinger_is_sqrt2_matusita(self, positive_batch):
+        hl = get_measure("hellinger")
+        mt = get_measure("matusita")
+        for x, y in _pairs(positive_batch):
+            assert hl(x, y) == pytest.approx(np.sqrt(2.0) * mt(x, y))
+
+
+class TestRankEquivalences:
+    """Pairs the paper calls out as producing identical 1-NN accuracy."""
+
+    def _predictions(self, name, train, test, labels):
+        E = dissimilarity_matrix(name, test, train)
+        return one_nn_predict(E, labels)
+
+    def test_inner_product_matches_ed_under_zscore(self):
+        rng = np.random.default_rng(5)
+        train = np.vstack([zscore(row) for row in rng.normal(size=(10, 24))])
+        test = np.vstack([zscore(row) for row in rng.normal(size=(6, 24))])
+        labels = np.arange(10)
+        # Under z-normalization ||x-y||^2 = 2m - 2 x.y, so argmin ED ==
+        # argmax inner product (the equivalence the paper uses against [57]).
+        assert np.array_equal(
+            self._predictions("euclidean", train, test, labels),
+            self._predictions("innerproduct", train, test, labels),
+        )
+
+    def test_cosine_matches_ed_under_unit_length(self):
+        rng = np.random.default_rng(6)
+        train = np.vstack([unit_length(row) for row in rng.normal(size=(10, 24))])
+        test = np.vstack([unit_length(row) for row in rng.normal(size=(6, 24))])
+        labels = np.arange(10)
+        assert np.array_equal(
+            self._predictions("euclidean", train, test, labels),
+            self._predictions("cosine", train, test, labels),
+        )
+
+    def test_squared_euclidean_matches_ed(self):
+        rng = np.random.default_rng(7)
+        train = rng.normal(size=(10, 24))
+        test = rng.normal(size=(6, 24))
+        labels = np.arange(10)
+        assert np.array_equal(
+            self._predictions("euclidean", train, test, labels),
+            self._predictions("squaredeuclidean", train, test, labels),
+        )
+
+    def test_gower_matches_manhattan(self):
+        rng = np.random.default_rng(8)
+        train = rng.normal(size=(10, 24))
+        test = rng.normal(size=(6, 24))
+        labels = np.arange(10)
+        assert np.array_equal(
+            self._predictions("manhattan", train, test, labels),
+            self._predictions("gower", train, test, labels),
+        )

@@ -1,0 +1,124 @@
+"""Tests for the multivariate extensions (paper footnote 1)."""
+
+import numpy as np
+import pytest
+
+from repro.distances.elastic import dtw, msm
+from repro.distances.multivariate import (
+    cross_correlation_mv,
+    dtw_mv,
+    euclidean_mv,
+    msm_mv,
+    sbd_mv,
+    zscore_mv,
+)
+from repro.distances.sliding import cross_correlation, ncc_c
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def mv_pair(rng):
+    t = np.linspace(0, 4 * np.pi, 48)
+    x = np.column_stack([np.sin(t), np.cos(t), np.sin(2 * t)])
+    y = np.column_stack(
+        [np.sin(t + 0.4), np.cos(t + 0.4), np.sin(2 * t + 0.8)]
+    )
+    return x, y
+
+
+class TestReductionToUnivariate:
+    """Single-channel multivariate must equal the univariate measures."""
+
+    def test_euclidean(self, sine_pair):
+        x, y = sine_pair
+        assert euclidean_mv(x, y) == pytest.approx(float(np.linalg.norm(x - y)))
+
+    def test_dtw_dependent(self, sine_pair):
+        x, y = sine_pair
+        assert dtw_mv(x, y, delta=10.0) == pytest.approx(dtw(x, y, 10.0))
+
+    def test_dtw_independent(self, sine_pair):
+        x, y = sine_pair
+        assert dtw_mv(x, y, delta=10.0, strategy="independent") == pytest.approx(
+            dtw(x, y, 10.0)
+        )
+
+    def test_sbd(self, sine_pair):
+        x, y = sine_pair
+        assert sbd_mv(x, y) == pytest.approx(ncc_c(x, y))
+
+    def test_cross_correlation(self, sine_pair):
+        x, y = sine_pair
+        assert np.allclose(
+            cross_correlation_mv(x, y), cross_correlation(x, y), atol=1e-8
+        )
+
+    def test_msm(self, sine_pair):
+        x, y = sine_pair
+        assert msm_mv(x, y, c=0.5) == pytest.approx(msm(x, y, 0.5))
+
+
+class TestMultivariateContracts:
+    def test_identity_zero(self, mv_pair):
+        x, _ = mv_pair
+        assert euclidean_mv(x, x) == 0.0
+        assert dtw_mv(x, x) == 0.0
+        assert sbd_mv(x, x) == pytest.approx(0.0, abs=1e-9)
+        assert msm_mv(x, x) == 0.0
+
+    def test_symmetry(self, mv_pair):
+        x, y = mv_pair
+        assert dtw_mv(x, y) == pytest.approx(dtw_mv(y, x))
+        assert sbd_mv(x, y) == pytest.approx(sbd_mv(y, x), abs=1e-9)
+
+    def test_dependent_vs_independent_differ_in_general(self, mv_pair):
+        x, y = mv_pair
+        # Shift channel 2 of y only: independent can align it separately.
+        y_mod = y.copy()
+        y_mod[:, 2] = np.roll(y_mod[:, 2], 6)
+        dep = dtw_mv(x, y_mod, delta=20.0)
+        indep = dtw_mv(x, y_mod, delta=20.0, strategy="independent")
+        assert dep != pytest.approx(indep)
+
+    def test_dependent_dtw_leq_frobenius_ed(self, mv_pair):
+        x, y = mv_pair
+        assert dtw_mv(x, y, delta=100.0) <= euclidean_mv(x, y) + 1e-9
+
+    def test_joint_shift_invariance_of_sbd(self, rng):
+        base = np.zeros((60, 2))
+        base[20:40, 0] = rng.normal(size=20)
+        base[20:40, 1] = rng.normal(size=20)
+        shifted = np.roll(base, 7, axis=0)
+        assert sbd_mv(base, shifted) == pytest.approx(0.0, abs=1e-9)
+
+    def test_channel_mismatch_rejected(self, mv_pair):
+        x, _ = mv_pair
+        with pytest.raises(ValidationError, match="channel"):
+            dtw_mv(x, x[:, :2])
+
+    def test_bad_strategy_rejected(self, mv_pair):
+        x, y = mv_pair
+        with pytest.raises(ValidationError):
+            dtw_mv(x, y, strategy="bogus")
+        with pytest.raises(ValidationError):
+            msm_mv(x, y, strategy="dependent")
+
+    def test_nan_rejected(self):
+        bad = np.ones((5, 2))
+        bad[2, 1] = np.nan
+        with pytest.raises(ValidationError):
+            euclidean_mv(bad, np.ones((5, 2)))
+
+
+class TestZScoreMV:
+    def test_per_channel_standardization(self, mv_pair):
+        x, _ = mv_pair
+        z = zscore_mv(3.0 * x + 2.0)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_channel_zeroed(self):
+        x = np.column_stack([np.arange(5.0), np.full(5, 3.0)])
+        z = zscore_mv(x)
+        assert np.allclose(z[:, 1], 0.0)
+        assert np.allclose(z[:, 0].std(), 1.0)

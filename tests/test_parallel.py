@@ -1,0 +1,64 @@
+"""Tests for the parallel sweep runner."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    MeasureVariant,
+    run_sweep,
+    run_sweep_parallel,
+)
+from repro.exceptions import EvaluationError
+
+
+@pytest.fixture(scope="module")
+def setup(tiny_archive):
+    datasets = tiny_archive.subset(3)
+    variants = [
+        MeasureVariant("euclidean", label="ED"),
+        MeasureVariant("lorentzian", label="Lorentzian"),
+    ]
+    return variants, datasets
+
+
+class TestRunSweepParallel:
+    def test_matches_serial_results(self, setup):
+        variants, datasets = setup
+        serial = run_sweep(variants, datasets)
+        parallel = run_sweep_parallel(variants, datasets, n_jobs=2)
+        assert np.allclose(serial.accuracies, parallel.accuracies)
+        assert serial.labels == parallel.labels
+        assert serial.dataset_names == parallel.dataset_names
+
+    def test_single_job_falls_back_to_serial(self, setup):
+        variants, datasets = setup
+        result = run_sweep_parallel(variants, datasets, n_jobs=1)
+        assert result.accuracies.shape == (3, 2)
+
+    def test_details_populated(self, setup):
+        variants, datasets = setup
+        result = run_sweep_parallel(variants, datasets, n_jobs=2)
+        assert len(result.details) == 2
+        assert all(r is not None for row in result.details for r in row)
+        assert result.details[0][0].dataset == datasets[0].name
+
+    def test_invalid_jobs_rejected(self, setup):
+        variants, datasets = setup
+        with pytest.raises(EvaluationError):
+            run_sweep_parallel(variants, datasets, n_jobs=0)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(EvaluationError):
+            run_sweep_parallel([], [], n_jobs=2)
+
+    def test_loocv_variants_supported(self, setup):
+        _, datasets = setup
+        variants = [
+            MeasureVariant(
+                "dtw", tuning="loocv",
+                grid=[{"delta": 0.0}, {"delta": 10.0}], label="DTW",
+            )
+        ]
+        serial = run_sweep(variants, datasets)
+        parallel = run_sweep_parallel(variants, datasets, n_jobs=2)
+        assert np.allclose(serial.accuracies, parallel.accuracies)

@@ -1,0 +1,95 @@
+"""Tests for Bonferroni-Dunn and Holm post-hoc machinery."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.stats import (
+    bonferroni_dunn,
+    holm_adjusted_p_values,
+    holm_correction,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestBonferroniDunn:
+    def test_clear_winner_flagged(self, rng):
+        n = 40
+        control = rng.uniform(0.5, 0.6, n)
+        winner = control + 0.2
+        loser = control - 0.2
+        noise = control + rng.normal(0, 0.01, n)
+        acc = np.column_stack([control, winner, loser, noise])
+        result = bonferroni_dunn(
+            ["control", "winner", "loser", "noise"], acc, control="control"
+        )
+        assert "winner" in result.better_than_control()
+        assert "loser" in result.worse_than_control()
+        assert "noise" not in result.better_than_control()
+        assert "noise" not in result.worse_than_control()
+
+    def test_control_excluded_from_comparisons(self, rng):
+        acc = rng.uniform(0.4, 0.9, size=(20, 3))
+        result = bonferroni_dunn(["a", "b", "c"], acc, control="b")
+        assert {c.name for c in result.comparisons} == {"a", "c"}
+
+    def test_cd_positive_and_shrinks_with_datasets(self, rng):
+        small = bonferroni_dunn(
+            ["a", "b", "c"], rng.uniform(0, 1, size=(10, 3)), control="a"
+        )
+        large = bonferroni_dunn(
+            ["a", "b", "c"], rng.uniform(0, 1, size=(200, 3)), control="a"
+        )
+        assert 0 < large.critical_difference < small.critical_difference
+
+    def test_unknown_control_rejected(self, rng):
+        with pytest.raises(EvaluationError):
+            bonferroni_dunn(["a", "b"], rng.uniform(0, 1, (5, 2)), control="x")
+
+    def test_dunn_cd_smaller_than_nemenyi(self, rng):
+        """Control comparisons need less correction than all-pairs."""
+        from repro.stats import critical_difference
+
+        k, n = 6, 50
+        acc = rng.uniform(0, 1, size=(n, k))
+        names = [f"m{i}" for i in range(k)]
+        dunn = bonferroni_dunn(names, acc, control="m0", alpha=0.10)
+        nemenyi_cd = critical_difference(k, n, alpha=0.10)
+        assert dunn.critical_difference < nemenyi_cd
+
+
+class TestHolm:
+    def test_all_tiny_pvalues_rejected(self):
+        decisions = holm_correction({"a": 1e-6, "b": 1e-5, "c": 1e-4})
+        assert all(decisions.values())
+
+    def test_step_down_stops_at_first_failure(self):
+        decisions = holm_correction(
+            {"a": 0.001, "b": 0.04, "c": 0.03}, alpha=0.05
+        )
+        # sorted: a(0.001) vs 0.05/3 ok; c(0.03) vs 0.025 fails -> stop.
+        assert decisions["a"] is True
+        assert decisions["c"] is False
+        assert decisions["b"] is False
+
+    def test_empty_battery(self):
+        assert holm_correction({}) == {}
+        assert holm_adjusted_p_values({}) == {}
+
+    def test_adjusted_pvalues_monotone_and_capped(self):
+        adjusted = holm_adjusted_p_values({"a": 0.01, "b": 0.4, "c": 0.02})
+        assert adjusted["a"] == pytest.approx(0.03)
+        assert adjusted["c"] == pytest.approx(0.04)
+        assert adjusted["b"] <= 1.0
+        assert adjusted["a"] <= adjusted["c"] <= adjusted["b"]
+
+    def test_adjusted_consistent_with_decisions(self):
+        p = {"a": 0.001, "b": 0.02, "c": 0.5}
+        decisions = holm_correction(p, alpha=0.05)
+        adjusted = holm_adjusted_p_values(p)
+        for name in p:
+            assert decisions[name] == (adjusted[name] <= 0.05)

@@ -1,0 +1,161 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These pin the mathematical contracts the evaluation relies on: identity,
+symmetry, invariances per measure category, lower-bound relations, and
+FFT/naive agreement — over randomized inputs rather than fixtures.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.distances.elastic import dtw, erp, lb_keogh, msm, twe
+from repro.distances.lockstep import euclidean, lorentzian, manhattan
+from repro.distances.sliding import (
+    cross_correlation,
+    cross_correlation_naive,
+    ncc_c,
+)
+from repro.normalization import minmax, unit_length, zscore
+
+series = arrays(
+    np.float64,
+    st.shared(st.integers(min_value=4, max_value=32), key="len"),
+    elements=st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+)
+
+series_pair = st.tuples(series, series)
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+
+class TestLockstepProperties:
+    @given(series_pair)
+    @settings(**SETTINGS)
+    def test_identity_zero(self, pair):
+        x, _ = pair
+        assert euclidean(x, x) == 0.0
+        assert manhattan(x, x) == 0.0
+        assert lorentzian(x, x) == 0.0
+
+    @given(series_pair)
+    @settings(**SETTINGS)
+    def test_symmetry(self, pair):
+        x, y = pair
+        assert euclidean(x, y) == euclidean(y, x)
+        assert abs(lorentzian(x, y) - lorentzian(y, x)) < 1e-9
+
+    @given(series_pair)
+    @settings(**SETTINGS)
+    def test_euclidean_triangle_inequality(self, pair):
+        x, y = pair
+        z = (x + y) / 2.0
+        assert euclidean(x, y) <= euclidean(x, z) + euclidean(z, y) + 1e-9
+
+    @given(series_pair)
+    @settings(**SETTINGS)
+    def test_lorentzian_dominated_by_manhattan(self, pair):
+        """log(1+t) <= t pointwise, so Lorentzian <= Manhattan."""
+        x, y = pair
+        assert lorentzian(x, y) <= manhattan(x, y) + 1e-9
+
+    @given(series_pair)
+    @settings(**SETTINGS)
+    def test_nonnegativity(self, pair):
+        x, y = pair
+        assert euclidean(x, y) >= 0.0
+        assert manhattan(x, y) >= 0.0
+        assert lorentzian(x, y) >= 0.0
+
+
+class TestSlidingProperties:
+    @given(series_pair)
+    @settings(**SETTINGS)
+    def test_fft_equals_naive(self, pair):
+        x, y = pair
+        assert np.allclose(
+            cross_correlation(x, y),
+            cross_correlation_naive(x, y),
+            atol=1e-6 * max(1.0, float(np.abs(x).max() * np.abs(y).max())),
+        )
+
+    @given(series)
+    @settings(**SETTINGS)
+    def test_sbd_shift_invariance(self, x):
+        # Embed in zero padding so the shift stays compact-support (the
+        # invariance zero-padded cross-correlation actually provides).
+        padded = np.concatenate([np.zeros(4), x, np.zeros(4)])
+        if np.linalg.norm(padded) > 1e-6:
+            shifted = np.roll(padded, 3)
+            assert ncc_c(padded, shifted) < 1e-6
+
+    @given(series_pair, st.floats(min_value=0.1, max_value=50.0))
+    @settings(**SETTINGS)
+    def test_sbd_scale_invariance(self, pair, scale):
+        x, y = pair
+        if np.linalg.norm(x) > 1e-6 and np.linalg.norm(y) > 1e-6:
+            assert abs(ncc_c(x, scale * y) - ncc_c(x, y)) < 1e-8
+
+
+class TestElasticProperties:
+    @given(series_pair)
+    @settings(**SETTINGS)
+    def test_dtw_leq_euclidean(self, pair):
+        x, y = pair
+        assert dtw(x, y, delta=100.0) <= euclidean(x, y) + 1e-9
+
+    @given(series_pair)
+    @settings(**SETTINGS)
+    def test_lb_keogh_bounds_dtw(self, pair):
+        x, y = pair
+        assert lb_keogh(x, y, 10.0) <= dtw(x, y, 10.0) + 1e-9
+
+    @given(series_pair)
+    @settings(**SETTINGS)
+    def test_msm_symmetry(self, pair):
+        x, y = pair
+        assert abs(msm(x, y, c=0.5) - msm(y, x, c=0.5)) < 1e-9
+
+    @given(series_pair)
+    @settings(**SETTINGS)
+    def test_erp_symmetry_and_identity(self, pair):
+        x, y = pair
+        assert erp(x, x) == 0.0
+        assert abs(erp(x, y) - erp(y, x)) < 1e-9
+
+    @given(series_pair)
+    @settings(**SETTINGS)
+    def test_twe_nonnegative(self, pair):
+        x, y = pair
+        assert twe(x, y) >= -1e-12
+
+
+class TestNormalizationProperties:
+    @given(series)
+    @settings(**SETTINGS)
+    def test_zscore_idempotent(self, x):
+        if np.std(x) > 1e-6:
+            z = zscore(x)
+            assert np.allclose(zscore(z), z, atol=1e-8)
+
+    @given(series)
+    @settings(**SETTINGS)
+    def test_unit_length_idempotent(self, x):
+        if np.linalg.norm(x) > 1e-6:
+            u = unit_length(x)
+            assert np.allclose(unit_length(u), u, atol=1e-10)
+
+    @given(series)
+    @settings(**SETTINGS)
+    def test_minmax_range(self, x):
+        out = minmax(x)
+        assert out.min() >= -1e-12 and out.max() <= 1.0 + 1e-12
+
+    @given(series, st.floats(min_value=0.1, max_value=10.0),
+           st.floats(min_value=-5.0, max_value=5.0))
+    @settings(**SETTINGS)
+    def test_zscore_affine_invariance(self, x, a, b):
+        """The M1 motivation: z-score removes scale and translation."""
+        if np.std(x) > 1e-3:
+            assert np.allclose(zscore(a * x + b), zscore(x), atol=1e-6)

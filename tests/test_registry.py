@@ -1,0 +1,150 @@
+"""Tests for the measure registry machinery (repro.distances.base)."""
+
+import numpy as np
+import pytest
+
+from repro.distances import (
+    CATEGORIES,
+    BoundMeasure,
+    DistanceMeasure,
+    category_counts,
+    distance,
+    get_measure,
+    iter_measures,
+    list_measures,
+    pairwise_distances,
+    register_measure,
+)
+from repro.exceptions import ParameterError, UnknownMeasureError
+
+
+class TestLookup:
+    def test_case_and_punctuation_insensitive(self):
+        assert get_measure("NCC_c").name == "nccc"
+        assert get_measure("Shape-Based-Distance").name == "nccc"
+        assert get_measure("kullback_leibler").name == "kullbackleibler"
+
+    def test_identity_lookup(self):
+        measure = get_measure("euclidean")
+        assert get_measure(measure) is measure
+
+    def test_unknown_raises_keyerror_subclass(self):
+        with pytest.raises(UnknownMeasureError):
+            get_measure("definitely-not-a-measure")
+        with pytest.raises(KeyError):
+            get_measure("definitely-not-a-measure")
+
+    def test_list_filters_compose(self):
+        l1 = list_measures("lockstep", "l1")
+        assert "lorentzian" in l1 and len(l1) == 6
+
+    def test_iter_measures_sorted(self):
+        names = [m.name for m in iter_measures("elastic")]
+        assert names == sorted(names)
+
+    def test_category_counts_cover_all_categories(self):
+        counts = category_counts()
+        assert set(counts) == set(CATEGORIES)
+        assert counts["lockstep"] == 52
+
+
+class TestParams:
+    def test_resolve_unknown_param_rejected(self):
+        with pytest.raises(ParameterError, match="delta"):
+            get_measure("dtw").resolve_params({"window": 5})
+
+    def test_resolve_merges_defaults(self):
+        resolved = get_measure("twe").resolve_params({"lam": 0.5})
+        assert resolved == {"lam": 0.5, "nu": 1e-4}
+
+    def test_param_grid_cartesian(self):
+        grid = get_measure("twe").param_grid()
+        assert len(grid) == 5 * 6
+        assert all(set(combo) == {"lam", "nu"} for combo in grid)
+
+    def test_parameter_free_grid_is_single_empty(self):
+        assert get_measure("euclidean").param_grid() == [{}]
+
+
+class TestBoundMeasure:
+    def test_binds_parameters(self, sine_pair):
+        x, y = sine_pair
+        bound = get_measure("dtw").with_params(delta=0.0)
+        assert isinstance(bound, BoundMeasure)
+        assert bound(x, y) == pytest.approx(get_measure("dtw")(x, y, delta=0.0))
+
+    def test_name_encodes_params(self):
+        bound = get_measure("dtw").with_params(delta=5.0)
+        assert bound.name == "dtw[delta=5]"
+
+    def test_parameter_free_bound_keeps_name(self):
+        assert get_measure("euclidean").with_params().name == "euclidean"
+
+    def test_pairwise_delegates(self, rng):
+        X = rng.normal(size=(3, 10))
+        bound = get_measure("msm").with_params(c=0.1)
+        assert np.allclose(
+            bound.pairwise(X), get_measure("msm").pairwise(X, c=0.1)
+        )
+
+
+class TestRegistration:
+    def test_name_clash_rejected(self):
+        with pytest.raises(ParameterError, match="clash"):
+            register_measure(
+                DistanceMeasure(
+                    name="euclidean-clone",
+                    label="Clone",
+                    category="extra",
+                    family="special",
+                    func=lambda x, y: 0.0,
+                    aliases=("euclidean",),  # collides with ED
+                )
+            )
+
+    def test_invalid_category_rejected(self):
+        with pytest.raises(ParameterError):
+            DistanceMeasure(
+                name="bad",
+                label="Bad",
+                category="nonsense",
+                family="special",
+                func=lambda x, y: 0.0,
+            )
+
+
+class TestConvenienceFunctions:
+    def test_distance_entry_point(self):
+        assert distance([0.0, 0.0], [3.0, 4.0], "euclidean") == 5.0
+
+    def test_pairwise_entry_point(self, rng):
+        X = rng.normal(size=(4, 8))
+        D = pairwise_distances(X, measure="manhattan")
+        assert D.shape == (4, 4)
+        assert np.allclose(np.diag(D), 0.0)
+
+    def test_pairwise_length_mismatch_rejected(self, rng):
+        with pytest.raises(ParameterError, match="equal-length"):
+            pairwise_distances(
+                rng.normal(size=(2, 8)),
+                rng.normal(size=(2, 9)),
+                measure="euclidean",
+            )
+
+
+class TestRegistrationAtomicity:
+    def test_failed_registration_leaves_registry_clean(self):
+        """A clash on any alias must not leave partial keys behind."""
+        with pytest.raises(ParameterError):
+            register_measure(
+                DistanceMeasure(
+                    name="phantom-measure",
+                    label="Phantom",
+                    category="extra",
+                    family="special",
+                    func=lambda x, y: 0.0,
+                    aliases=("dtw",),  # clashes after the name would insert
+                )
+            )
+        with pytest.raises(UnknownMeasureError):
+            get_measure("phantom-measure")

@@ -1,0 +1,83 @@
+"""Tests for the paper-style table/figure renderers."""
+
+import numpy as np
+import pytest
+
+from repro.distances import category_counts
+from repro.evaluation import (
+    MeasureVariant,
+    RuntimePoint,
+    compare_to_baseline,
+    run_sweep,
+)
+from repro.evaluation.convergence import ConvergenceCurve
+from repro.reporting import (
+    format_census_table,
+    format_comparison_table,
+    format_convergence_figure,
+    format_rank_figure,
+    format_runtime_figure,
+)
+from repro.stats import nemenyi_test
+
+
+@pytest.fixture(scope="module")
+def demo_sweep(tiny_archive):
+    variants = [
+        MeasureVariant("euclidean", label="ED"),
+        MeasureVariant("manhattan", label="Manhattan"),
+        MeasureVariant("lorentzian", label="Lorentzian"),
+    ]
+    return run_sweep(variants, tiny_archive.subset(3))
+
+
+class TestComparisonTable:
+    def test_contains_all_rows_and_baseline(self, demo_sweep):
+        table = compare_to_baseline(demo_sweep, "ED")
+        text = format_comparison_table(table, "Demo")
+        assert "Demo" in text
+        assert "Manhattan" in text and "Lorentzian" in text
+        assert "ED" in text and "base" in text
+        assert "(3 datasets)" in text
+
+    def test_census_table_counts(self):
+        text = format_census_table(category_counts())
+        assert "Lock-step" in text and "52" in text
+        assert "Sliding" in text and "Elastic" in text
+
+
+class TestRankFigure:
+    def test_mentions_cd_and_measures(self, demo_sweep):
+        result = nemenyi_test(demo_sweep.labels, demo_sweep.accuracies)
+        text = format_rank_figure(result, "Figure X")
+        assert "CD=" in text
+        for name in demo_sweep.labels:
+            assert name in text
+
+    def test_cliques_listed_when_present(self, demo_sweep):
+        result = nemenyi_test(demo_sweep.labels, demo_sweep.accuracies)
+        text = format_rank_figure(result, "F")
+        if any(len(c) > 1 for c in result.cliques):
+            assert "clique" in text
+
+
+class TestRuntimeFigure:
+    def test_rows_rendered(self):
+        points = [
+            RuntimePoint("ED", 0.68, 0.001, "O(m)"),
+            RuntimePoint("DTW", 0.75, 0.8, "O(m^2)"),
+        ]
+        text = format_runtime_figure(points, "Figure 9")
+        assert "ED" in text and "O(m^2)" in text
+        assert "0.7500" in text
+
+
+class TestConvergenceFigure:
+    def test_sizes_and_errors_rendered(self):
+        curves = [
+            ConvergenceCurve("ED", (10, 20), (0.4, 0.3)),
+            ConvergenceCurve("NCC_c", (10, 20), (0.2, 0.1)),
+        ]
+        text = format_convergence_figure(curves, "Figure 10")
+        assert "10" in text and "20" in text
+        assert "0.4000" in text and "NCC_c" in text

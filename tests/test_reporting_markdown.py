@@ -1,0 +1,64 @@
+"""Tests for the markdown renderers used by EXPERIMENTS.md."""
+
+import pytest
+
+from repro.evaluation import (
+    MeasureVariant,
+    RuntimePoint,
+    compare_to_baseline,
+    run_sweep,
+)
+from repro.reporting import (
+    comparison_table_markdown,
+    rank_figure_markdown,
+    runtime_figure_markdown,
+)
+from repro.stats import nemenyi_test
+
+
+@pytest.fixture(scope="module")
+def demo_sweep(tiny_archive):
+    variants = [
+        MeasureVariant("euclidean", label="ED"),
+        MeasureVariant("manhattan", label="Manhattan"),
+        MeasureVariant("nccc", label="NCC_c"),
+    ]
+    return run_sweep(variants, tiny_archive.subset(3))
+
+
+class TestComparisonMarkdown:
+    def test_structure(self, demo_sweep):
+        table = compare_to_baseline(demo_sweep, "ED")
+        md = comparison_table_markdown(table, "Demo table")
+        assert md.startswith("### Demo table")
+        assert "| Measure | Better |" in md
+        assert "| **ED** (baseline) |" in md
+        assert "*3 datasets.*" in md
+
+    def test_one_row_per_candidate(self, demo_sweep):
+        table = compare_to_baseline(demo_sweep, "ED")
+        md = comparison_table_markdown(table, "T")
+        assert md.count("| Manhattan |") == 1
+        assert md.count("| NCC_c |") == 1
+
+
+class TestRankMarkdown:
+    def test_structure(self, demo_sweep):
+        result = nemenyi_test(demo_sweep.labels, demo_sweep.accuracies)
+        md = rank_figure_markdown(result, "Demo ranks")
+        assert "Friedman p =" in md
+        assert "Nemenyi CD =" in md
+        assert "| 1 |" in md
+        for name in demo_sweep.labels:
+            assert name in md
+
+
+class TestRuntimeMarkdown:
+    def test_rows_rendered(self):
+        points = [
+            RuntimePoint("ED", 0.65, 0.0001, "O(m)"),
+            RuntimePoint("MSM", 0.77, 1.2, "O(m^2)"),
+        ]
+        md = runtime_figure_markdown(points, "Fig 9")
+        assert "| ED | 0.6500 | 0.0001 | O(m) |" in md
+        assert "| MSM |" in md

@@ -1,0 +1,156 @@
+"""Tests for the PAA / DFT / SAX representation substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.distances.lockstep import euclidean
+from repro.exceptions import ValidationError
+from repro.normalization import zscore
+from repro.representations import (
+    dft_distance,
+    dft_inverse,
+    dft_transform,
+    gaussian_breakpoints,
+    mindist,
+    paa_distance,
+    paa_inverse,
+    paa_transform,
+    reconstruction_error,
+    sax_distance,
+    sax_to_string,
+    sax_transform,
+)
+
+series32 = arrays(
+    np.float64,
+    32,
+    elements=st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+)
+
+
+class TestPAA:
+    def test_divisible_case_is_frame_means(self):
+        x = np.arange(8, dtype=float)
+        assert paa_transform(x, 4).tolist() == [0.5, 2.5, 4.5, 6.5]
+
+    def test_full_resolution_is_identity(self):
+        x = np.arange(6, dtype=float)
+        assert np.allclose(paa_transform(x, 6), x)
+
+    def test_single_segment_is_mean(self, sine_pair):
+        x, _ = sine_pair
+        assert paa_transform(x, 1)[0] == pytest.approx(x.mean())
+
+    def test_fractional_frames_preserve_mean(self):
+        x = np.arange(10, dtype=float)
+        frames = paa_transform(x, 3)
+        assert frames.mean() == pytest.approx(x.mean())
+
+    def test_inverse_shape_and_levels(self):
+        frames = np.array([1.0, 5.0])
+        recon = paa_inverse(frames, 6)
+        assert recon.tolist() == [1.0, 1.0, 1.0, 5.0, 5.0, 5.0]
+
+    def test_invalid_segments_rejected(self):
+        with pytest.raises(ValidationError):
+            paa_transform(np.ones(4), 0)
+        with pytest.raises(ValidationError):
+            paa_transform(np.ones(4), 9)
+
+    @given(series32, series32, st.sampled_from([2, 4, 8, 16, 32]))
+    @settings(max_examples=40, deadline=None)
+    def test_lower_bounds_euclidean(self, x, y, segments):
+        assert paa_distance(x, y, segments) <= euclidean(x, y) + 1e-7
+
+    def test_bound_tightens_with_resolution(self, sine_pair):
+        x, y = sine_pair
+        d2 = paa_distance(x, y, 2)
+        d16 = paa_distance(x, y, 16)
+        full = paa_distance(x, y, x.shape[0])
+        assert d2 <= d16 + 1e-9 <= full + 1e-9
+        assert full == pytest.approx(euclidean(x, y))
+
+
+class TestDFT:
+    def test_roundtrip_with_all_coefficients(self, sine_pair):
+        x, _ = sine_pair
+        coeffs = dft_transform(x, x.shape[0] // 2 + 1)
+        assert np.allclose(dft_inverse(coeffs, x.shape[0]), x, atol=1e-9)
+
+    def test_parseval_with_all_coefficients(self, sine_pair):
+        x, y = sine_pair
+        full = x.shape[0] // 2 + 1
+        assert dft_distance(x, y, full) == pytest.approx(
+            euclidean(x, y), rel=1e-9
+        )
+
+    @given(series32, series32, st.sampled_from([1, 2, 4, 8, 17]))
+    @settings(max_examples=40, deadline=None)
+    def test_lower_bounds_euclidean(self, x, y, k):
+        assert dft_distance(x, y, k) <= euclidean(x, y) + 1e-7
+
+    def test_bound_monotone_in_coefficients(self, sine_pair):
+        x, y = sine_pair
+        d1 = dft_distance(x, y, 1)
+        d4 = dft_distance(x, y, 4)
+        d8 = dft_distance(x, y, 8)
+        assert d1 <= d4 + 1e-9 <= d8 + 2e-9
+
+    def test_reconstruction_error_decreases(self, sine_pair):
+        x, _ = sine_pair
+        errs = [reconstruction_error(x, k) for k in (1, 4, 16)]
+        assert errs[0] >= errs[1] >= errs[2]
+
+    def test_smooth_signal_compresses_well(self):
+        x = np.sin(np.linspace(0, 4 * np.pi, 64))
+        assert reconstruction_error(x, 4) < 0.05
+
+    def test_invalid_coefficient_count_rejected(self, sine_pair):
+        x, _ = sine_pair
+        with pytest.raises(ValidationError):
+            dft_transform(x, 0)
+        with pytest.raises(ValidationError):
+            dft_transform(x, x.shape[0])
+
+
+class TestSAX:
+    def test_breakpoints_equiprobable(self):
+        bps = gaussian_breakpoints(4)
+        assert bps.shape == (3,)
+        assert bps[1] == pytest.approx(0.0, abs=1e-12)
+        assert bps[0] == pytest.approx(-bps[2])
+
+    def test_word_symbols_in_alphabet(self, sine_pair):
+        x, _ = sine_pair
+        word = sax_transform(x, 8, alphabet_size=5)
+        assert word.shape == (8,)
+        assert word.min() >= 0 and word.max() <= 4
+
+    def test_string_rendering(self):
+        assert sax_to_string(np.array([0, 1, 2])) == "abc"
+
+    def test_identical_series_mindist_zero(self, sine_pair):
+        x, _ = sine_pair
+        assert sax_distance(x, x, 8) == 0.0
+
+    def test_adjacent_symbols_cost_nothing(self):
+        assert mindist([0, 1], [1, 2], original_length=16) == 0.0
+
+    def test_distant_symbols_cost_breakpoint_gap(self):
+        bps = gaussian_breakpoints(8)
+        d = mindist([0], [7], original_length=4, alphabet_size=8)
+        assert d == pytest.approx(2.0 * (bps[6] - bps[0]))
+
+    @given(series32, series32)
+    @settings(max_examples=40, deadline=None)
+    def test_mindist_lower_bounds_znormalized_ed(self, x, y):
+        zx, zy = zscore(x), zscore(y)
+        true = euclidean(zx, zy)
+        assert sax_distance(x, y, 8, alphabet_size=8) <= true + 1e-6
+
+    def test_word_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            mindist([0, 1], [0, 1, 2], original_length=8)

@@ -1,0 +1,161 @@
+"""Tests for the subsequence-search substrate (MASS, matrix profile)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.search import (
+    best_match,
+    mass,
+    matrix_profile,
+    rolling_mean_std,
+    sliding_dot_product,
+    top_k_matches,
+)
+
+
+@pytest.fixture(scope="module")
+def long_series(rng):
+    """A noisy sine with a known planted pattern and one anomaly."""
+    t = np.linspace(0, 12 * np.pi, 600)
+    base = np.sin(t) + rng.normal(0, 0.05, size=600)
+    pattern = np.concatenate([np.linspace(0, 3, 15), np.linspace(3, -1, 15)])
+    series = base.copy()
+    series[100:130] += pattern
+    series[400:430] += pattern  # the repeated motif
+    series[250:260] += 4.0  # the anomaly (discord)
+    return series, pattern
+
+
+class TestSlidingDotProduct:
+    def test_matches_naive(self, rng):
+        q = rng.normal(size=8)
+        t = rng.normal(size=50)
+        qt = sliding_dot_product(q, t)
+        naive = np.array(
+            [float(np.dot(q, t[i : i + 8])) for i in range(50 - 8 + 1)]
+        )
+        assert np.allclose(qt, naive, atol=1e-8)
+
+    def test_query_longer_than_series_rejected(self):
+        with pytest.raises(ValidationError):
+            sliding_dot_product(np.ones(10), np.ones(5))
+
+
+class TestRollingStats:
+    def test_matches_naive(self, rng):
+        t = rng.normal(size=40)
+        mean, std = rolling_mean_std(t, 7)
+        for i in range(40 - 7 + 1):
+            window = t[i : i + 7]
+            assert mean[i] == pytest.approx(window.mean())
+            assert std[i] == pytest.approx(window.std(), abs=1e-9)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValidationError):
+            rolling_mean_std(np.ones(5), 0)
+        with pytest.raises(ValidationError):
+            rolling_mean_std(np.ones(5), 6)
+
+
+class TestMASS:
+    def test_profile_length(self, rng):
+        q, t = rng.normal(size=10), rng.normal(size=100)
+        assert mass(q, t).shape == (91,)
+
+    def test_matches_naive_znormalized_ed(self, rng):
+        from repro.normalization import zscore
+
+        q = rng.normal(size=9)
+        t = rng.normal(size=60)
+        profile = mass(q, t)
+        qz = zscore(q)
+        for i in range(0, 52, 7):
+            wz = zscore(t[i : i + 9])
+            assert profile[i] == pytest.approx(
+                float(np.linalg.norm(qz - wz)), abs=1e-6
+            )
+
+    def test_exact_occurrence_found(self, long_series):
+        series, pattern = long_series
+        idx, dist = best_match(pattern, series[80:160])
+        # Pattern planted at offset 100 in the original (offset 20 here);
+        # the sine background can shift the optimum by a sample.
+        assert abs(idx - 20) <= 2
+        assert dist < 1.5  # noise + sine background perturb it slightly
+
+    def test_scale_invariance(self, rng):
+        q = rng.normal(size=12)
+        t = rng.normal(size=80)
+        assert np.allclose(mass(q, t), mass(3.0 * q + 5.0, t), atol=1e-6)
+
+    def test_profile_bounded(self, rng):
+        q = rng.normal(size=12)
+        t = rng.normal(size=80)
+        profile = mass(q, t)
+        assert (profile >= -1e-9).all()
+        # d^2 = 2q(1 - corr) with corr in [-1, 1]: max is sqrt(4q)
+        # (anti-correlated window), not sqrt(2q).
+        assert (profile <= np.sqrt(4 * 12) + 1e-6).all()
+
+    def test_constant_query_matches_constant_windows(self):
+        t = np.concatenate([np.zeros(20), np.sin(np.linspace(0, 6, 30))])
+        profile = mass(np.full(5, 2.0), t)
+        assert profile[0] == 0.0
+        assert profile[-1] > 0.0
+
+    def test_flat_windows_max_distance_vs_shaped_query(self):
+        t = np.concatenate([np.full(20, 3.0), np.sin(np.linspace(0, 6, 30))])
+        profile = mass(np.sin(np.linspace(0, 3, 5)), t)
+        assert profile[0] == pytest.approx(np.sqrt(10))
+
+
+class TestTopKMatches:
+    def test_finds_both_planted_occurrences(self, long_series):
+        series, pattern = long_series
+        hits = top_k_matches(pattern, series, k=2)
+        offsets = sorted(idx for idx, _ in hits)
+        assert abs(offsets[0] - 100) <= 3
+        assert abs(offsets[1] - 400) <= 3
+
+    def test_non_overlapping(self, long_series):
+        series, pattern = long_series
+        hits = top_k_matches(pattern, series, k=3)
+        offsets = sorted(idx for idx, _ in hits)
+        for a, b in zip(offsets, offsets[1:]):
+            assert b - a >= len(pattern) // 2
+
+
+class TestMatrixProfile:
+    def test_motif_finds_planted_repeat(self, long_series):
+        # The two pattern copies sit 300 samples apart (an exact multiple
+        # of the background sine's period, so neighboring offsets are
+        # equally valid motif anchors).
+        series, pattern = long_series
+        mp = matrix_profile(series, window=30)
+        a, b, dist = mp.motif()
+        offsets = sorted((a, b))
+        assert abs((offsets[1] - offsets[0]) - 300) <= 5
+        assert abs(offsets[0] - 100) <= 15
+        assert dist < 2.0
+
+    def test_discord_finds_anomaly(self, long_series):
+        series, _ = long_series
+        mp = matrix_profile(series, window=30)
+        (idx, _), = mp.discords(1)
+        assert 220 <= idx <= 280  # the +4 bump planted at 250..260
+
+    def test_profile_shape(self):
+        t = np.sin(np.linspace(0, 8 * np.pi, 120))
+        mp = matrix_profile(t, window=20)
+        assert mp.profile.shape == (101,)
+        assert mp.indices.shape == (101,)
+
+    def test_periodic_signal_all_low(self):
+        t = np.sin(np.linspace(0, 16 * np.pi, 300))
+        mp = matrix_profile(t, window=30)
+        assert float(np.median(mp.profile)) < 0.5
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValidationError):
+            matrix_profile(np.ones(20), window=15)

@@ -1,0 +1,77 @@
+"""Property-based oracles for the search substrate.
+
+The pruning cascade and the matrix profile are exactness-critical: a bug
+would silently change answers rather than crash. Both are checked against
+brute-force oracles over randomized inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distances.elastic import dtw
+from repro.normalization import zscore
+from repro.search import cascade_nn_search, mass, matrix_profile
+
+
+@st.composite
+def corpora(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    n = draw(st.integers(min_value=3, max_value=10))
+    m = draw(st.integers(min_value=8, max_value=24))
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, m)), rng.normal(size=m)
+
+
+class TestCascadeExactness:
+    @given(corpora(), st.sampled_from([0.0, 10.0, 100.0]))
+    @settings(max_examples=25, deadline=None)
+    def test_cascade_equals_exhaustive(self, data, delta):
+        corpus, query = data
+        idx, dist, _ = cascade_nn_search(query, corpus, delta)
+        exhaustive = [dtw(query, c, delta) for c in corpus]
+        best = min(exhaustive)
+        # Ties may resolve to different-but-equidistant candidates.
+        assert dist == pytest.approx(best)
+        assert exhaustive[idx] == pytest.approx(best)
+
+
+class TestMassOracle:
+    @given(st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_mass_equals_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        q = rng.normal(size=7)
+        t = rng.normal(size=40)
+        profile = mass(q, t)
+        qz = zscore(q)
+        brute = np.array(
+            [
+                float(np.linalg.norm(qz - zscore(t[i : i + 7])))
+                for i in range(40 - 7 + 1)
+            ]
+        )
+        assert np.allclose(profile, brute, atol=1e-6)
+
+
+class TestMatrixProfileOracle:
+    @given(st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_profile_equals_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        t = rng.normal(size=60)
+        window = 10
+        mp = matrix_profile(t, window)
+        n_sub = 60 - window + 1
+        exclusion = window // 2
+        subs = [zscore(t[i : i + window]) for i in range(n_sub)]
+        for i in range(n_sub):
+            candidates = [
+                float(np.linalg.norm(subs[i] - subs[j]))
+                for j in range(n_sub)
+                if abs(i - j) > exclusion
+            ]
+            assert mp.profile[i] == pytest.approx(
+                min(candidates), abs=1e-6
+            )

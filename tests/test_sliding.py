@@ -1,0 +1,132 @@
+"""Unit tests for the sliding measures (paper Section 6)."""
+
+import numpy as np
+import pytest
+
+from repro.distances import get_measure, list_measures
+from repro.distances.sliding import (
+    best_shift,
+    cross_correlation,
+    cross_correlation_naive,
+    ncc,
+    ncc_b,
+    ncc_c,
+    ncc_u,
+    sbd,
+)
+
+
+class TestCrossCorrelationSequence:
+    def test_length_is_2m_minus_1(self, sine_pair):
+        x, y = sine_pair
+        assert cross_correlation(x, y).shape == (2 * x.shape[0] - 1,)
+
+    def test_fft_matches_naive(self, random_pairs):
+        """Eq. (10)'s FFT path must equal the O(m^2) definition."""
+        for x, y in random_pairs:
+            assert np.allclose(
+                cross_correlation(x, y), cross_correlation_naive(x, y), atol=1e-8
+            )
+
+    def test_zero_shift_entry_is_dot_product(self, sine_pair):
+        x, y = sine_pair
+        cc = cross_correlation(x, y)
+        assert cc[x.shape[0] - 1] == pytest.approx(float(np.dot(x, y)))
+
+    def test_single_point_series(self):
+        assert cross_correlation(np.array([2.0]), np.array([3.0])).tolist() == [6.0]
+
+    def test_detects_known_shift(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=50)
+        y = np.roll(x, 7)
+        # x equals y shifted by -7: best alignment at shift -7 of y... the
+        # convention is pinned by this test: best_shift(x, np.roll(x, s)) == -s
+        # for circular shifts within +-(m-1).
+        assert best_shift(x, y) in (-7, 50 - 7)
+
+
+class TestNCCVariants:
+    def test_four_sliding_measures_registered(self):
+        assert len(list_measures("sliding")) == 4
+
+    def test_sbd_alias(self):
+        assert get_measure("sbd").name == "nccc"
+        assert sbd is ncc_c
+
+    def test_nccc_zero_for_identical(self, sine_pair):
+        x, _ = sine_pair
+        assert ncc_c(x, x) == pytest.approx(0.0, abs=1e-9)
+
+    def test_nccc_shift_invariant(self):
+        # Zero-padded cross-correlation is invariant to shifts of a
+        # compact-support pattern (a rolled tail of nonzero values would
+        # be lost to the padding — see Section 6's shifting discussion).
+        rng = np.random.default_rng(4)
+        x = np.zeros(64)
+        x[20:44] = rng.normal(size=24)
+        shifted = np.roll(x, 9)
+        assert ncc_c(x, shifted) == pytest.approx(0.0, abs=1e-9)
+
+    def test_nccc_bounded(self, random_pairs):
+        for x, y in random_pairs:
+            assert 0.0 - 1e-9 <= ncc_c(x, y) <= 2.0 + 1e-9
+
+    def test_nccc_scale_invariant(self, sine_pair):
+        x, y = sine_pair
+        assert ncc_c(x, 10.0 * y) == pytest.approx(ncc_c(x, y), abs=1e-9)
+
+    def test_nccc_of_zero_series_is_one(self):
+        assert ncc_c(np.zeros(8), np.ones(8)) == 1.0
+
+    def test_ncc_b_is_ncc_over_m(self, sine_pair):
+        x, y = sine_pair
+        assert ncc_b(x, y) == pytest.approx(ncc(x, y) / x.shape[0])
+
+    def test_ncc_u_overweights_extreme_shifts(self):
+        # A pair whose only correlation is at an extreme shift: the
+        # unbiased divisor (overlap length 1) amplifies it.
+        x = np.zeros(8)
+        x[0] = 1.0
+        y = np.zeros(8)
+        y[7] = 1.0
+        assert ncc_u(x, y) == pytest.approx(-1.0)
+        assert ncc_b(x, y) == pytest.approx(-1.0 / 8.0)
+
+    def test_symmetry_of_nccc(self, random_pairs):
+        for x, y in random_pairs:
+            assert ncc_c(x, y) == pytest.approx(ncc_c(y, x), abs=1e-9)
+
+
+class TestSlidingMatrices:
+    @pytest.mark.parametrize("name", ["ncc", "nccb", "nccu", "nccc"])
+    def test_matrix_matches_scalar(self, name, rng):
+        measure = get_measure(name)
+        X = rng.normal(size=(5, 20))
+        Y = rng.normal(size=(4, 20))
+        matrix = measure.pairwise(X, Y)
+        for i in range(5):
+            for j in range(4):
+                assert matrix[i, j] == pytest.approx(
+                    measure(X[i], Y[j]), rel=1e-7, abs=1e-9
+                )
+
+    def test_self_matrix_diagonal_zero_for_sbd(self, rng):
+        X = rng.normal(size=(6, 16))
+        W = get_measure("nccc").pairwise(X)
+        assert np.allclose(np.diag(W), 0.0, atol=1e-9)
+
+
+class TestSlidingBeatsLockstepOnShiftedData(object):
+    def test_sbd_separates_shifted_classes_better_than_ed(self, shifted_dataset):
+        """The core of misconception M3: on shift-dominated data the
+        sliding measure must clearly beat the lock-step baseline."""
+        from repro.classification import dissimilarity_matrix, one_nn_accuracy
+
+        ds = shifted_dataset
+        acc = {}
+        for name in ("euclidean", "nccc"):
+            E = dissimilarity_matrix(name, ds.test_X, ds.train_X)
+            acc[name] = one_nn_accuracy(E, ds.test_y, ds.train_y)
+        assert acc["nccc"] >= acc["euclidean"]
+        assert acc["nccc"] >= 0.8

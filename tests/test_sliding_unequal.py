@@ -1,0 +1,80 @@
+"""Unequal-length support for the sliding measures (paper Section 6 note:
+'the measure can also operate with unequal lengths')."""
+
+import numpy as np
+import pytest
+
+from repro.distances import get_measure
+from repro.distances.sliding import (
+    best_shift,
+    cross_correlation,
+    cross_correlation_naive,
+    ncc_b,
+    ncc_c,
+    ncc_u,
+)
+from repro.distances.sliding.cross_correlation import _shift_counts
+
+
+@pytest.fixture(scope="module")
+def unequal_pair(rng):
+    return rng.normal(size=40), rng.normal(size=25)
+
+
+class TestUnequalCrossCorrelation:
+    def test_sequence_length(self, unequal_pair):
+        x, y = unequal_pair
+        assert cross_correlation(x, y).shape == (40 + 25 - 1,)
+
+    def test_fft_matches_naive(self, rng):
+        for m, n in ((10, 7), (7, 10), (1, 5), (5, 1), (2, 2)):
+            x, y = rng.normal(size=m), rng.normal(size=n)
+            assert np.allclose(
+                cross_correlation(x, y),
+                cross_correlation_naive(x, y),
+                atol=1e-8,
+            ), (m, n)
+
+    def test_zero_shift_entry_is_dot_over_overlap(self, unequal_pair):
+        x, y = unequal_pair
+        cc = cross_correlation(x, y)
+        assert cc[y.shape[0] - 1] == pytest.approx(
+            float(np.dot(x[: y.shape[0]], y))
+        )
+
+    def test_shift_counts_general(self):
+        counts = _shift_counts(5, 3)
+        # shifts -2..4: overlaps 1,2,3,3,3,2,1
+        assert counts.tolist() == [1, 2, 3, 3, 3, 2, 1]
+
+    def test_best_shift_finds_embedded_pattern(self, rng):
+        pattern = rng.normal(size=12)
+        x = np.zeros(40)
+        x[17:29] = pattern
+        assert best_shift(x, pattern) == 17
+
+
+class TestUnequalVariants:
+    def test_nccc_finds_embedded_pattern(self, rng):
+        pattern = rng.normal(size=15)
+        x = np.zeros(50)
+        x[20:35] = pattern
+        # The pattern is a sub-shape of x: high correlation at shift 20.
+        assert ncc_c(x, pattern) < ncc_c(x, rng.normal(size=15))
+
+    def test_symmetry_up_to_shift_reflection(self, unequal_pair):
+        x, y = unequal_pair
+        assert ncc_c(x, y) == pytest.approx(ncc_c(y, x), abs=1e-9)
+
+    def test_ncc_b_divides_by_longer(self, unequal_pair):
+        x, y = unequal_pair
+        raw = -cross_correlation(x, y).max()
+        assert ncc_b(x, y) == pytest.approx(raw / 40)
+
+    def test_ncc_u_finite(self, unequal_pair):
+        x, y = unequal_pair
+        assert np.isfinite(ncc_u(x, y))
+
+    def test_registry_accepts_unequal(self, unequal_pair):
+        x, y = unequal_pair
+        assert np.isfinite(get_measure("sbd")(x, y))

@@ -1,0 +1,66 @@
+"""Tests for sparkline rendering and archive statistics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DatasetSpec, generate_dataset
+from repro.datasets.stats import archive_stats
+from repro.exceptions import DatasetError
+from repro.reporting import sparkline, sparkline_pair
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline(np.arange(10.0))) == 10
+
+    def test_width_resamples(self):
+        assert len(sparkline(np.arange(100.0), width=20)) == 20
+
+    def test_monotone_series_monotone_levels(self):
+        line = sparkline(np.arange(8.0))
+        assert line == "".join(sorted(line))
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_constant_series_flat(self):
+        line = sparkline(np.full(6, 2.0))
+        assert len(set(line)) == 1
+
+    def test_pair_rendering(self, sine_pair):
+        x, y = sine_pair
+        text = sparkline_pair(x, y, width=20, labels=("a", "bb"))
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a ")
+        assert lines[1].startswith("bb ")
+
+
+class TestArchiveStats:
+    def test_describes_collection(self, tiny_archive):
+        datasets = tiny_archive.subset(4)
+        stats = archive_stats(datasets)
+        assert stats.n_datasets == 4
+        assert stats.min_series <= stats.max_series
+        assert stats.min_length <= stats.max_length
+        text = stats.describe()
+        assert "4 datasets" in text
+
+    def test_balanced_off_by_one_not_counted(self):
+        # 20 series over 3 classes: sizes 7/7/6 — not imbalance.
+        spec = DatasetSpec(
+            name="B", domain="sensor", n_classes=3, length=24,
+            train_size=20, test_size=10, seed=3,
+        )
+        stats = archive_stats([generate_dataset(spec)])
+        assert stats.imbalanced_datasets == 0
+
+    def test_true_imbalance_counted(self):
+        spec = DatasetSpec(
+            name="I", domain="sensor", n_classes=3, length=24,
+            train_size=24, test_size=10, seed=3, imbalanced=True,
+        )
+        stats = archive_stats([generate_dataset(spec)])
+        assert stats.imbalanced_datasets == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            archive_stats([])

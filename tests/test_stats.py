@@ -1,0 +1,151 @@
+"""Tests for the statistical machinery (paper Section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.stats import (
+    average_ranks,
+    critical_difference,
+    friedman_test,
+    nemenyi_test,
+    q_critical,
+    rank_matrix,
+    rank_summary,
+    wilcoxon_comparison,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestWilcoxon:
+    def test_clear_improvement_detected(self, rng):
+        base = rng.uniform(0.5, 0.7, size=40)
+        cand = base + rng.uniform(0.02, 0.10, size=40)
+        result = wilcoxon_comparison(cand, base)
+        assert result.better and not result.worse
+        assert result.wins == 40 and result.losses == 0
+        assert result.marker == "v"
+
+    def test_clear_degradation_detected(self, rng):
+        base = rng.uniform(0.5, 0.7, size=40)
+        cand = base - rng.uniform(0.02, 0.10, size=40)
+        result = wilcoxon_comparison(cand, base)
+        assert result.worse and not result.better
+        assert result.marker == "*"
+
+    def test_noise_not_significant(self, rng):
+        base = rng.uniform(0.5, 0.7, size=40)
+        cand = base + rng.normal(0.0, 0.01, size=40)
+        result = wilcoxon_comparison(cand, base)
+        assert not (result.better and result.worse)
+
+    def test_identical_vectors(self):
+        acc = np.full(20, 0.8)
+        result = wilcoxon_comparison(acc, acc)
+        assert result.p_value == 1.0
+        assert result.ties == 20
+        assert not result.better and not result.worse
+
+    def test_counts_partition_datasets(self, rng):
+        base = rng.uniform(0.4, 0.9, size=30)
+        cand = base.copy()
+        cand[:10] += 0.05
+        cand[10:15] -= 0.05
+        result = wilcoxon_comparison(cand, base)
+        assert result.wins == 10 and result.losses == 5 and result.ties == 15
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(EvaluationError):
+            wilcoxon_comparison(np.ones(3), np.ones(4))
+
+    def test_too_few_informative_datasets_is_insignificant(self):
+        base = np.array([0.5, 0.5, 0.5])
+        cand = np.array([0.6, 0.5, 0.5])
+        result = wilcoxon_comparison(cand, base)
+        assert not result.better
+
+
+class TestRanking:
+    def test_rank_matrix_best_gets_one(self):
+        acc = np.array([[0.9, 0.5, 0.7]])
+        assert rank_matrix(acc).tolist() == [[1.0, 3.0, 2.0]]
+
+    def test_ties_get_average_rank(self):
+        acc = np.array([[0.9, 0.9, 0.5]])
+        assert rank_matrix(acc).tolist() == [[1.5, 1.5, 3.0]]
+
+    def test_average_ranks_across_datasets(self):
+        acc = np.array([[0.9, 0.5], [0.5, 0.9]])
+        assert average_ranks(acc).tolist() == [1.5, 1.5]
+
+    def test_rank_summary_sorted_best_first(self):
+        acc = np.array([[0.2, 0.9, 0.5], [0.1, 0.8, 0.6]])
+        summary = rank_summary(["a", "b", "c"], acc)
+        assert summary.names == ("b", "c", "a")
+        assert summary.ranks[0] == 1.0
+
+    def test_name_count_checked(self):
+        with pytest.raises(EvaluationError):
+            rank_summary(["a"], np.ones((2, 2)))
+
+
+class TestFriedman:
+    def test_obvious_difference_significant(self, rng):
+        n = 30
+        good = rng.uniform(0.8, 0.9, size=n)
+        mid = rng.uniform(0.6, 0.7, size=n)
+        bad = rng.uniform(0.3, 0.4, size=n)
+        result = friedman_test(np.column_stack([good, mid, bad]))
+        assert result.significant
+        assert result.average_ranks[0] < result.average_ranks[2]
+
+    def test_identical_columns_insignificant(self):
+        acc = np.tile(np.linspace(0.5, 0.9, 10)[:, None], (1, 3))
+        result = friedman_test(acc)
+        assert not result.significant
+
+    def test_needs_three_measures(self):
+        with pytest.raises(EvaluationError):
+            friedman_test(np.ones((5, 2)))
+
+    def test_needs_two_datasets(self):
+        with pytest.raises(EvaluationError):
+            friedman_test(np.ones((1, 3)))
+
+
+class TestNemenyi:
+    def test_q_critical_matches_demsar_table(self):
+        assert q_critical(2, 0.05) == pytest.approx(1.960, abs=0.01)
+        assert q_critical(10, 0.05) == pytest.approx(3.164, abs=0.01)
+        assert q_critical(5, 0.10) == pytest.approx(2.459, abs=0.01)
+
+    def test_cd_formula(self):
+        # CD = q * sqrt(k(k+1)/(6N))
+        cd = critical_difference(5, 60, alpha=0.05)
+        assert cd == pytest.approx(2.728 * np.sqrt(5 * 6 / (6 * 60)), abs=0.01)
+
+    def test_cd_shrinks_with_more_datasets(self):
+        assert critical_difference(5, 200) < critical_difference(5, 20)
+
+    def test_cliques_merge_close_measures(self, rng):
+        n = 50
+        a = rng.uniform(0.80, 0.90, size=n)
+        b = a + rng.normal(0, 0.005, size=n)  # statistically tied with a
+        c = rng.uniform(0.30, 0.40, size=n)  # clearly worse
+        result = nemenyi_test(["a", "b", "c"], np.column_stack([a, b, c]))
+        assert result.significant
+        top_clique = result.cliques[0]
+        assert set(top_clique) >= {"a", "b"}
+        assert result.significantly_worse_than_best("c")
+
+    def test_difference_from_best(self, rng):
+        acc = np.column_stack(
+            [rng.uniform(0.8, 0.9, 20), rng.uniform(0.4, 0.5, 20), rng.uniform(0.1, 0.2, 20)]
+        )
+        result = nemenyi_test(["x", "y", "z"], acc)
+        assert result.difference_from_best(result.names[0]) == 0.0
+        assert result.difference_from_best(result.names[-1]) > 0.0

@@ -1,0 +1,106 @@
+"""Unit tests for input validation/coercion helpers."""
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    EPS,
+    as_dataset,
+    as_labels,
+    as_pair,
+    as_series,
+    check_positive,
+    check_probability_like,
+)
+from repro.exceptions import ValidationError
+
+
+class TestAsSeries:
+    def test_list_coerced_to_float64(self):
+        out = as_series([1, 2, 3])
+        assert out.dtype == np.float64
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_row_vector_flattened(self):
+        out = as_series(np.ones((1, 5)))
+        assert out.shape == (5,)
+
+    def test_column_vector_flattened(self):
+        out = as_series(np.ones((5, 1)))
+        assert out.shape == (5,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            as_series([])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValidationError):
+            as_series(np.ones((2, 3)))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            as_series([1.0, np.nan, 2.0])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValidationError):
+            as_series([1.0, np.inf])
+
+    def test_contiguous_output(self):
+        strided = np.arange(20, dtype=np.float64)[::2]
+        out = as_series(strided)
+        assert out.flags["C_CONTIGUOUS"]
+
+
+class TestAsPair:
+    def test_equal_length_enforced(self):
+        with pytest.raises(ValidationError, match="equal length"):
+            as_pair([1.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_unequal_allowed_when_requested(self):
+        x, y = as_pair([1.0, 2.0], [1.0, 2.0, 3.0], require_equal_length=False)
+        assert x.shape == (2,) and y.shape == (3,)
+
+
+class TestAsDataset:
+    def test_single_series_promoted(self):
+        out = as_dataset([1.0, 2.0, 3.0])
+        assert out.shape == (1, 3)
+
+    def test_matrix_passthrough(self):
+        out = as_dataset(np.ones((4, 6)))
+        assert out.shape == (4, 6)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValidationError):
+            as_dataset(np.ones((2, 3, 4)))
+
+    def test_nan_rejected(self):
+        data = np.ones((2, 3))
+        data[0, 1] = np.nan
+        with pytest.raises(ValidationError):
+            as_dataset(data)
+
+
+class TestAsLabels:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            as_labels([0, 1], 3)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValidationError):
+            as_labels(np.zeros((2, 2)), 2)
+
+
+class TestScalarChecks:
+    def test_check_positive_accepts(self):
+        assert check_positive(1.5, "x") == 1.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_check_positive_rejects(self, bad):
+        with pytest.raises(ValidationError):
+            check_positive(bad, "x")
+
+    def test_probability_clip_floors_values(self):
+        out = check_probability_like(np.array([-1.0, 0.0, 0.5]))
+        assert (out >= EPS).all()
+        assert out[2] == 0.5
