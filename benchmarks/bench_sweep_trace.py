@@ -1,0 +1,88 @@
+"""Sweep timing smoke bench: serial vs parallel vs traced.
+
+Runs one small sweep three ways — serial with no sinks, serial with a
+``--trace``-style JSON-lines sink, and parallel — and writes the wall
+clocks plus the tracing overhead to ``BENCH_sweep.json``. CI uploads the
+file on every push so the runtime trajectory of the evaluation stack is
+tracked alongside correctness.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_sweep_trace.py [--out PATH]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import repro
+from repro.evaluation import MeasureVariant, run_sweep, run_sweep_parallel
+from repro.observability import summarize_trace, trace_to
+
+N_DATASETS = int(os.environ.get("REPRO_BENCH_DATASETS", "6"))
+SIZE_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+
+VARIANTS = (
+    MeasureVariant("euclidean", label="ED"),
+    MeasureVariant("lorentzian", label="Lorentzian"),
+    MeasureVariant("sbd", label="NCC_c"),
+    MeasureVariant("msm", params={"c": 0.5}, label="MSM"),
+)
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def main(out: str | Path = "BENCH_sweep.json") -> dict:
+    """Run the smoke sweep three ways and persist the timing record."""
+    archive = repro.default_archive(n_datasets=16, size_scale=SIZE_SCALE, seed=7)
+    datasets = archive.subset(N_DATASETS)
+    variants = list(VARIANTS)
+
+    # Warm-up: registry imports, FFT plans, dataset generation.
+    run_sweep(variants[:1], datasets[:1])
+
+    serial_seconds = _timed(lambda: run_sweep(variants, datasets))
+
+    trace_path = Path(tempfile.mkdtemp()) / "bench_trace.jsonl"
+
+    def traced() -> None:
+        with trace_to(trace_path):
+            run_sweep(variants, datasets)
+
+    traced_seconds = _timed(traced)
+    parallel_seconds = _timed(
+        lambda: run_sweep_parallel(variants, datasets, n_jobs=2)
+    )
+    summary = summarize_trace(trace_path)
+
+    record = {
+        "n_datasets": len(datasets),
+        "n_variants": len(variants),
+        "serial_seconds": round(serial_seconds, 4),
+        "traced_seconds": round(traced_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "trace_overhead_pct": round(
+            100.0 * (traced_seconds - serial_seconds) / serial_seconds, 2
+        ),
+        "trace_events": summary.n_events,
+        "per_variant_seconds": {
+            row.label: round(row.total_seconds, 4) for row in summary.variants
+        },
+    }
+    Path(out).write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(record, indent=2, sort_keys=True))
+    return record
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_sweep.json")
+    sys.exit(0 if main(parser.parse_args().out) else 1)

@@ -20,6 +20,7 @@ from repro.evaluation import (
     reduced_grid,
     run_sweep,
 )
+from repro.observability import ProgressSink, get_bus
 from repro.reporting import format_comparison_table, format_rank_figure
 from repro.stats import nemenyi_test
 
@@ -42,7 +43,8 @@ def main(n_datasets: int = 10) -> None:
         ),
         MeasureVariant("kdtw", params={"gamma": 0.125}, label="KDTW"),
     ]
-    sweep = run_sweep(variants, datasets, progress=lambda line: print("  " + line))
+    with get_bus().sink(ProgressSink(stream=sys.stdout)):
+        sweep = run_sweep(variants, datasets)
     print()
 
     table = compare_to_baseline(sweep, "NCC_c")

@@ -11,7 +11,9 @@ The package implements the paper's full measurement apparatus:
 - Wilcoxon / Friedman / Nemenyi statistical validation (:mod:`repro.stats`);
 - a UCR-archive loader plus an offline synthetic substitute
   (:mod:`repro.datasets`);
-- paper-style table/figure renderers (:mod:`repro.reporting`).
+- paper-style table/figure renderers (:mod:`repro.reporting`);
+- an observability layer — span/counter event bus, trace files, progress
+  sinks (:mod:`repro.observability`, :func:`trace_to`, :func:`get_recorder`).
 
 Quickstart::
 
@@ -37,6 +39,7 @@ from .classification.kernel_classifier import KernelRidgeClassifier
 from .clustering import adjusted_rand_index, kmedoids, kshape
 from .datasets import Dataset, default_archive, generate_dataset, load_ucr
 from .distances import (
+    describe_measure,
     distance,
     get_measure,
     iter_measures,
@@ -51,9 +54,18 @@ from .evaluation import (
 )
 from .exceptions import ReproError
 from .normalization import get_normalizer, list_normalizers, normalize
+from .observability import (
+    EventBus,
+    JsonlSink,
+    ProgressSink,
+    Recorder,
+    get_bus,
+    get_recorder,
+    trace_to,
+)
 from .stats import friedman_test, nemenyi_test, wilcoxon_comparison
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -63,6 +75,7 @@ __all__ = [
     "distance",
     "pairwise_distances",
     "get_measure",
+    "describe_measure",
     "list_measures",
     "iter_measures",
     # normalization
@@ -97,4 +110,12 @@ __all__ = [
     "wilcoxon_comparison",
     "friedman_test",
     "nemenyi_test",
+    # observability
+    "trace_to",
+    "get_recorder",
+    "get_bus",
+    "EventBus",
+    "Recorder",
+    "JsonlSink",
+    "ProgressSink",
 ]

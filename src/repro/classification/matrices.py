@@ -15,6 +15,7 @@ import numpy as np
 from .._validation import EPS, as_dataset
 from ..distances.base import DistanceMeasure, get_measure
 from ..normalization import Normalizer, get_normalizer
+from ..observability import get_bus
 
 
 def dissimilarity_matrix(
@@ -28,16 +29,29 @@ def dissimilarity_matrix(
 
     ``Y=None`` produces the self-distance matrix ``W``; otherwise the
     test-vs-train matrix ``E`` (paper Section 3 notation).
+
+    Every call emits a ``matrix.compute`` span carrying the measure,
+    matrix kind, normalization, shape and resolved parameters — the
+    finest-grained level of the evaluation trace.
     """
     measure = get_measure(measure)
-    if normalization is None:
-        return measure.pairwise(X, Y, **params)
-    norm = get_normalizer(normalization)
-    if not norm.is_pairwise:
-        Xn = norm.apply_dataset(as_dataset(X))
-        Yn = None if Y is None else norm.apply_dataset(as_dataset(Y))
-        return measure.pairwise(Xn, Yn, **params)
-    return _pairwise_normalized(measure, norm, X, Y, **params)
+    norm = None if normalization is None else get_normalizer(normalization)
+    with get_bus().span(
+        "matrix.compute",
+        measure=measure.name,
+        kind="W" if Y is None else "E",
+        normalization=None if norm is None else norm.name,
+        n_x=len(X),
+        n_y=len(X) if Y is None else len(Y),
+        params=measure.resolve_params(params),
+    ):
+        if norm is None:
+            return measure.pairwise(X, Y, **params)
+        if not norm.is_pairwise:
+            Xn = norm.apply_dataset(as_dataset(X))
+            Yn = None if Y is None else norm.apply_dataset(as_dataset(Y))
+            return measure.pairwise(Xn, Yn, **params)
+        return _pairwise_normalized(measure, norm, X, Y, **params)
 
 
 def _pairwise_normalized(

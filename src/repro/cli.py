@@ -10,12 +10,19 @@ Subcommands mirror what a practitioner reproducing the paper needs:
   markers and average ranks;
 - ``experiment`` — run a named paper experiment (``table2`` .. ``table7``,
   ``figure2`` .. ``figure8``) end to end;
-- ``catalog``   — emit the generated measure reference (docs/measures.md).
+- ``catalog``   — emit the generated measure reference (docs/measures.md);
+- ``trace``     — summarize a ``--trace`` JSON-lines file into a
+  per-measure time/accuracy breakdown.
+
+The sweep-running subcommands (``evaluate``, ``compare``, ``experiment``)
+accept ``--trace PATH`` to capture an observability trace and
+``--progress`` for live per-cell lines on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Sequence
 
@@ -30,6 +37,18 @@ from .evaluation import (
 from .normalization import describe_normalizations
 from .reporting import format_comparison_table, format_rank_figure
 from .stats import nemenyi_test
+
+
+def _add_observability_args(parser: argparse.ArgumentParser) -> None:
+    """Shared ``--trace`` / ``--progress`` flags for sweep subcommands."""
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write an observability trace (JSON lines) to PATH",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print live per-cell progress lines to stderr",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -63,12 +82,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument(
         "--scale", type=float, default=0.5, help="archive size scale"
     )
+    _add_observability_args(p_eval)
 
     p_cmp = sub.add_parser("compare", help="paper-style baseline comparison")
     p_cmp.add_argument("measures", nargs="+", help="candidate measure names")
     p_cmp.add_argument("--baseline", default="nccc")
     p_cmp.add_argument("--datasets", type=int, default=8)
     p_cmp.add_argument("--scale", type=float, default=0.5)
+    _add_observability_args(p_cmp)
 
     sub.add_parser("catalog", help="print the markdown measure catalog")
 
@@ -80,6 +101,19 @@ def _build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--scale", type=float, default=0.5)
     p_exp.add_argument(
         "--jobs", type=int, default=1, help="worker processes for the sweep"
+    )
+    _add_observability_args(p_exp)
+
+    p_trace = sub.add_parser(
+        "trace", help="work with observability traces (--trace output)"
+    )
+    p_trace.add_argument(
+        "action", choices=["summarize"], help="what to do with the trace"
+    )
+    p_trace.add_argument("path", help="JSON-lines trace file to read")
+    p_trace.add_argument(
+        "--datasets", type=int, default=10,
+        help="how many slowest datasets to list",
     )
     return parser
 
@@ -188,6 +222,22 @@ def cmd_catalog(_: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Summarize a trace file into per-measure/per-dataset tables."""
+    from .observability import summarize_trace
+    from .reporting import format_trace_summary
+
+    summary = summarize_trace(args.path)
+    print(
+        format_trace_summary(
+            summary,
+            title=f"Trace summary: {args.path}",
+            max_datasets=args.datasets,
+        )
+    )
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     """Run a named paper experiment (or list them)."""
     from .evaluation import (
@@ -232,13 +282,22 @@ _COMMANDS = {
     "compare": cmd_compare,
     "catalog": cmd_catalog,
     "experiment": cmd_experiment,
+    "trace": cmd_trace,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    with contextlib.ExitStack() as stack:
+        if getattr(args, "trace", None) or getattr(args, "progress", False):
+            from .observability import ProgressSink, get_bus, trace_to
+
+            if getattr(args, "trace", None):
+                stack.enter_context(trace_to(args.trace))
+            if getattr(args, "progress", False):
+                stack.enter_context(get_bus().sink(ProgressSink()))
+        return _COMMANDS[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -21,6 +21,7 @@ from .base import (
     DistanceMeasure,
     ParamSpec,
     category_counts,
+    describe_measure,
     distance,
     get_measure,
     iter_measures,
@@ -37,6 +38,7 @@ __all__ = [
     "distance",
     "pairwise_distances",
     "get_measure",
+    "describe_measure",
     "list_measures",
     "iter_measures",
     "register_measure",

@@ -286,18 +286,88 @@ def category_counts() -> dict[str, int]:
     return counts
 
 
-def distance(x, y, measure: str = "euclidean", **params: float) -> float:
+def describe_measure(name: str | DistanceMeasure) -> dict:
+    """Registry metadata of a measure as a plain dict.
+
+    The public, serialization-friendly view of the registry — category,
+    survey family, complexity, aliases and the full Table 4 parameter
+    grids — for tooling that should not depend on the
+    :class:`DistanceMeasure` dataclass.
+
+    >>> from repro.distances import describe_measure
+    >>> describe_measure("sbd")["category"]
+    'sliding'
+    """
+    measure = get_measure(name)
+    return {
+        "name": measure.name,
+        "label": measure.label,
+        "category": measure.category,
+        "family": measure.family,
+        "complexity": measure.complexity,
+        "aliases": list(measure.aliases),
+        "description": measure.description,
+        "symmetric": measure.symmetric,
+        "requires_nonnegative": measure.requires_nonnegative,
+        "equal_length_only": measure.equal_length_only,
+        "vectorized": measure.matrix_func is not None,
+        "params": [
+            {
+                "name": spec.name,
+                "default": spec.default,
+                "grid": list(spec.grid),
+                "description": spec.description,
+            }
+            for spec in measure.params
+        ],
+    }
+
+
+def distance(
+    x,
+    y,
+    measure: str = "euclidean",
+    normalization: str | None = None,
+    **params: float,
+) -> float:
     """Convenience one-shot distance between two series.
+
+    ``normalization`` names one of the 8 Section 4 methods and is applied
+    to the pair before comparison, through the same normalizer dispatch
+    as :func:`repro.dissimilarity_matrix` (per-series methods normalize
+    each side; AdaptiveScaling scales the pair jointly).
 
     >>> from repro.distances import distance
     >>> distance([0.0, 1.0, 0.0], [0.0, 1.0, 0.0])
     0.0
+    >>> distance([0.0, 2.0, 0.0], [0.0, 4.0, 0.0], "euclidean",
+    ...          normalization="unitlength")
+    0.0
     """
-    return get_measure(measure)(x, y, **params)
+    m = get_measure(measure)
+    if normalization is None:
+        return m(x, y, **params)
+    from ..normalization import get_normalizer  # local: keeps layering acyclic
+
+    a, b = get_normalizer(normalization).apply_pair(
+        np.asarray(x, dtype=np.float64), np.asarray(y, dtype=np.float64)
+    )
+    return m(a, b, **params)
 
 
 def pairwise_distances(
-    X, Y=None, measure: str = "euclidean", **params: float
+    X,
+    Y=None,
+    measure: str = "euclidean",
+    normalization: str | None = None,
+    **params: float,
 ) -> np.ndarray:
-    """Convenience pairwise matrix for a named measure."""
-    return get_measure(measure).pairwise(X, Y, **params)
+    """Convenience pairwise matrix for a named measure.
+
+    Delegates to the same code path as :func:`repro.dissimilarity_matrix`
+    (so ``normalization=`` behaves identically everywhere and the call is
+    traced as a ``matrix.compute`` span).
+    """
+    from ..classification.matrices import dissimilarity_matrix  # local: avoids cycle
+
+    return dissimilarity_matrix(measure, X, Y, normalization, **params)

@@ -21,10 +21,20 @@ from ..classification.matrices import dissimilarity_matrix
 from ..datasets.base import Dataset
 from ..distances.base import get_measure
 from ..exceptions import EvaluationError
+from ..observability import get_bus
 
 
 class MatrixCache:
     """File-backed cache of W/E dissimilarity matrices.
+
+    Cache traffic is reported through the observability bus as the
+    monotonic counters ``cache.hit``, ``cache.miss``, ``cache.corrupt``
+    and ``cache.write_bytes``; the ``hits`` / ``misses`` / ``corrupt``
+    attributes mirror the per-instance totals for direct inspection.
+
+    Corrupt or truncated ``.npz`` files (killed runs, full disks) are
+    self-healing: a failed load counts ``cache.corrupt``, deletes the
+    file and recomputes instead of raising.
 
     >>> import tempfile
     >>> from repro.datasets import default_archive
@@ -43,6 +53,7 @@ class MatrixCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     # ------------------------------------------------------------------
     def _key(
@@ -82,13 +93,17 @@ class MatrixCache:
     ) -> np.ndarray:
         if matrix_kind not in ("W", "E"):
             raise EvaluationError(f"matrix kind must be 'W' or 'E', got {matrix_kind!r}")
+        bus = get_bus()
         key = self._key(dataset, matrix_kind, measure, normalization, params)
         path = self._path(key)
         if path.exists():
-            self.hits += 1
-            with np.load(path) as payload:
-                return payload["matrix"]
+            matrix = self._load(path)
+            if matrix is not None:
+                self.hits += 1
+                bus.count("cache.hit", kind=matrix_kind)
+                return matrix
         self.misses += 1
+        bus.count("cache.miss", kind=matrix_kind)
         if matrix_kind == "W":
             matrix = dissimilarity_matrix(
                 measure, dataset.train_X, None, normalization, **params
@@ -98,7 +113,28 @@ class MatrixCache:
                 measure, dataset.test_X, dataset.train_X, normalization, **params
             )
         np.savez_compressed(path, matrix=matrix)
+        bus.count("cache.write_bytes", path.stat().st_size)
         return matrix
+
+    def _load(self, path: Path) -> np.ndarray | None:
+        """Load a cached matrix; quarantine corrupt files and miss instead.
+
+        ``np.load`` raises a zoo of exceptions on truncated archives
+        (``BadZipFile``, ``OSError``, ``KeyError``, ``ValueError``), so
+        anything unexpected is treated as corruption: count it, delete
+        the file, and let the caller recompute.
+        """
+        try:
+            with np.load(path) as payload:
+                return np.asarray(payload["matrix"])
+        except Exception:
+            self.corrupt += 1
+            get_bus().count("cache.corrupt")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
 
     def train_matrix(
         self,
@@ -121,13 +157,22 @@ class MatrixCache:
         return self._get_or_compute(dataset, "E", measure, normalization, params)
 
     # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Per-instance traffic totals (mirrored on the global bus)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "size_bytes": self.size_bytes(),
+        }
+
     def clear(self) -> int:
         """Delete all cached matrices; returns the number removed."""
         removed = 0
         for path in self.directory.glob("*.npz"):
             path.unlink()
             removed += 1
-        self.hits = self.misses = 0
+        self.hits = self.misses = self.corrupt = 0
         return removed
 
     def size_bytes(self) -> int:

@@ -7,6 +7,7 @@ benches can dump them for EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
@@ -14,6 +15,7 @@ import numpy as np
 
 from ..datasets.base import Dataset
 from ..exceptions import EvaluationError
+from ..observability import get_bus
 from .variants import MeasureVariant, VariantResult
 
 
@@ -79,9 +81,22 @@ def run_sweep(
 ) -> SweepResult:
     """Evaluate every variant on every dataset.
 
-    ``progress`` receives one human-readable line per (variant, dataset)
-    pair — benches pass ``print`` for long sweeps.
+    Emits ``sweep`` / ``sweep.variant`` / ``sweep.cell`` spans into the
+    observability bus (see :mod:`repro.observability`); attach a
+    :class:`~repro.observability.ProgressSink` for live per-cell lines.
+
+    .. deprecated:: 1.1
+        The ``progress`` callback still works but is superseded by
+        ``ProgressSink``, which also covers parallel sweeps.
     """
+    if progress is not None:
+        warnings.warn(
+            "run_sweep(progress=...) is deprecated; attach a "
+            "repro.observability.ProgressSink to the event bus instead "
+            "(it also covers run_sweep_parallel)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     dataset_list = list(datasets)
     if not dataset_list or not variants:
         raise EvaluationError("need at least one dataset and one variant")
@@ -89,19 +104,28 @@ def run_sweep(
     accuracies = np.empty((n_d, n_v), dtype=np.float64)
     runtimes = np.empty((n_d, n_v), dtype=np.float64)
     details: list[tuple[VariantResult, ...]] = []
-    for vi, variant in enumerate(variants):
-        per_dataset: list[VariantResult] = []
-        for di, dataset in enumerate(dataset_list):
-            result = variant.evaluate(dataset)
-            accuracies[di, vi] = result.accuracy
-            runtimes[di, vi] = result.inference_seconds
-            per_dataset.append(result)
-            if progress is not None:
-                progress(
-                    f"{variant.display} on {dataset.name}: "
-                    f"acc={result.accuracy:.4f}"
-                )
-        details.append(tuple(per_dataset))
+    bus = get_bus()
+    with bus.span("sweep", n_variants=n_v, n_datasets=n_d):
+        for vi, variant in enumerate(variants):
+            per_dataset: list[VariantResult] = []
+            with bus.span("sweep.variant", variant=variant.display):
+                for di, dataset in enumerate(dataset_list):
+                    with bus.span(
+                        "sweep.cell",
+                        variant=variant.display,
+                        dataset=dataset.name,
+                    ) as cell:
+                        result = variant.evaluate(dataset)
+                        cell.set(accuracy=result.accuracy)
+                    accuracies[di, vi] = result.accuracy
+                    runtimes[di, vi] = result.inference_seconds
+                    per_dataset.append(result)
+                    if progress is not None:
+                        progress(
+                            f"{variant.display} on {dataset.name}: "
+                            f"acc={result.accuracy:.4f}"
+                        )
+            details.append(tuple(per_dataset))
     return SweepResult(
         variants=tuple(variants),
         dataset_names=tuple(ds.name for ds in dataset_list),

@@ -20,6 +20,7 @@ from ..datasets.base import Dataset
 from ..distances.base import get_measure
 from ..embeddings.base import get_embedding, list_embeddings
 from ..exceptions import ParameterError
+from ..observability import get_bus
 
 
 @dataclass(frozen=True)
@@ -98,15 +99,19 @@ class MeasureVariant:
         """
         if self.is_embedding:
             return self._evaluate_embedding(dataset)
+        bus = get_bus()
         measure = get_measure(self.measure)
         if self.tuning == "loocv":
-            tuned = tune_parameters(
-                measure,
-                dataset.train_X,
-                dataset.train_y,
-                self.normalization,
-                self.grid,
-            )
+            with bus.span(
+                "variant.tune", variant=self.display, dataset=dataset.name
+            ):
+                tuned = tune_parameters(
+                    measure,
+                    dataset.train_X,
+                    dataset.train_y,
+                    self.normalization,
+                    self.grid,
+                )
             params = tuned.params
         else:
             params = measure.resolve_params(dict(self.params))
@@ -116,12 +121,23 @@ class MeasureVariant:
         )
         accuracy = one_nn_accuracy(E, dataset.test_y, dataset.train_y)
         elapsed = time.perf_counter() - start
+        bus.emit_span(
+            "variant.inference",
+            elapsed,
+            variant=self.display,
+            dataset=dataset.name,
+            accuracy=accuracy,
+        )
         return VariantResult(dataset.name, accuracy, elapsed, dict(params))
 
     def _evaluate_embedding(self, dataset: Dataset) -> VariantResult:
+        bus = get_bus()
         embedding = get_embedding(self.measure, **dict(self.params))
-        embedding.fit(dataset.train_X)
-        z_train = embedding.transform(dataset.train_X)
+        with bus.span(
+            "variant.fit", variant=self.display, dataset=dataset.name
+        ):
+            embedding.fit(dataset.train_X)
+            z_train = embedding.transform(dataset.train_X)
         start = time.perf_counter()
         z_test = embedding.transform(dataset.test_X)
         from ..embeddings.base import _euclidean_matrix
@@ -129,4 +145,11 @@ class MeasureVariant:
         E = _euclidean_matrix(z_test, z_train)
         accuracy = one_nn_accuracy(E, dataset.test_y, dataset.train_y)
         elapsed = time.perf_counter() - start
+        bus.emit_span(
+            "variant.inference",
+            elapsed,
+            variant=self.display,
+            dataset=dataset.name,
+            accuracy=accuracy,
+        )
         return VariantResult(dataset.name, accuracy, elapsed, dict(self.params))

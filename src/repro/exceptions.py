@@ -57,3 +57,7 @@ class ParameterError(ReproError, ValueError):
 
 class EvaluationError(ReproError):
     """An experiment could not be evaluated (e.g. empty split)."""
+
+
+class TraceError(ReproError):
+    """A trace file could not be read or summarized."""

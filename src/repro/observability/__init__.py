@@ -1,0 +1,102 @@
+"""Lightweight, dependency-free instrumentation for the evaluation stack.
+
+Three pieces:
+
+- a process-global :class:`EventBus` (:func:`get_bus`) that library code
+  emits *spans* (timed regions) and *counters* into — near-zero cost
+  when no sink is attached;
+- pluggable sinks: in-memory :class:`Recorder`, JSON-lines
+  :class:`JsonlSink` (the CLI's ``--trace``), human-readable
+  :class:`ProgressSink`;
+- trace aggregation (:func:`summarize_trace`) feeding the
+  ``repro trace summarize`` report.
+
+Quickstart::
+
+    import repro
+
+    with repro.trace_to("out.jsonl"):
+        repro.run_sweep(variants, datasets)
+    # later: python -m repro trace summarize out.jsonl
+
+or, in-process::
+
+    recorder = repro.get_recorder()
+    repro.run_sweep(variants, datasets)
+    recorder.total_seconds("sweep.cell")
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+from .bus import COUNTER, SPAN, Event, EventBus, Sink, get_bus
+from .sinks import JsonlSink, ProgressSink, Recorder, replay_dicts
+from .summary import (
+    TraceSummary,
+    VariantTraceRow,
+    load_trace,
+    span_signature,
+    summarize_events,
+    summarize_trace,
+)
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "Sink",
+    "SPAN",
+    "COUNTER",
+    "get_bus",
+    "Recorder",
+    "JsonlSink",
+    "ProgressSink",
+    "replay_dicts",
+    "TraceSummary",
+    "VariantTraceRow",
+    "load_trace",
+    "summarize_events",
+    "summarize_trace",
+    "span_signature",
+    "trace_to",
+    "get_recorder",
+]
+
+
+@contextmanager
+def trace_to(path: str | Path) -> Iterator[JsonlSink]:
+    """Write every event emitted inside the block to a JSON-lines file.
+
+    The file is truncated on entry and closed on exit, so each ``with``
+    block produces one self-contained trace::
+
+        with repro.trace_to("out.jsonl"):
+            repro.run_sweep(variants, datasets)
+    """
+    sink = JsonlSink(path)
+    bus = get_bus()
+    bus.attach(sink)
+    try:
+        yield sink
+    finally:
+        bus.detach(sink)
+        sink.close()
+
+
+_GLOBAL_RECORDER: Recorder | None = None
+
+
+def get_recorder() -> Recorder:
+    """The process-global :class:`Recorder`, attached on first call.
+
+    Once requested, the recorder stays attached for the life of the
+    process (so spans keep costing a list append); call
+    :meth:`Recorder.clear` between measurements to bound memory.
+    """
+    global _GLOBAL_RECORDER
+    if _GLOBAL_RECORDER is None:
+        _GLOBAL_RECORDER = Recorder()
+        get_bus().attach(_GLOBAL_RECORDER)
+    return _GLOBAL_RECORDER

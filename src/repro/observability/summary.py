@@ -1,0 +1,166 @@
+"""Trace aggregation: turn raw events into per-measure/per-dataset tables.
+
+Consumed by ``repro trace summarize`` and the CI smoke bench. Works on
+events from any source — a :class:`~repro.observability.sinks.Recorder`,
+a ``--trace`` JSON-lines file, or replayed worker captures — because all
+of them speak :class:`~repro.observability.bus.Event`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..exceptions import TraceError
+from .bus import COUNTER, SPAN, Event
+
+
+@dataclass(frozen=True)
+class VariantTraceRow:
+    """Aggregated trace statistics for one sweep variant."""
+
+    label: str
+    cells: int
+    total_seconds: float
+    mean_accuracy: float
+
+    @property
+    def seconds_per_cell(self) -> float:
+        """Average wall-clock seconds per (variant, dataset) cell."""
+        return self.total_seconds / self.cells if self.cells else 0.0
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Per-variant and per-dataset time breakdown of one trace.
+
+    ``variants`` aggregates ``sweep.cell`` spans by variant label;
+    ``datasets`` by dataset name. ``counters`` holds every monotonic
+    counter total seen in the trace (cache hits, corrupt files, ...).
+    """
+
+    variants: tuple[VariantTraceRow, ...]
+    datasets: tuple[tuple[str, float], ...]
+    counters: dict[str, float]
+    sweep_seconds: float
+    n_events: int
+
+    @property
+    def total_cell_seconds(self) -> float:
+        """Summed duration of all cell spans (the attributable time)."""
+        return sum(row.total_seconds for row in self.variants)
+
+
+def load_trace(path: str | Path) -> list[Event]:
+    """Parse a ``--trace`` JSON-lines file back into events.
+
+    Blank lines are skipped; a malformed line raises :class:`TraceError`
+    naming the line number (truncated tails from killed runs are the
+    expected cause).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace file not found: {path}")
+    events: list[Event] = []
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                events.append(Event.from_dict(payload))
+            except (ValueError, KeyError) as exc:
+                raise TraceError(
+                    f"{path}:{lineno}: malformed trace line ({exc})"
+                ) from exc
+    return events
+
+
+def summarize_events(events: Iterable[Event]) -> TraceSummary:
+    """Aggregate a stream of events into a :class:`TraceSummary`."""
+    variant_seconds: dict[str, float] = {}
+    variant_cells: dict[str, int] = {}
+    variant_accuracy: dict[str, float] = {}
+    dataset_seconds: dict[str, float] = {}
+    counters: dict[str, float] = {}
+    sweep_seconds = 0.0
+    n_events = 0
+    for event in events:
+        n_events += 1
+        if event.kind == COUNTER and event.value is not None:
+            counters[event.name] = counters.get(event.name, 0) + event.value
+            continue
+        if event.kind != SPAN:
+            continue
+        duration = event.duration_seconds or 0.0
+        if event.name == "sweep":
+            sweep_seconds += duration
+        elif event.name == "sweep.cell":
+            label = str(event.attrs.get("variant", "?"))
+            dataset = str(event.attrs.get("dataset", "?"))
+            variant_seconds[label] = variant_seconds.get(label, 0.0) + duration
+            variant_cells[label] = variant_cells.get(label, 0) + 1
+            variant_accuracy[label] = variant_accuracy.get(label, 0.0) + float(
+                event.attrs.get("accuracy", 0.0)
+            )
+            dataset_seconds[dataset] = (
+                dataset_seconds.get(dataset, 0.0) + duration
+            )
+    rows = tuple(
+        VariantTraceRow(
+            label=label,
+            cells=variant_cells[label],
+            total_seconds=variant_seconds[label],
+            mean_accuracy=variant_accuracy[label] / variant_cells[label],
+        )
+        for label in sorted(
+            variant_seconds, key=lambda k: -variant_seconds[k]
+        )
+    )
+    datasets = tuple(
+        sorted(dataset_seconds.items(), key=lambda kv: -kv[1])
+    )
+    return TraceSummary(
+        variants=rows,
+        datasets=datasets,
+        counters=counters,
+        sweep_seconds=sweep_seconds,
+        n_events=n_events,
+    )
+
+
+def summarize_trace(path: str | Path) -> TraceSummary:
+    """Load a JSON-lines trace file and aggregate it."""
+    return summarize_events(load_trace(path))
+
+
+def span_signature(event: Event, *, volatile: Sequence[str] = ()) -> tuple:
+    """Order-independent identity of a span: ``(name, sorted attrs)``.
+
+    Durations (and any attribute named in ``volatile``) are excluded, so
+    two runs of the same work — serial and parallel, fast and slow —
+    produce equal signature multisets. This is the contract the
+    trace-equivalence test asserts.
+    """
+    attrs = tuple(
+        sorted(
+            (k, _canonical_value(v))
+            for k, v in event.attrs.items()
+            if k not in volatile
+        )
+    )
+    return (event.name, attrs)
+
+
+def _canonical_value(value: object) -> object:
+    """Hashable, comparison-stable form of an attribute value."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _canonical_value(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical_value(v) for v in value)
+    if isinstance(value, float):
+        return round(value, 12)
+    return value

@@ -12,12 +12,14 @@ from .markdown import (
 )
 from .sparkline import sparkline, sparkline_pair
 from .tables import format_census_table, format_comparison_table
+from .trace import format_trace_summary
 
 __all__ = [
     "sparkline",
     "sparkline_pair",
     "format_comparison_table",
     "format_census_table",
+    "format_trace_summary",
     "format_rank_figure",
     "format_runtime_figure",
     "format_convergence_figure",

@@ -1,0 +1,71 @@
+"""Text rendering of trace summaries (``repro trace summarize``).
+
+Follows the house style of :mod:`repro.reporting.tables`: fixed-width
+plain text, title underlined with ``=``, one aligned row per entry.
+"""
+
+from __future__ import annotations
+
+from ..observability.summary import TraceSummary
+
+
+def _seconds(value: float) -> str:
+    """Compact human-readable duration."""
+    if value >= 1.0:
+        return f"{value:.2f} s"
+    return f"{value * 1e3:.1f} ms"
+
+
+def format_trace_summary(
+    summary: TraceSummary,
+    title: str = "Trace summary",
+    max_datasets: int = 10,
+) -> str:
+    """Per-measure and per-dataset time breakdown of one trace.
+
+    The per-measure table mirrors the paper's runtime framing (Figure 9:
+    accuracy against inference time); the dataset section shows where the
+    sweep's wall-clock actually went, capped at ``max_datasets`` rows.
+    """
+    lines = [title, "=" * len(title)]
+    total = summary.total_cell_seconds
+    label_width = max(
+        [len(row.label) for row in summary.variants] + [len("Measure"), 16]
+    )
+    header = (
+        f"{'Measure':<{label_width}}  {'Cells':>5}  {'Total':>10}  "
+        f"{'Share':>6}  {'Per-cell':>10}  {'AvgAcc':>7}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in summary.variants:
+        share = row.total_seconds / total if total else 0.0
+        lines.append(
+            f"{row.label:<{label_width}}  {row.cells:>5}  "
+            f"{_seconds(row.total_seconds):>10}  {share:>6.1%}  "
+            f"{_seconds(row.seconds_per_cell):>10}  {row.mean_accuracy:>7.4f}"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'all measures':<{label_width}}  "
+        f"{sum(r.cells for r in summary.variants):>5}  "
+        f"{_seconds(total):>10}  {'100.0%':>6}"
+    )
+    if summary.sweep_seconds:
+        lines.append(f"sweep wall-clock: {_seconds(summary.sweep_seconds)}")
+    if summary.datasets:
+        lines.append("")
+        lines.append("Slowest datasets")
+        for name, seconds in summary.datasets[:max_datasets]:
+            share = seconds / total if total else 0.0
+            lines.append(f"  {name:<24} {_seconds(seconds):>10}  {share:>6.1%}")
+        hidden = len(summary.datasets) - max_datasets
+        if hidden > 0:
+            lines.append(f"  ... ({hidden} more)")
+    if summary.counters:
+        lines.append("")
+        lines.append("Counters")
+        for name in sorted(summary.counters):
+            lines.append(f"  {name:<24} {summary.counters[name]:>12g}")
+    lines.append(f"({summary.n_events} events)")
+    return "\n".join(lines)

@@ -72,3 +72,58 @@ class TestMatrixCache:
         E2 = second.test_matrix(small_dataset, "euclidean")
         assert second.hits == 1 and second.misses == 0
         assert np.array_equal(E1, E2)
+
+
+class TestCacheCorruption:
+    """Corrupt/truncated .npz files must self-heal, not raise."""
+
+    def _corrupt_all(self, cache):
+        files = list(cache.directory.glob("*.npz"))
+        assert files
+        for path in files:
+            path.write_bytes(b"this is not a zip archive")
+        return files
+
+    def test_corrupt_file_recomputed(self, cache, small_dataset):
+        E1 = cache.test_matrix(small_dataset, "euclidean")
+        self._corrupt_all(cache)
+        E2 = cache.test_matrix(small_dataset, "euclidean")
+        assert np.allclose(E1, E2)
+        assert cache.corrupt == 1
+        assert (cache.hits, cache.misses) == (0, 2)
+
+    def test_corrupt_file_replaced_with_valid_one(self, cache, small_dataset):
+        cache.test_matrix(small_dataset, "euclidean")
+        (path,) = self._corrupt_all(cache)
+        cache.test_matrix(small_dataset, "euclidean")
+        assert path.exists()  # rewritten
+        E3 = cache.test_matrix(small_dataset, "euclidean")
+        assert cache.hits == 1  # third call is a clean hit
+        assert E3.shape == (small_dataset.n_test, small_dataset.n_train)
+
+    def test_truncated_npz_recovered(self, cache, small_dataset):
+        cache.test_matrix(small_dataset, "euclidean")
+        (path,) = list(cache.directory.glob("*.npz"))
+        path.write_bytes(path.read_bytes()[:20])  # valid magic, cut short
+        E = cache.test_matrix(small_dataset, "euclidean")
+        assert E.shape == (small_dataset.n_test, small_dataset.n_train)
+        assert cache.corrupt == 1
+
+    def test_corrupt_event_counted_on_bus(self, cache, small_dataset):
+        from repro.observability import Recorder, get_bus
+
+        cache.test_matrix(small_dataset, "euclidean")
+        self._corrupt_all(cache)
+        recorder = Recorder()
+        with get_bus().sink(recorder):
+            cache.test_matrix(small_dataset, "euclidean")
+        assert recorder.counters()["cache.corrupt"] == 1
+        assert recorder.counters()["cache.miss"] == 1
+
+    def test_stats_snapshot(self, cache, small_dataset):
+        cache.test_matrix(small_dataset, "euclidean")
+        cache.test_matrix(small_dataset, "euclidean")
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["corrupt"] == 0
+        assert stats["size_bytes"] > 0

@@ -100,11 +100,12 @@ class TestSweep:
 
     def test_progress_callback_called(self, tiny_archive):
         lines = []
-        run_sweep(
-            [MeasureVariant("euclidean", label="ED")],
-            tiny_archive.subset(2),
-            progress=lines.append,
-        )
+        with pytest.warns(DeprecationWarning):  # superseded by ProgressSink
+            run_sweep(
+                [MeasureVariant("euclidean", label="ED")],
+                tiny_archive.subset(2),
+                progress=lines.append,
+            )
         assert len(lines) == 2
         assert "ED" in lines[0]
 

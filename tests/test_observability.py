@@ -1,0 +1,286 @@
+"""Tests for the observability subsystem: bus, sinks, traces, CLI."""
+
+import json
+from collections import Counter
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.evaluation import MeasureVariant, run_sweep, run_sweep_parallel
+from repro.exceptions import TraceError
+from repro.observability import (
+    Event,
+    EventBus,
+    JsonlSink,
+    ProgressSink,
+    Recorder,
+    get_bus,
+    load_trace,
+    span_signature,
+    summarize_events,
+    summarize_trace,
+    trace_to,
+)
+from repro.reporting import format_trace_summary
+
+
+@pytest.fixture()
+def bus():
+    return EventBus()
+
+
+class TestEventBus:
+    def test_span_times_body(self, bus):
+        recorder = bus.attach(Recorder())
+        with bus.span("work", item="a") as sp:
+            sp.set(found=1)
+        (event,) = recorder.events
+        assert event.kind == "span"
+        assert event.name == "work"
+        assert event.attrs == {"item": "a", "found": 1}
+        assert event.duration_seconds >= 0.0
+
+    def test_span_is_noop_without_sinks(self, bus):
+        span = bus.span("work", item="a")
+        with span as sp:
+            sp.set(ignored=True)  # must not raise
+        assert sp.duration_seconds is None
+        # the same shared no-op object is reused — no per-call allocation
+        assert bus.span("other") is span
+
+    def test_span_emits_on_error(self, bus):
+        recorder = bus.attach(Recorder())
+        with pytest.raises(ValueError):
+            with bus.span("work"):
+                raise ValueError("boom")
+        (event,) = recorder.events
+        assert event.attrs["error"] == "ValueError"
+
+    def test_counters_accumulate_without_sinks(self, bus):
+        bus.count("c.hits")
+        bus.count("c.hits", 2)
+        assert bus.counters() == {"c.hits": 3}
+        bus.reset_counters()
+        assert bus.counters() == {}
+
+    def test_counter_events_reach_sinks(self, bus):
+        recorder = bus.attach(Recorder())
+        bus.count("c.bytes", 128)
+        assert recorder.counters() == {"c.bytes": 128}
+
+    def test_sink_context_detaches(self, bus):
+        recorder = Recorder()
+        with bus.sink(recorder):
+            assert bus.enabled
+        assert not bus.enabled
+
+    def test_swap_sinks_isolates(self, bus):
+        outer = bus.attach(Recorder())
+        inner = Recorder()
+        previous = bus.swap_sinks([inner])
+        bus.emit_span("work", 0.1)
+        bus.swap_sinks(previous)
+        bus.emit_span("after", 0.1)
+        assert [e.name for e in inner.events] == ["work"]
+        assert [e.name for e in outer.events] == ["after"]
+
+    def test_replay_folds_counters_and_forwards(self, bus):
+        recorder = bus.attach(Recorder())
+        shipped = [
+            Event("counter", "cache.hit", value=2).to_dict(),
+            Event("span", "work", {"x": 1}, 0.5).to_dict(),
+        ]
+        assert bus.replay(shipped) == 2
+        assert bus.counters()["cache.hit"] == 2
+        assert len(recorder.events) == 2
+
+    def test_event_dict_roundtrip(self):
+        event = Event("span", "work", {"a": 1}, 0.25)
+        assert Event.from_dict(event.to_dict()) == event
+
+
+class TestSinks:
+    def test_jsonl_sink_roundtrip(self, bus, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with bus.sink(JsonlSink(path)) as sink:
+            with bus.span("work", item="a"):
+                pass
+            bus.count("c.hits")
+            sink.close()
+        events = load_trace(path)
+        assert [e.name for e in events] == ["work", "c.hits"]
+        assert events[0].attrs == {"item": "a"}
+
+    def test_trace_to_writes_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        before = get_bus().enabled
+        with trace_to(path):
+            get_bus().emit_span("work", 0.01, item="a")
+        assert get_bus().enabled == before  # sink detached on exit
+        events = load_trace(path)
+        assert [e.name for e in events] == ["work"]
+
+    def test_progress_sink_formats_cells(self, bus, capsys):
+        import sys
+
+        bus.attach(ProgressSink(stream=sys.stdout))
+        bus.emit_span(
+            "sweep.cell", 0.0123, variant="ED", dataset="Syn1", accuracy=0.5
+        )
+        bus.emit_span("matrix.compute", 0.5, measure="euclidean")
+        out = capsys.readouterr().out
+        assert out.count("\n") == 1
+        assert "ED on Syn1" in out and "acc=0.5000" in out
+
+    def test_recorder_queries(self, bus):
+        recorder = bus.attach(Recorder())
+        bus.emit_span("a", 1.0)
+        bus.emit_span("a", 2.0)
+        bus.emit_span("b", 4.0)
+        assert recorder.total_seconds("a") == pytest.approx(3.0)
+        assert len(recorder.spans()) == 3
+        assert len(recorder.spans("b")) == 1
+
+
+class TestTraceEquivalence:
+    """Serial and parallel sweeps must emit the same span set."""
+
+    @pytest.fixture(scope="class")
+    def setup(self, tiny_archive):
+        datasets = tiny_archive.subset(3)
+        variants = [
+            MeasureVariant("euclidean", label="ED"),
+            MeasureVariant("lorentzian", normalization="minmax", label="Lor"),
+            MeasureVariant(
+                "dtw", tuning="loocv",
+                grid=[{"delta": 0.0}, {"delta": 10.0}], label="DTW",
+            ),
+        ]
+        return variants, datasets
+
+    def test_serial_and_parallel_span_sets_match(self, setup):
+        variants, datasets = setup
+        bus = get_bus()
+        serial, parallel = Recorder(), Recorder()
+        with bus.sink(serial):
+            run_sweep(variants, datasets)
+        with bus.sink(parallel):
+            run_sweep_parallel(variants, datasets, n_jobs=2)
+        serial_set = Counter(span_signature(e) for e in serial.spans())
+        parallel_set = Counter(span_signature(e) for e in parallel.spans())
+        assert serial_set == parallel_set
+
+    def test_trace_covers_all_levels(self, setup):
+        variants, datasets = setup
+        recorder = Recorder()
+        with get_bus().sink(recorder):
+            run_sweep(variants, datasets)
+        names = {e.name for e in recorder.spans()}
+        assert {"sweep", "sweep.variant", "sweep.cell", "matrix.compute"} <= names
+        assert "variant.tune" in names  # the LOOCV variant
+        cells = recorder.spans("sweep.cell")
+        assert len(cells) == len(variants) * len(datasets)
+        assert all("accuracy" in e.attrs for e in cells)
+
+    def test_parallel_events_reach_parent_jsonl(self, setup, tmp_path):
+        variants, datasets = setup
+        path = tmp_path / "parallel.jsonl"
+        with trace_to(path):
+            run_sweep_parallel(variants, datasets, n_jobs=2)
+        events = load_trace(path)
+        assert sum(e.name == "sweep.cell" for e in events) == len(
+            variants
+        ) * len(datasets)
+
+
+class TestSummary:
+    def _events(self):
+        return [
+            Event("span", "sweep", {"n_variants": 2, "n_datasets": 2}, 10.0),
+            Event("span", "sweep.cell",
+                  {"variant": "ED", "dataset": "A", "accuracy": 0.5}, 1.0),
+            Event("span", "sweep.cell",
+                  {"variant": "ED", "dataset": "B", "accuracy": 0.7}, 2.0),
+            Event("span", "sweep.cell",
+                  {"variant": "MSM", "dataset": "A", "accuracy": 0.9}, 6.0),
+            Event("counter", "cache.hit", value=3),
+        ]
+
+    def test_summarize_events(self):
+        summary = summarize_events(self._events())
+        assert [row.label for row in summary.variants] == ["MSM", "ED"]
+        ed = summary.variants[1]
+        assert ed.cells == 2
+        assert ed.total_seconds == pytest.approx(3.0)
+        assert ed.mean_accuracy == pytest.approx(0.6)
+        assert summary.sweep_seconds == pytest.approx(10.0)
+        assert dict(summary.datasets) == {"A": 7.0, "B": 2.0}
+        assert summary.counters == {"cache.hit": 3}
+
+    def test_format_trace_summary(self):
+        text = format_trace_summary(summarize_events(self._events()))
+        assert "MSM" in text and "ED" in text
+        assert "cache.hit" in text
+        assert "100.0%" in text
+
+    def test_load_trace_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "span", "name": "ok"}\nnot json\n')
+        with pytest.raises(TraceError, match="bad.jsonl:2"):
+            load_trace(path)
+
+    def test_load_trace_missing_file(self, tmp_path):
+        with pytest.raises(TraceError, match="not found"):
+            load_trace(tmp_path / "absent.jsonl")
+
+    def test_summarize_trace_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with path.open("w") as fh:
+            for event in self._events():
+                fh.write(json.dumps(event.to_dict()) + "\n")
+        summary = summarize_trace(path)
+        assert summary.n_events == 5
+
+
+class TestCliTrace:
+    def test_evaluate_trace_then_summarize(self, tmp_path, capsys):
+        trace_path = tmp_path / "cli.jsonl"
+        code = cli_main(
+            ["evaluate", "euclidean", "sbd", "--datasets", "2",
+             "--scale", "0.3", "--trace", str(trace_path)]
+        )
+        assert code == 0
+        assert trace_path.exists()
+        capsys.readouterr()
+        code = cli_main(["trace", "summarize", str(trace_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Trace summary" in out
+        assert "events)" in out
+
+    def test_progress_flag_prints_cells(self, capsys):
+        code = cli_main(
+            ["evaluate", "euclidean", "--datasets", "2", "--scale", "0.3",
+             "--progress"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "acc=" in captured.err
+
+
+class TestGlobalEntryPoints:
+    def test_get_recorder_is_singleton_and_attached(self):
+        import repro
+
+        first = repro.get_recorder()
+        try:
+            assert repro.get_recorder() is first
+            start = len(first.events)
+            get_bus().emit_span("entrypoint.check", 0.0)
+            assert len(first.events) == start + 1
+        finally:
+            # detach so the rest of the suite keeps its zero-cost fast path
+            get_bus().detach(first)
+            import repro.observability as obs
+
+            obs._GLOBAL_RECORDER = None
