@@ -21,10 +21,16 @@ from pathlib import Path
 
 import repro
 from repro.evaluation import MeasureVariant, run_sweep, run_sweep_parallel
-from repro.observability import summarize_trace, trace_to
+from repro.observability import get_bus, summarize_trace, trace_to
 
 N_DATASETS = int(os.environ.get("REPRO_BENCH_DATASETS", "6"))
 SIZE_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+
+# With no sink attached a span must cost no more than this per enter/exit
+# pair — the dict lookup + noop-object return path. Generous enough for a
+# loaded CI box, tight enough that accidentally building Event objects on
+# the no-sink path (the regression this guards) blows straight through it.
+NOOP_SPAN_BUDGET_SECONDS = 20e-6
 
 VARIANTS = (
     MeasureVariant("euclidean", label="ED"),
@@ -38,6 +44,32 @@ def _timed(fn) -> float:
     start = time.perf_counter()
     fn()
     return time.perf_counter() - start
+
+
+def noop_span_seconds(n: int = 50_000) -> float:
+    """Per-span cost of entering/exiting a span with no sink attached.
+
+    Times ``n`` span pairs against an empty loop of the same shape and
+    returns the per-iteration difference (clamped at 0 for timer noise).
+    Asserted against :data:`NOOP_SPAN_BUDGET_SECONDS` in :func:`main` so
+    a regression that makes the quiet bus expensive fails the bench.
+    """
+    bus = get_bus()
+    if bus.enabled:
+        raise RuntimeError("noop overhead must be measured with no sinks")
+
+    def spans() -> None:
+        for _ in range(n):
+            with bus.span("bench.noop"):
+                pass
+
+    def baseline() -> None:
+        for _ in range(n):
+            pass
+
+    spans()  # warm-up
+    delta = _timed(spans) - _timed(baseline)
+    return max(0.0, delta) / n
 
 
 def main(out: str | Path = "BENCH_sweep.json") -> dict:
@@ -63,6 +95,13 @@ def main(out: str | Path = "BENCH_sweep.json") -> dict:
     )
     summary = summarize_trace(trace_path)
 
+    noop_seconds = noop_span_seconds()
+    assert noop_seconds < NOOP_SPAN_BUDGET_SECONDS, (
+        f"no-sink span overhead {noop_seconds * 1e6:.2f}us/span exceeds "
+        f"budget {NOOP_SPAN_BUDGET_SECONDS * 1e6:.0f}us — the quiet bus "
+        "is no longer free"
+    )
+
     record = {
         "n_datasets": len(datasets),
         "n_variants": len(variants),
@@ -73,6 +112,7 @@ def main(out: str | Path = "BENCH_sweep.json") -> dict:
             100.0 * (traced_seconds - serial_seconds) / serial_seconds, 2
         ),
         "trace_events": summary.n_events,
+        "noop_span_microseconds": round(noop_seconds * 1e6, 3),
         "per_variant_seconds": {
             row.label: round(row.total_seconds, 4) for row in summary.variants
         },

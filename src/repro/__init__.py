@@ -12,8 +12,10 @@ The package implements the paper's full measurement apparatus:
 - a UCR-archive loader plus an offline synthetic substitute
   (:mod:`repro.datasets`);
 - paper-style table/figure renderers (:mod:`repro.reporting`);
-- an observability layer — span/counter event bus, trace files, progress
-  sinks (:mod:`repro.observability`, :func:`trace_to`, :func:`get_recorder`).
+- an observability layer — span/counter/sample event bus, trace files,
+  progress sinks, streaming metrics aggregation, resource sampling and
+  the ``repro bench`` regression gate (:mod:`repro.observability`,
+  :func:`trace_to`, :func:`get_recorder`).
 
 Quickstart::
 
@@ -55,10 +57,13 @@ from .evaluation import (
 from .exceptions import ReproError
 from .normalization import get_normalizer, list_normalizers, normalize
 from .observability import (
+    Aggregate,
     EventBus,
     JsonlSink,
+    MetricsSink,
     ProgressSink,
     Recorder,
+    ResourceSampler,
     get_bus,
     get_recorder,
     trace_to,
@@ -118,4 +123,7 @@ __all__ = [
     "Recorder",
     "JsonlSink",
     "ProgressSink",
+    "MetricsSink",
+    "Aggregate",
+    "ResourceSampler",
 ]

@@ -12,7 +12,10 @@ Subcommands mirror what a practitioner reproducing the paper needs:
   ``figure2`` .. ``figure8``) end to end;
 - ``catalog``   — emit the generated measure reference (docs/measures.md);
 - ``trace``     — summarize a ``--trace`` JSON-lines file into a
-  per-measure time/accuracy breakdown.
+  per-measure time/accuracy breakdown plus the sweep's critical path;
+- ``bench``     — run the pinned per-family benchmark workloads
+  (``bench run`` -> ``BENCH_sweep.json``) and gate a run against a
+  baseline (``bench compare``, nonzero exit on regression).
 
 The sweep-running subcommands (``evaluate``, ``compare``, ``experiment``)
 accept ``--trace PATH`` to capture an observability trace and
@@ -114,6 +117,38 @@ def _build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument(
         "--datasets", type=int, default=10,
         help="how many slowest datasets to list",
+    )
+
+    p_bench = sub.add_parser(
+        "bench", help="pinned benchmark workloads and regression gate"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_action", required=True)
+    p_bench_run = bench_sub.add_parser(
+        "run", help="run the per-family workloads, write BENCH json"
+    )
+    p_bench_run.add_argument(
+        "--out", default="BENCH_sweep.json",
+        help="output path for the bench record",
+    )
+    p_bench_run.add_argument(
+        "--quick", action="store_true",
+        help="smaller shapes / fewer repeats (the CI gate)",
+    )
+    p_bench_run.add_argument(
+        "--repeats", type=int, default=None,
+        help="timed repetitions per workload (default: 3 quick, 10 full)",
+    )
+    p_bench_cmp = bench_sub.add_parser(
+        "compare", help="gate a bench record against a baseline"
+    )
+    p_bench_cmp.add_argument("baseline", help="baseline BENCH json file")
+    p_bench_cmp.add_argument(
+        "current", nargs="?", default="BENCH_sweep.json",
+        help="bench record to gate (default BENCH_sweep.json)",
+    )
+    p_bench_cmp.add_argument(
+        "--threshold", type=float, default=20.0,
+        help="regression threshold in percent (p95 latency, peak RSS)",
     )
     return parser
 
@@ -223,11 +258,12 @@ def cmd_catalog(_: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    """Summarize a trace file into per-measure/per-dataset tables."""
-    from .observability import summarize_trace
-    from .reporting import format_trace_summary
+    """Summarize a trace file: per-measure tables plus the critical path."""
+    from .observability import load_trace, summarize_events
+    from .reporting import format_critical_path, format_trace_summary
 
-    summary = summarize_trace(args.path)
+    events = load_trace(args.path)
+    summary = summarize_events(events)
     print(
         format_trace_summary(
             summary,
@@ -235,7 +271,35 @@ def cmd_trace(args: argparse.Namespace) -> int:
             max_datasets=args.datasets,
         )
     )
+    rendered = format_critical_path(events)
+    if rendered:
+        print()
+        print(rendered)
     return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the pinned workloads or gate a record against a baseline."""
+    from .observability.bench import compare_bench, run_bench
+
+    if args.bench_action == "run":
+        record = run_bench(
+            out=args.out, quick=args.quick, repeats=args.repeats
+        )
+        for family, payload in sorted(record["families"].items()):
+            latency = payload["latency_seconds"]
+            print(
+                f"{family:<10} p50={latency['p50'] * 1e3:9.3f} ms  "
+                f"p95={latency['p95'] * 1e3:9.3f} ms  "
+                f"rss={payload['peak_rss_bytes'] / (1 << 20):7.1f} MiB"
+            )
+        print(f"wrote {args.out} ({record['workload']}, sha {record['git_sha'][:12]})")
+        return 0
+    code, lines = compare_bench(
+        args.baseline, args.current, threshold_pct=args.threshold
+    )
+    print("\n".join(lines))
+    return code
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
@@ -283,6 +347,7 @@ _COMMANDS = {
     "catalog": cmd_catalog,
     "experiment": cmd_experiment,
     "trace": cmd_trace,
+    "bench": cmd_bench,
 }
 
 

@@ -62,7 +62,10 @@ def _evaluate_batch(
         results = []
         for vi, variant in items:
             with bus.span(
-                "sweep.cell", variant=variant.display, dataset=dataset.name
+                "sweep.cell",
+                variant=variant.display,
+                dataset=dataset.name,
+                family=variant.family,
             ) as cell:
                 result = variant.evaluate(dataset)
                 cell.set(accuracy=result.accuracy)

@@ -114,6 +114,7 @@ def run_sweep(
                         "sweep.cell",
                         variant=variant.display,
                         dataset=dataset.name,
+                        family=variant.family,
                     ) as cell:
                         result = variant.evaluate(dataset)
                         cell.set(accuracy=result.accuracy)

@@ -75,6 +75,14 @@ class MeasureVariant:
         return self.measure.lower() in list_embeddings()
 
     @property
+    def family(self) -> str:
+        """Survey family of the underlying measure (``"embedding"`` for
+        embedding variants) — the grouping key of the metrics layer."""
+        if self.is_embedding:
+            return "embedding"
+        return get_measure(self.measure).family
+
+    @property
     def display(self) -> str:
         if self.label:
             return self.label

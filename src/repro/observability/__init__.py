@@ -1,15 +1,23 @@
 """Lightweight, dependency-free instrumentation for the evaluation stack.
 
-Three pieces:
+Five pieces:
 
 - a process-global :class:`EventBus` (:func:`get_bus`) that library code
-  emits *spans* (timed regions) and *counters* into — near-zero cost
-  when no sink is attached;
+  emits *spans* (timed regions, linked into a tree by
+  ``span_id``/``parent_id``), *counters* and *samples* into — near-zero
+  cost when no sink is attached;
 - pluggable sinks: in-memory :class:`Recorder`, JSON-lines
   :class:`JsonlSink` (the CLI's ``--trace``), human-readable
-  :class:`ProgressSink`;
-- trace aggregation (:func:`summarize_trace`) feeding the
-  ``repro trace summarize`` report.
+  :class:`ProgressSink`, and the fixed-memory :class:`MetricsSink`
+  (count/sum/min/max + p50/p95/p99 per ``(name, grouping attrs)`` key,
+  with lossless :meth:`~MetricsSink.merge` across parallel workers);
+- resource tracking: :class:`ResourceSampler` emits background RSS /
+  ``tracemalloc`` readings attributable to the enclosing span;
+- trace aggregation (:func:`summarize_trace`, :func:`build_span_tree`,
+  :func:`critical_path`) feeding the ``repro trace summarize`` report;
+- the ``repro bench`` regression gate (:mod:`repro.observability.bench`):
+  pinned per-family workloads -> ``BENCH_sweep.json`` -> threshold
+  comparison against a baseline.
 
 Quickstart::
 
@@ -32,11 +40,17 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator
 
-from .bus import COUNTER, SPAN, Event, EventBus, Sink, get_bus
+from .bus import COUNTER, SAMPLE, SPAN, Event, EventBus, Sink, get_bus
+from .metrics import Aggregate, MetricsSink
+from .resources import ResourceSampler, ResourceStats, read_rss_bytes
 from .sinks import JsonlSink, ProgressSink, Recorder, replay_dicts
 from .summary import (
+    SpanNode,
     TraceSummary,
     VariantTraceRow,
+    attribute_samples,
+    build_span_tree,
+    critical_path,
     load_trace,
     span_signature,
     summarize_events,
@@ -49,13 +63,23 @@ __all__ = [
     "Sink",
     "SPAN",
     "COUNTER",
+    "SAMPLE",
     "get_bus",
     "Recorder",
     "JsonlSink",
     "ProgressSink",
+    "MetricsSink",
+    "Aggregate",
+    "ResourceSampler",
+    "ResourceStats",
+    "read_rss_bytes",
     "replay_dicts",
     "TraceSummary",
     "VariantTraceRow",
+    "SpanNode",
+    "build_span_tree",
+    "critical_path",
+    "attribute_samples",
     "load_trace",
     "summarize_events",
     "summarize_trace",

@@ -1,0 +1,294 @@
+"""The ``repro bench`` subsystem: pinned workloads + regression gate.
+
+The paper quantifies the accuracy-vs-runtime trade-off (Figure 9) that
+decides between elastic and lock-step measures in practice; this module
+keeps that trade-off *tracked* as the codebase grows. ``repro bench run``
+executes one pinned synthetic workload per measure family — lock-step
+(vectorized broadcast), sliding (batched FFT), elastic (DP inner loop),
+kernel (heavy DP), plus the cache and sweep paths — with a
+:class:`~repro.observability.metrics.MetricsSink` and a
+:class:`~repro.observability.resources.ResourceSampler` attached, and
+writes the per-family latency aggregates (count/sum/min/max,
+p50/p95/p99) and memory peaks to a schema'd ``BENCH_sweep.json``
+stamped with the git sha. ``repro bench compare`` exits nonzero when the
+current file's p95 latency or peak RSS regresses beyond a threshold
+against a baseline file — the gate every later performance PR is judged
+by.
+
+Workloads are pinned: fixed seeds, fixed shapes, fixed measure
+representatives. Two runs of the same code on the same machine differ
+only by scheduler noise, which the p50/p95 split and the comparison
+threshold absorb.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..exceptions import TraceError
+from .bus import get_bus
+from .metrics import Aggregate, MetricsSink
+from .resources import ResourceSampler
+
+#: Identifier written into every bench file; bumped on layout changes.
+SCHEMA = "repro.bench/1"
+
+#: Span name each timed repetition is wrapped in.
+BENCH_SPAN = "bench.op"
+
+#: Ignore latency regressions smaller than this many seconds (absolute):
+#: at micro-benchmark scale a 20% swing of a 50 us op is pure noise.
+LATENCY_FLOOR_SECONDS = 5e-5
+
+#: Ignore RSS regressions smaller than this many bytes (absolute): the
+#: allocator's arena granularity alone moves peaks by a few MiB.
+RSS_FLOOR_BYTES = 8 << 20
+
+_SEED = 20200607
+
+
+def git_sha() -> str:
+    """Current git commit sha, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+        sha = out.stdout.strip()
+        return sha if out.returncode == 0 and sha else "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def _series(n: int, m: int, *, offset: int = 0) -> np.ndarray:
+    """Pinned synthetic batch of ``n`` series of length ``m``."""
+    rng = np.random.default_rng(_SEED + offset)
+    return rng.standard_normal((n, m))
+
+
+def build_workloads(quick: bool = False) -> dict[str, Callable[[], None]]:
+    """The pinned per-family operations, name -> zero-arg callable.
+
+    One entry per measure family the performance model distinguishes
+    (lock-step / sliding / elastic / kernel) plus the two framework
+    paths every sweep exercises (matrix cache, end-to-end sweep). Shapes
+    shrink under ``quick`` so the CI gate stays under a minute.
+    """
+    from ..classification.matrices import dissimilarity_matrix
+    from ..datasets import default_archive
+    from ..evaluation import MeasureVariant, run_sweep
+    from ..evaluation.cache import MatrixCache
+
+    scale = 1 if quick else 2
+    lock_x = _series(12 * scale, 64 * scale)
+    lock_y = _series(12 * scale, 64 * scale, offset=1)
+    slide_x = _series(10 * scale, 64 * scale, offset=2)
+    slide_y = _series(10 * scale, 64 * scale, offset=3)
+    elastic_x = _series(5 * scale, 48 * scale, offset=4)
+    elastic_y = _series(5 * scale, 48 * scale, offset=5)
+    kernel_x = _series(3 * scale, 32 * scale, offset=6)
+    kernel_y = _series(3 * scale, 32 * scale, offset=7)
+
+    archive = default_archive(n_datasets=4, size_scale=0.3, seed=11)
+    sweep_datasets = archive.subset(2)
+    sweep_variants = [
+        MeasureVariant("euclidean", label="ED"),
+        MeasureVariant("nccc", label="NCC_c"),
+    ]
+    cache_dataset = sweep_datasets[0]
+    cache_dir = Path(tempfile.mkdtemp(prefix="repro-bench-cache-"))
+    cache = MatrixCache(cache_dir)
+
+    def lockstep() -> None:
+        dissimilarity_matrix("euclidean", lock_x, lock_y)
+
+    def sliding() -> None:
+        dissimilarity_matrix("nccc", slide_x, slide_y)
+
+    def elastic() -> None:
+        dissimilarity_matrix("msm", elastic_x, elastic_y, c=0.5)
+
+    def kernel() -> None:
+        dissimilarity_matrix("gak", kernel_x, kernel_y)
+
+    def cache_path() -> None:
+        cache.clear()
+        cache.test_matrix(cache_dataset, "euclidean")  # miss + write
+        cache.test_matrix(cache_dataset, "euclidean")  # hit + load
+
+    def sweep() -> None:
+        run_sweep(sweep_variants, sweep_datasets)
+
+    return {
+        "lockstep": lockstep,
+        "sliding": sliding,
+        "elastic": elastic,
+        "kernel": kernel,
+        "cache": cache_path,
+        "sweep": sweep,
+    }
+
+
+def run_bench(
+    out: str | Path | None = "BENCH_sweep.json",
+    quick: bool = False,
+    repeats: int | None = None,
+) -> dict:
+    """Execute every pinned workload and persist the bench record.
+
+    Each workload runs one unrecorded warm-up repetition (registry
+    imports, FFT plans) and then ``repeats`` timed repetitions, each
+    wrapped in a ``bench.op`` span that a family-keyed
+    :class:`MetricsSink` aggregates; a :class:`ResourceSampler` brackets
+    the repetitions for the family's RSS / tracemalloc peaks. Returns the
+    record; ``out=None`` skips writing.
+    """
+    if repeats is None:
+        repeats = 3 if quick else 10
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    bus = get_bus()
+    sink = MetricsSink(group_by=("family",), names=(BENCH_SPAN,))
+    families: dict[str, dict] = {}
+    bus.attach(sink)
+    try:
+        for family, op in build_workloads(quick).items():
+            op()  # warm-up, unrecorded
+            sampler = ResourceSampler(
+                interval=0.01, trace_python_allocations=True
+            )
+            sampler.start()
+            try:
+                for _ in range(repeats):
+                    with bus.span(BENCH_SPAN, family=family):
+                        op()
+            finally:
+                stats = sampler.stop()
+            aggregate = sink.get(BENCH_SPAN, family=family)
+            families[family] = {
+                "latency_seconds": (
+                    aggregate.to_dict()
+                    if aggregate is not None
+                    else Aggregate().to_dict()
+                ),
+                "peak_rss_bytes": stats.peak_rss_bytes,
+                "tracemalloc_peak_bytes": stats.tracemalloc_peak_bytes,
+            }
+    finally:
+        bus.detach(sink)
+    record = {
+        "schema": SCHEMA,
+        "workload": "quick" if quick else "full",
+        "repeats": repeats,
+        "git_sha": git_sha(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "created_unix": round(time.time(), 3),
+        "families": families,
+    }
+    if out is not None:
+        Path(out).write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n"
+        )
+    return record
+
+
+def load_bench(path: str | Path) -> dict:
+    """Read and validate a ``BENCH_*.json`` file."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"bench file not found: {path}")
+    try:
+        record = json.loads(path.read_text())
+    except ValueError as exc:
+        raise TraceError(f"{path}: malformed bench file ({exc})") from exc
+    if not isinstance(record, dict) or "families" not in record:
+        raise TraceError(f"{path}: not a bench record (no 'families' key)")
+    schema = record.get("schema")
+    if schema != SCHEMA:
+        raise TraceError(
+            f"{path}: unsupported bench schema {schema!r} (want {SCHEMA!r})"
+        )
+    return record
+
+
+def compare_bench(
+    baseline: dict | str | Path,
+    current: dict | str | Path,
+    threshold_pct: float = 20.0,
+) -> tuple[int, list[str]]:
+    """Gate ``current`` against ``baseline``; returns ``(exit_code, lines)``.
+
+    A family *regresses* when its current p95 latency or peak RSS exceeds
+    the baseline's by more than ``threshold_pct`` percent AND by more
+    than an absolute noise floor (:data:`LATENCY_FLOOR_SECONDS` /
+    :data:`RSS_FLOOR_BYTES`). Exit code 1 on any regression, else 0;
+    families missing from either side are reported but never fail the
+    gate (a new workload must not break old baselines).
+    """
+    if not isinstance(baseline, Mapping):
+        baseline = load_bench(baseline)
+    if not isinstance(current, Mapping):
+        current = load_bench(current)
+    factor = 1.0 + threshold_pct / 100.0
+    lines: list[str] = [
+        f"bench compare (threshold {threshold_pct:g}%): "
+        f"baseline {baseline.get('git_sha', '?')[:12]} vs "
+        f"current {current.get('git_sha', '?')[:12]}"
+    ]
+    regressions = 0
+    base_families: Mapping[str, Any] = baseline["families"]
+    cur_families: Mapping[str, Any] = current["families"]
+    for family in sorted(set(base_families) | set(cur_families)):
+        if family not in cur_families:
+            lines.append(f"  {family:<10} MISSING from current run")
+            continue
+        if family not in base_families:
+            lines.append(f"  {family:<10} new (no baseline)")
+            continue
+        base, cur = base_families[family], cur_families[family]
+        checks = (
+            (
+                "p95 latency",
+                float(base["latency_seconds"]["p95"]),
+                float(cur["latency_seconds"]["p95"]),
+                LATENCY_FLOOR_SECONDS,
+                lambda v: f"{v * 1e3:.3f} ms",
+            ),
+            (
+                "peak RSS",
+                float(base.get("peak_rss_bytes", 0)),
+                float(cur.get("peak_rss_bytes", 0)),
+                float(RSS_FLOOR_BYTES),
+                lambda v: f"{v / (1 << 20):.1f} MiB",
+            ),
+        )
+        for metric, base_v, cur_v, floor, fmt in checks:
+            delta_pct = (
+                100.0 * (cur_v - base_v) / base_v if base_v else 0.0
+            )
+            regressed = cur_v > base_v * factor and cur_v - base_v > floor
+            marker = "REGRESSION" if regressed else "ok"
+            if regressed:
+                regressions += 1
+            lines.append(
+                f"  {family:<10} {metric:<12} {fmt(base_v):>12} -> "
+                f"{fmt(cur_v):>12}  ({delta_pct:+.1f}%)  {marker}"
+            )
+    lines.append(
+        f"{regressions} regression(s)"
+        if regressions
+        else "no regressions beyond threshold"
+    )
+    return (1 if regressions else 0), lines

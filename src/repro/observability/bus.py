@@ -24,6 +24,8 @@ Design constraints, in order:
 
 from __future__ import annotations
 
+import itertools
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -33,6 +35,17 @@ from typing import Any, Iterable, Iterator, Mapping, Protocol
 #: Event kinds emitted by the bus.
 SPAN = "span"
 COUNTER = "counter"
+SAMPLE = "sample"
+
+#: Process-wide span-id sequence. IDs are prefixed with the pid so spans
+#: recorded in forked worker processes stay unique after replay into the
+#: parent bus (a fork inherits the counter position but not the pid).
+_SPAN_SEQUENCE = itertools.count(1)
+
+
+def next_span_id() -> str:
+    """A process-unique span id (``"<pid-hex>.<seq-hex>"``)."""
+    return f"{os.getpid():x}.{next(_SPAN_SEQUENCE):x}"
 
 
 @dataclass(frozen=True)
@@ -42,7 +55,8 @@ class Event:
     Attributes
     ----------
     kind:
-        ``"span"`` (timed region) or ``"counter"`` (monotonic increment).
+        ``"span"`` (timed region), ``"counter"`` (monotonic increment) or
+        ``"sample"`` (point-in-time gauge reading, e.g. RSS).
     name:
         Dotted event name, e.g. ``"sweep.cell"`` or ``"cache.hit"``.
     attrs:
@@ -51,9 +65,16 @@ class Event:
         from different runs of the same work compare equal on
         ``(name, attrs)``.
     duration_seconds:
-        Wall-clock length of a span; ``None`` for counters.
+        Wall-clock length of a span; ``None`` for counters and samples.
     value:
-        Increment of a counter; ``None`` for spans.
+        Increment of a counter or reading of a sample; ``None`` for spans.
+    span_id:
+        Process-unique id of a span event; ``None`` for other kinds.
+    parent_id:
+        ``span_id`` of the innermost span open on the same thread when
+        this span started; ``None`` for root spans. Together with
+        ``span_id`` this lets :func:`repro.observability.build_span_tree`
+        reconstruct the span tree of a trace.
     """
 
     kind: str
@@ -61,6 +82,8 @@ class Event:
     attrs: dict = field(default_factory=dict)
     duration_seconds: float | None = None
     value: float | None = None
+    span_id: str | None = None
+    parent_id: str | None = None
 
     def to_dict(self) -> dict:
         """Plain-dict form (picklable, JSON-serializable)."""
@@ -71,6 +94,10 @@ class Event:
             payload["duration_seconds"] = self.duration_seconds
         if self.value is not None:
             payload["value"] = self.value
+        if self.span_id is not None:
+            payload["span_id"] = self.span_id
+        if self.parent_id is not None:
+            payload["parent_id"] = self.parent_id
         return payload
 
     @classmethod
@@ -82,6 +109,8 @@ class Event:
             attrs=dict(payload.get("attrs", {})),
             duration_seconds=payload.get("duration_seconds"),
             value=payload.get("value"),
+            span_id=payload.get("span_id"),
+            parent_id=payload.get("parent_id"),
         )
 
 
@@ -126,7 +155,15 @@ class _Span:
     emitted with an ``error`` attribute before the exception propagates.
     """
 
-    __slots__ = ("_bus", "name", "attrs", "_start", "duration_seconds")
+    __slots__ = (
+        "_bus",
+        "name",
+        "attrs",
+        "_start",
+        "duration_seconds",
+        "span_id",
+        "parent_id",
+    )
 
     def __init__(self, bus: "EventBus", name: str, attrs: dict):
         self._bus = bus
@@ -134,21 +171,33 @@ class _Span:
         self.attrs = attrs
         self._start = 0.0
         self.duration_seconds: float | None = None
+        self.span_id: str | None = None
+        self.parent_id: str | None = None
 
     def set(self, **attrs: Any) -> None:
         """Attach additional attributes to the span before it closes."""
         self.attrs.update(attrs)
 
     def __enter__(self) -> "_Span":
+        self.span_id = next_span_id()
+        self.parent_id = self._bus._push_span(self.span_id)
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
         self.duration_seconds = time.perf_counter() - self._start
+        self._bus._pop_span(self.span_id)
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
         self._bus.emit(
-            Event(SPAN, self.name, dict(self.attrs), self.duration_seconds)
+            Event(
+                SPAN,
+                self.name,
+                dict(self.attrs),
+                self.duration_seconds,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+            )
         )
         return False
 
@@ -162,9 +211,14 @@ class EventBus:
     """
 
     def __init__(self) -> None:
-        self._sinks: list[Sink] = []
+        # Copy-on-write: mutations build a fresh tuple under the lock,
+        # so `emit` can iterate a snapshot without synchronization and a
+        # sink attached mid-sweep never corrupts an in-flight dispatch.
+        self._sinks: tuple[Sink, ...] = ()
         self._counters: dict[str, float] = {}
         self._lock = threading.Lock()
+        self._local = threading.local()
+        self._active_span_id: str | None = None
 
     # -- sinks ---------------------------------------------------------
     @property
@@ -174,15 +228,19 @@ class EventBus:
 
     def attach(self, sink: Sink) -> Sink:
         """Register a sink; returns it for chaining."""
-        self._sinks.append(sink)
+        with self._lock:
+            self._sinks = (*self._sinks, sink)
         return sink
 
     def detach(self, sink: Sink) -> None:
         """Unregister a sink (no-op if it is not attached)."""
-        try:
-            self._sinks.remove(sink)
-        except ValueError:
-            pass
+        with self._lock:
+            remaining = list(self._sinks)
+            try:
+                remaining.remove(sink)
+            except ValueError:
+                return
+            self._sinks = tuple(remaining)
 
     def swap_sinks(self, sinks: Iterable[Sink]) -> list[Sink]:
         """Replace the attached sinks, returning the previous list.
@@ -192,9 +250,10 @@ class EventBus:
         otherwise receive every event twice: once in the worker and once
         on replay).
         """
-        previous = self._sinks
-        self._sinks = list(sinks)
-        return previous
+        with self._lock:
+            previous = self._sinks
+            self._sinks = tuple(sinks)
+        return list(previous)
 
     @contextmanager
     def sink(self, sink: Sink) -> Iterator[Sink]:
@@ -204,6 +263,40 @@ class EventBus:
             yield sink
         finally:
             self.detach(sink)
+
+    # -- span context --------------------------------------------------
+    def _span_stack(self) -> list[str]:
+        """This thread's stack of open span ids (innermost last)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push_span(self, span_id: str) -> str | None:
+        """Open a span on this thread; returns the parent's id."""
+        stack = self._span_stack()
+        parent = stack[-1] if stack else None
+        stack.append(span_id)
+        self._active_span_id = span_id
+        return parent
+
+    def _pop_span(self, span_id: str | None) -> None:
+        """Close the innermost span on this thread."""
+        stack = self._span_stack()
+        if stack and stack[-1] == span_id:
+            stack.pop()
+        self._active_span_id = stack[-1] if stack else None
+
+    def active_span_id(self) -> str | None:
+        """Id of the most recently entered still-open span, if any.
+
+        Best-effort and process-global (last writer wins across
+        threads) — intended for asynchronous observers such as
+        :class:`~repro.observability.resources.ResourceSampler` that tag
+        their readings with the work they interrupted, not for
+        establishing parent/child links (those use the per-thread stack).
+        """
+        return self._active_span_id
 
     # -- emission ------------------------------------------------------
     def emit(self, event: Event) -> None:
@@ -225,10 +318,36 @@ class EventBus:
     def emit_span(
         self, name: str, duration_seconds: float, **attrs: Any
     ) -> None:
-        """Emit an already-timed span (for code that owns its own timer)."""
+        """Emit an already-timed span (for code that owns its own timer).
+
+        The span is parented to the innermost span open on the calling
+        thread, exactly as a ``with bus.span(...)`` block would be.
+        """
         if not self._sinks:
             return
-        self.emit(Event(SPAN, name, dict(attrs), duration_seconds))
+        stack = self._span_stack()
+        self.emit(
+            Event(
+                SPAN,
+                name,
+                dict(attrs),
+                duration_seconds,
+                span_id=next_span_id(),
+                parent_id=stack[-1] if stack else None,
+            )
+        )
+
+    def sample(self, name: str, value: float, **attrs: Any) -> None:
+        """Emit a point-in-time gauge reading (no-op without sinks).
+
+        Unlike counters, samples are not accumulated by the bus — each
+        reading stands alone (RSS at an instant, queue depth, ...) and is
+        meaningful only to sinks that aggregate distributions, such as
+        :class:`~repro.observability.metrics.MetricsSink`.
+        """
+        if not self._sinks:
+            return
+        self.emit(Event(SAMPLE, name, dict(attrs), value=float(value)))
 
     def count(self, name: str, value: float = 1, **attrs: Any) -> None:
         """Increment the monotonic counter ``name`` by ``value``."""

@@ -1,0 +1,178 @@
+"""Process resource tracking: background RSS and tracemalloc sampling.
+
+The paper's Figure 9 trades accuracy against *runtime*; at production
+scale the second axis of that trade-off is *memory* — an elastic-measure
+sweep that fits in cache behaves nothing like one that thrashes. This
+module adds the memory side of the observability layer: a
+:class:`ResourceSampler` that runs in a daemon thread, periodically reads
+the process RSS (and, optionally, the ``tracemalloc`` peak) and emits the
+readings as ``sample`` events on the bus, each tagged with the id of the
+span it interrupted so :func:`repro.observability.attribute_samples` can
+pin memory to the enclosing ``matrix.compute`` / ``sweep.cell`` work.
+
+Dependency-free: RSS comes from ``/proc/self/statm`` where available and
+falls back to ``resource.getrusage`` peak elsewhere.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import tracemalloc
+from dataclasses import dataclass
+
+from .bus import EventBus, get_bus
+
+#: Event names emitted by the sampler.
+RSS_SAMPLE = "resource.rss_bytes"
+TRACEMALLOC_SAMPLE = "resource.tracemalloc_bytes"
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None  # type: ignore[assignment]
+
+try:  # resolve the page size once; /proc reports RSS in pages
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+except (ValueError, OSError, AttributeError):  # pragma: no cover
+    _PAGE_SIZE = 4096
+
+
+def read_rss_bytes() -> int:
+    """Current resident-set size of this process in bytes.
+
+    Reads ``/proc/self/statm`` (Linux); where that is unavailable, falls
+    back to the ``getrusage`` *peak* RSS (macOS reports bytes, Linux
+    kilobytes), and to 0 when neither source exists.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as fh:
+            return int(fh.read().split()[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        pass
+    if _resource is not None:
+        peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is kilobytes on Linux, bytes on macOS; values under
+        # 1 MiB are implausible as bytes for a numpy-importing process.
+        return int(peak) * (1024 if peak < 1 << 20 else 1)
+    return 0  # pragma: no cover - no source available
+
+
+@dataclass(frozen=True)
+class ResourceStats:
+    """Summary of one sampling window (returned by ``stop()``)."""
+
+    n_samples: int
+    peak_rss_bytes: int
+    tracemalloc_peak_bytes: int
+    duration_seconds: float
+
+
+class ResourceSampler:
+    """Daemon-thread sampler emitting RSS / tracemalloc ``sample`` events.
+
+    Usage (context-managed or explicit ``start()`` / ``stop()``)::
+
+        from repro.observability import ResourceSampler
+
+        with ResourceSampler(interval=0.05) as sampler:
+            run_sweep(variants, datasets)
+        sampler.stats.peak_rss_bytes
+
+    Each emitted event carries a ``span`` attribute naming the id of the
+    span that was open when the reading was taken (best-effort, from
+    :meth:`EventBus.active_span_id`), which is what makes memory
+    attributable to ``matrix.compute`` / ``sweep.cell`` regions. One
+    sample is always taken synchronously at ``start()`` and one at
+    ``stop()``, so even windows shorter than ``interval`` record peaks.
+
+    ``tracemalloc`` tracking (python-allocator peak, far finer-grained
+    than RSS but ~2x slower allocation) is enabled only when requested
+    and only if no other component already started it.
+    """
+
+    def __init__(
+        self,
+        interval: float = 0.05,
+        bus: EventBus | None = None,
+        trace_python_allocations: bool = False,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.interval = interval
+        self.bus = bus if bus is not None else get_bus()
+        self.trace_python_allocations = trace_python_allocations
+        self.stats: ResourceStats | None = None
+        self._thread: threading.Thread | None = None
+        self._stop_event = threading.Event()
+        self._n_samples = 0
+        self._peak_rss = 0
+        self._tracemalloc_peak = 0
+        self._owns_tracemalloc = False
+        self._started_at = 0.0
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "ResourceSampler":
+        """Begin sampling; idempotent while running."""
+        if self._thread is not None:
+            return self
+        self._stop_event.clear()
+        self._n_samples = 0
+        self._peak_rss = 0
+        self._tracemalloc_peak = 0
+        self._started_at = time.perf_counter()
+        if self.trace_python_allocations and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._owns_tracemalloc = True
+        self._take_sample()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-resource-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> ResourceStats:
+        """Stop sampling and return the window's :class:`ResourceStats`."""
+        thread = self._thread
+        if thread is not None:
+            self._stop_event.set()
+            thread.join(timeout=5.0)
+            self._thread = None
+            self._take_sample()
+        if self._owns_tracemalloc:
+            tracemalloc.stop()
+            self._owns_tracemalloc = False
+        self.stats = ResourceStats(
+            n_samples=self._n_samples,
+            peak_rss_bytes=self._peak_rss,
+            tracemalloc_peak_bytes=self._tracemalloc_peak,
+            duration_seconds=time.perf_counter() - self._started_at,
+        )
+        return self.stats
+
+    def __enter__(self) -> "ResourceSampler":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.stop()
+        return False
+
+    # -- sampling ------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop_event.wait(self.interval):
+            self._take_sample()
+
+    def _take_sample(self) -> None:
+        span_id = self.bus.active_span_id()
+        attrs = {} if span_id is None else {"span": span_id}
+        rss = read_rss_bytes()
+        self._n_samples += 1
+        if rss > self._peak_rss:
+            self._peak_rss = rss
+        self.bus.sample(RSS_SAMPLE, rss, **attrs)
+        if tracemalloc.is_tracing():
+            _, peak = tracemalloc.get_traced_memory()
+            if peak > self._tracemalloc_peak:
+                self._tracemalloc_peak = peak
+            self.bus.sample(TRACEMALLOC_SAMPLE, peak, **attrs)

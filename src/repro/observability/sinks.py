@@ -8,11 +8,29 @@ database, a metrics service) never touches the instrumented code.
 from __future__ import annotations
 
 import json
+import numbers
 import sys
 from pathlib import Path
-from typing import IO, Iterable, Sequence
+from typing import IO, Any, Iterable, Sequence
+
+import numpy as np
 
 from .bus import COUNTER, SPAN, Event
+
+
+def _json_default(obj: Any) -> Any:
+    """Coerce non-JSON-native attribute values for serialization.
+
+    The instrumented code freely stores numpy scalars in span attributes
+    (``span.set(accuracy=np.float64(...))`` from the runner); plain
+    ``json.dumps`` raises ``TypeError`` on those. Anything unknown
+    degrades to ``repr`` rather than killing the trace.
+    """
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    return repr(obj)
 
 
 class Recorder:
@@ -83,7 +101,10 @@ class JsonlSink:
         """Write the event as one JSON line."""
         if self._fh is None:
             return
-        self._fh.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        self._fh.write(
+            json.dumps(event.to_dict(), sort_keys=True, default=_json_default)
+            + "\n"
+        )
         self._fh.flush()
 
     def close(self) -> None:
@@ -119,21 +140,35 @@ class ProgressSink:
         self.names = tuple(names)
 
     def handle(self, event: Event) -> None:
-        """Print a one-line summary for spans named in :attr:`names`."""
+        """Print a one-line summary for spans named in :attr:`names`.
+
+        Honors the :class:`~repro.observability.bus.Sink` promise that a
+        sink must not raise: malformed attributes (a ``None`` or
+        non-numeric accuracy, an unwritable stream) degrade to a partial
+        line or are swallowed, never propagated into the instrumented
+        code.
+        """
         if event.kind != SPAN or event.name not in self.names:
             return
-        millis = (event.duration_seconds or 0.0) * 1e3
-        attrs = event.attrs
-        subject = attrs.get("variant", event.name)
-        target = attrs.get("dataset")
-        line = f"[{millis:9.1f} ms] {subject}"
-        if target:
-            line += f" on {target}"
-        if "accuracy" in attrs:
-            line += f"  acc={attrs['accuracy']:.4f}"
-        if "error" in attrs:
-            line += f"  ERROR={attrs['error']}"
-        print(line, file=self.stream)
+        try:
+            millis = (event.duration_seconds or 0.0) * 1e3
+            attrs = event.attrs
+            subject = attrs.get("variant", event.name)
+            target = attrs.get("dataset")
+            line = f"[{millis:9.1f} ms] {subject}"
+            if target:
+                line += f" on {target}"
+            if "accuracy" in attrs:
+                accuracy = attrs["accuracy"]
+                if isinstance(accuracy, numbers.Real):
+                    line += f"  acc={float(accuracy):.4f}"
+                elif accuracy is not None:
+                    line += f"  acc={accuracy}"
+            if "error" in attrs:
+                line += f"  ERROR={attrs['error']}"
+            print(line, file=self.stream)
+        except Exception:
+            return
 
 
 def replay_dicts(events: Iterable[dict]) -> list[Event]:

@@ -9,12 +9,12 @@ of them speak :class:`~repro.observability.bus.Event`.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from ..exceptions import TraceError
-from .bus import COUNTER, SPAN, Event
+from .bus import COUNTER, SAMPLE, SPAN, Event
 
 
 @dataclass(frozen=True)
@@ -135,6 +135,133 @@ def summarize_events(events: Iterable[Event]) -> TraceSummary:
 def summarize_trace(path: str | Path) -> TraceSummary:
     """Load a JSON-lines trace file and aggregate it."""
     return summarize_events(load_trace(path))
+
+
+@dataclass
+class SpanNode:
+    """One span in a reconstructed span tree.
+
+    ``self_seconds`` is the span's duration minus its children's — the
+    time attributable to the span's own code rather than the regions it
+    delegated to.
+    """
+
+    event: Event
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        """Span name of the underlying event."""
+        return self.event.name
+
+    @property
+    def duration_seconds(self) -> float:
+        """Duration of the underlying event (0.0 when absent)."""
+        return self.event.duration_seconds or 0.0
+
+    @property
+    def self_seconds(self) -> float:
+        """Duration not covered by child spans (clamped at 0)."""
+        return max(
+            0.0,
+            self.duration_seconds
+            - sum(c.duration_seconds for c in self.children),
+        )
+
+    def describe(self) -> str:
+        """Short human label: name plus the most identifying attrs."""
+        attrs = self.event.attrs
+        for key in ("variant", "measure", "dataset"):
+            if key in attrs:
+                extra = [str(attrs[key])]
+                if key != "dataset" and "dataset" in attrs:
+                    extra.append(str(attrs["dataset"]))
+                return f"{self.name} [{' on '.join(extra)}]"
+        return self.name
+
+
+def build_span_tree(events: Iterable[Event]) -> list[SpanNode]:
+    """Reconstruct the span forest from ``span_id`` / ``parent_id`` links.
+
+    Returns the root nodes (spans with no parent, or whose parent is
+    missing from the stream — e.g. a trace truncated by a killed run).
+    Children keep emission order, which for synchronous spans is
+    completion order. Span events without ids (pre-PR traces, hand-built
+    events) become childless roots, so old traces still load.
+    """
+    nodes: dict[str, SpanNode] = {}
+    ordered: list[SpanNode] = []
+    for event in events:
+        if event.kind != SPAN:
+            continue
+        node = SpanNode(event)
+        ordered.append(node)
+        if event.span_id is not None:
+            nodes[event.span_id] = node
+    roots: list[SpanNode] = []
+    for node in ordered:
+        parent = (
+            nodes.get(node.event.parent_id)
+            if node.event.parent_id is not None
+            else None
+        )
+        if parent is None or parent is node:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    return roots
+
+
+def critical_path(events: Iterable[Event]) -> list[SpanNode]:
+    """The heaviest root-to-leaf chain of the span tree.
+
+    Starting from the longest root span (for a sweep trace, the ``sweep``
+    span itself), repeatedly descends into the child with the largest
+    duration. This is the chain to optimize first: shortening any span
+    off this path cannot shorten the sweep's wall-clock. Returns an empty
+    list when the stream carries no spans with tree links.
+    """
+    roots = build_span_tree(events)
+    roots = [r for r in roots if r.event.span_id is not None]
+    if not roots:
+        return []
+    path: list[SpanNode] = []
+    node = max(roots, key=lambda n: n.duration_seconds)
+    while node is not None:
+        path.append(node)
+        node = (
+            max(node.children, key=lambda n: n.duration_seconds)
+            if node.children
+            else None
+        )
+    return path
+
+
+def attribute_samples(events: Iterable[Event]) -> dict[str, dict[str, dict]]:
+    """Attribute resource samples to the spans they interrupted.
+
+    Returns ``{sample name: {span name: {"n": count, "peak": max value}}}``
+    for every ``sample`` event whose ``span`` attribute matches a span in
+    the stream (samples taken outside any span fold under ``"(none)"``).
+    This is how ``resource.rss_bytes`` readings become per-``sweep.cell``
+    / per-``matrix.compute`` memory peaks.
+    """
+    events = list(events)
+    span_names = {
+        e.span_id: e.name
+        for e in events
+        if e.kind == SPAN and e.span_id is not None
+    }
+    out: dict[str, dict[str, dict]] = {}
+    for event in events:
+        if event.kind != SAMPLE or event.value is None:
+            continue
+        span_name = span_names.get(event.attrs.get("span"), "(none)")
+        per_span = out.setdefault(event.name, {})
+        entry = per_span.setdefault(span_name, {"n": 0, "peak": 0.0})
+        entry["n"] += 1
+        entry["peak"] = max(entry["peak"], float(event.value))
+    return out
 
 
 def span_signature(event: Event, *, volatile: Sequence[str] = ()) -> tuple:

@@ -12,7 +12,7 @@ from .markdown import (
 )
 from .sparkline import sparkline, sparkline_pair
 from .tables import format_census_table, format_comparison_table
-from .trace import format_trace_summary
+from .trace import format_critical_path, format_trace_summary
 
 __all__ = [
     "sparkline",
@@ -20,6 +20,7 @@ __all__ = [
     "format_comparison_table",
     "format_census_table",
     "format_trace_summary",
+    "format_critical_path",
     "format_rank_figure",
     "format_runtime_figure",
     "format_convergence_figure",

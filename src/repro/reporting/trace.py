@@ -6,7 +6,10 @@ plain text, title underlined with ``=``, one aligned row per entry.
 
 from __future__ import annotations
 
-from ..observability.summary import TraceSummary
+from typing import Iterable, Sequence
+
+from ..observability.bus import Event
+from ..observability.summary import SpanNode, TraceSummary, critical_path
 
 
 def _seconds(value: float) -> str:
@@ -14,6 +17,43 @@ def _seconds(value: float) -> str:
     if value >= 1.0:
         return f"{value:.2f} s"
     return f"{value * 1e3:.1f} ms"
+
+
+def format_critical_path(
+    source: Iterable[Event] | Sequence[SpanNode],
+    title: str = "Critical path",
+) -> str:
+    """Render the heaviest root-to-leaf span chain of a trace.
+
+    Accepts either raw events (the chain is computed via
+    :func:`repro.observability.critical_path`) or a precomputed list of
+    :class:`~repro.observability.SpanNode`. Each line shows the span, its
+    duration, its share of the parent, and the span's *self* time (the
+    part not explained by its children) — the number that says where on
+    the chain the time actually lives. Returns ``""`` for traces without
+    span-tree links (pre-metrics traces), so callers can print
+    unconditionally.
+    """
+    nodes = list(source)
+    if nodes and isinstance(nodes[0], Event):
+        nodes = critical_path(nodes)
+    if not nodes:
+        return ""
+    lines = [title, "=" * len(title)]
+    parent_seconds = None
+    for depth, node in enumerate(nodes):
+        share = (
+            ""
+            if parent_seconds in (None, 0.0)
+            else f"  {node.duration_seconds / parent_seconds:>5.1%} of parent"
+        )
+        lines.append(
+            f"{'  ' * depth}{node.describe():<40} "
+            f"{_seconds(node.duration_seconds):>10}"
+            f"{share}  (self {_seconds(node.self_seconds)})"
+        )
+        parent_seconds = node.duration_seconds
+    return "\n".join(lines)
 
 
 def format_trace_summary(

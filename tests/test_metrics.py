@@ -1,0 +1,384 @@
+"""Tests for metrics aggregation, resource tracking, and the bench gate."""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.exceptions import TraceError
+from repro.observability import (
+    Aggregate,
+    Event,
+    EventBus,
+    MetricsSink,
+    Recorder,
+    ResourceSampler,
+    attribute_samples,
+    build_span_tree,
+    critical_path,
+)
+from repro.observability.bench import (
+    SCHEMA,
+    build_workloads,
+    compare_bench,
+    load_bench,
+    run_bench,
+)
+from repro.reporting import format_critical_path
+
+
+@pytest.fixture()
+def bus():
+    return EventBus()
+
+
+class TestAggregate:
+    def test_exact_fields(self):
+        agg = Aggregate()
+        for v in (1.0, 2.0, 4.0, 0.5):
+            agg.record(v)
+        assert agg.count == 4
+        assert agg.sum == pytest.approx(7.5)
+        assert agg.min == 0.5
+        assert agg.max == 4.0
+        assert agg.mean == pytest.approx(1.875)
+
+    def test_quantiles_bounded_error(self):
+        gen = np.random.default_rng(99)
+        values = np.exp(gen.normal(size=4000))  # lognormal latencies
+        agg = Aggregate()
+        for v in values:
+            agg.record(float(v))
+        for q in (0.50, 0.95, 0.99):
+            exact = float(np.quantile(values, q))
+            # log-spaced buckets promise ~4.5% worst-case error
+            assert agg.quantile(q) == pytest.approx(exact, rel=0.06)
+        assert agg.p50 <= agg.p95 <= agg.p99 <= agg.max
+
+    def test_quantiles_clamped_to_range(self):
+        agg = Aggregate()
+        agg.record(3.0)
+        assert agg.p50 == agg.p99 == 3.0
+
+    def test_zero_and_negative_values(self):
+        agg = Aggregate()
+        for v in (0.0, -1.0, 2.0):
+            agg.record(v)
+        assert agg.min == -1.0 and agg.max == 2.0
+        assert agg.quantile(0.0) == -1.0  # clamped to observed min
+        assert agg.count == 3
+
+    def test_empty_aggregate(self):
+        agg = Aggregate()
+        assert agg.count == 0
+        assert agg.mean == 0.0
+        assert agg.p95 == 0.0
+        assert agg.to_dict()["min"] == 0.0
+
+    def test_quantile_validates_range(self):
+        with pytest.raises(ValueError, match="quantile"):
+            Aggregate().quantile(1.5)
+
+    def test_merge_is_lossless(self):
+        gen = np.random.default_rng(7)
+        values = [float(v) for v in np.exp(gen.normal(size=500))]
+        whole = Aggregate()
+        for v in values:
+            whole.record(v)
+        merged = Aggregate()
+        for chunk in (values[:100], values[100:137], values[137:]):
+            part = Aggregate()
+            for v in chunk:
+                part.record(v)
+            merged.merge(part)
+        assert merged == whole
+        assert merged.quantile(0.95) == whole.quantile(0.95)
+
+    def test_dict_roundtrip_preserves_merge(self):
+        agg = Aggregate()
+        for v in (0.1, 0.2, 0.9, 5.0):
+            agg.record(v)
+        restored = Aggregate.from_dict(
+            json.loads(json.dumps(agg.to_dict()))
+        )
+        assert restored == agg
+
+
+class TestMetricsSink:
+    def test_groups_spans_by_attrs(self, bus):
+        sink = bus.attach(MetricsSink())
+        with bus.span("sweep.cell", variant="ED", dataset="A", family="minkowski"):
+            pass
+        with bus.span("sweep.cell", variant="ED", dataset="B", family="minkowski"):
+            pass
+        assert len(sink) == 2
+        agg = sink.get("sweep.cell", variant="ED", dataset="A", family="minkowski")
+        assert agg is not None and agg.count == 1
+
+    def test_grouping_ignores_unlisted_attrs(self, bus):
+        sink = bus.attach(MetricsSink(group_by=("family",)))
+        bus.emit_span("work", 0.1, family="elastic", dataset="A")
+        bus.emit_span("work", 0.2, family="elastic", dataset="B")
+        agg = sink.get("work", family="elastic")
+        assert agg.count == 2
+
+    def test_counters_and_samples_recorded(self, bus):
+        sink = bus.attach(MetricsSink())
+        bus.count("cache.hit", 3)
+        bus.sample("resource.rss_bytes", 1024.0)
+        assert sink.get("cache.hit").sum == 3
+        assert sink.get("resource.rss_bytes").max == 1024.0
+
+    def test_names_filter(self, bus):
+        sink = bus.attach(MetricsSink(names=("keep",)))
+        bus.emit_span("keep", 0.1)
+        bus.emit_span("drop", 0.1)
+        assert sink.get("keep") is not None
+        assert sink.get("drop") is None
+
+    def test_handle_never_raises(self, bus):
+        sink = bus.attach(MetricsSink())
+        sink.handle(Event("span", "weird", duration_seconds="not-a-number"))
+        sink.handle(Event("unknown-kind", "x"))
+        sink.handle(Event("counter", "c"))  # value None -> skipped
+        assert len(sink) == 0
+
+    def test_merge_equals_concatenated_stream(self, bus):
+        events = [
+            Event("span", "work", {"family": f}, d)
+            for f, d in zip("abcabcab", (0.1, 0.2, 0.3) * 3)
+        ]
+        whole = MetricsSink()
+        for e in events:
+            whole.handle(e)
+        merged = MetricsSink()
+        for chunk in (events[:3], events[3:4], events[4:]):
+            part = MetricsSink()
+            for e in chunk:
+                part.handle(e)
+            merged.merge(part)
+        assert merged.aggregates() == whole.aggregates()
+
+    def test_to_from_dicts_roundtrip(self):
+        sink = MetricsSink()
+        sink.handle(Event("span", "work", {"family": "elastic"}, 0.25))
+        sink.handle(Event("span", "work", {"family": "elastic"}, 0.5))
+        restored = MetricsSink.from_dicts(
+            json.loads(json.dumps(sink.to_dicts()))
+        )
+        assert restored.aggregates() == sink.aggregates()
+        # a restored sink merges cleanly back into a live one
+        live = MetricsSink()
+        live.handle(Event("span", "work", {"family": "elastic"}, 1.0))
+        live.merge(restored)
+        assert live.get("work", family="elastic").count == 3
+
+    def test_concurrent_recording(self, bus):
+        sink = bus.attach(MetricsSink(group_by=()))
+        n_threads, per_thread = 8, 200
+
+        def worker():
+            for _ in range(per_thread):
+                sink.handle(Event("span", "work", {}, 0.001))
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sink.get("work").count == n_threads * per_thread
+
+
+class TestResourceSampler:
+    def test_peaks_and_events(self, bus):
+        recorder = bus.attach(Recorder())
+        sampler = ResourceSampler(interval=0.01, bus=bus)
+        with sampler:
+            with bus.span("work"):
+                ballast = np.zeros(2_000_000)  # ~16 MB
+                time.sleep(0.04)
+                del ballast
+        stats = sampler.stats
+        assert stats.n_samples >= 2
+        assert stats.peak_rss_bytes > 0
+        samples = [e for e in recorder.events if e.kind == "sample"]
+        assert samples and all(
+            e.name == "resource.rss_bytes" for e in samples
+        )
+        # at least one reading was taken inside the span and tagged
+        attributed = attribute_samples(recorder.events)
+        assert "work" in attributed["resource.rss_bytes"]
+
+    def test_tracemalloc_peak(self, bus):
+        sampler = ResourceSampler(
+            interval=0.005, bus=bus, trace_python_allocations=True
+        )
+        with sampler:
+            ballast = [bytes(1000) for _ in range(2000)]
+            time.sleep(0.02)
+            del ballast
+        assert sampler.stats.tracemalloc_peak_bytes > 0
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError, match="interval"):
+            ResourceSampler(interval=0.0)
+
+    def test_stop_is_idempotent(self, bus):
+        sampler = ResourceSampler(interval=0.01, bus=bus).start()
+        first = sampler.stop()
+        second = sampler.stop()
+        assert first.n_samples == second.n_samples >= 2
+
+
+class TestSpanTree:
+    def _trace(self, bus):
+        recorder = bus.attach(Recorder())
+        with bus.span("sweep"):
+            with bus.span("sweep.variant", variant="ED"):
+                with bus.span("sweep.cell", variant="ED", dataset="A"):
+                    time.sleep(0.002)
+                with bus.span("sweep.cell", variant="ED", dataset="B"):
+                    pass
+        return recorder.events
+
+    def test_build_span_tree(self, bus):
+        events = self._trace(bus)
+        (root,) = build_span_tree(events)
+        assert root.name == "sweep"
+        (variant,) = root.children
+        assert variant.name == "sweep.variant"
+        assert [c.event.attrs["dataset"] for c in variant.children] == ["A", "B"]
+        assert root.self_seconds <= root.duration_seconds
+
+    def test_critical_path_descends_heaviest_child(self, bus):
+        events = self._trace(bus)
+        path = critical_path(events)
+        assert [n.name for n in path] == ["sweep", "sweep.variant", "sweep.cell"]
+        assert path[-1].event.attrs["dataset"] == "A"  # the slept cell
+
+    def test_idless_events_have_no_critical_path(self):
+        events = [Event("span", "legacy", {}, 1.0)]
+        assert critical_path(events) == []
+        assert format_critical_path(events) == ""
+
+    def test_truncated_trace_orphans_become_roots(self, bus):
+        events = self._trace(bus)
+        # drop the root span (killed-run truncation leaves children only)
+        orphaned = [e for e in events if e.name != "sweep"]
+        roots = build_span_tree(orphaned)
+        assert [r.name for r in roots] == ["sweep.variant"]
+
+    def test_format_critical_path(self, bus):
+        events = self._trace(bus)
+        text = format_critical_path(events)
+        assert text.splitlines()[0] == "Critical path"
+        assert "sweep.cell [ED on A]" in text
+        assert "of parent" in text and "self" in text
+
+
+@pytest.fixture(scope="module")
+def bench_record(tmp_path_factory):
+    """One quick single-repeat bench run shared by the gate tests."""
+    out = tmp_path_factory.mktemp("bench") / "BENCH_sweep.json"
+    record = run_bench(out=out, quick=True, repeats=1)
+    return out, record
+
+
+class TestBench:
+    def test_record_schema(self, bench_record):
+        out, record = bench_record
+        assert record["schema"] == SCHEMA
+        assert record["workload"] == "quick"
+        assert set(record["families"]) == {
+            "lockstep", "sliding", "elastic", "kernel", "cache", "sweep",
+        }
+        for payload in record["families"].values():
+            latency = payload["latency_seconds"]
+            assert latency["count"] == 1
+            assert 0 < latency["p50"] <= latency["p95"] <= latency["p99"]
+            assert payload["peak_rss_bytes"] > 0
+        # the persisted file parses back identically
+        assert load_bench(out) == json.loads(out.read_text())
+
+    def test_compare_self_is_clean(self, bench_record):
+        out, _ = bench_record
+        code, lines = compare_bench(out, out, threshold_pct=20.0)
+        assert code == 0
+        assert any("no regressions" in line for line in lines)
+
+    def test_compare_flags_inflated_run(self, bench_record):
+        _, record = bench_record
+        inflated = json.loads(json.dumps(record))
+        for family in inflated["families"].values():
+            family["latency_seconds"]["p95"] *= 10
+            family["peak_rss_bytes"] *= 10
+        code, lines = compare_bench(record, inflated, threshold_pct=20.0)
+        assert code == 1
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_compare_improvement_is_clean(self, bench_record):
+        _, record = bench_record
+        improved = json.loads(json.dumps(record))
+        for family in improved["families"].values():
+            family["latency_seconds"]["p95"] /= 10
+            family["peak_rss_bytes"] //= 2
+        code, _ = compare_bench(record, improved, threshold_pct=20.0)
+        assert code == 0
+
+    def test_compare_missing_family_is_soft(self, bench_record):
+        _, record = bench_record
+        partial = json.loads(json.dumps(record))
+        del partial["families"]["kernel"]
+        code, lines = compare_bench(record, partial, threshold_pct=20.0)
+        assert code == 0
+        assert any("MISSING" in line for line in lines)
+
+    def test_small_absolute_jitter_is_absorbed(self, bench_record):
+        _, record = bench_record
+        jittered = json.loads(json.dumps(record))
+        for family in jittered["families"].values():
+            # huge relative but tiny absolute change: under the floors
+            family["latency_seconds"]["p95"] += 4e-5
+            family["peak_rss_bytes"] += 1 << 20
+        code, _ = compare_bench(record, jittered, threshold_pct=1e-9)
+        assert code == 0
+
+    def test_load_bench_rejects_garbage(self, tmp_path):
+        with pytest.raises(TraceError, match="not found"):
+            load_bench(tmp_path / "absent.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        with pytest.raises(TraceError, match="malformed"):
+            load_bench(bad)
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text('{"schema": "other/9", "families": {}}')
+        with pytest.raises(TraceError, match="schema"):
+            load_bench(wrong)
+
+    def test_workloads_cover_families(self):
+        workloads = build_workloads(quick=True)
+        assert set(workloads) == {
+            "lockstep", "sliding", "elastic", "kernel", "cache", "sweep",
+        }
+
+    def test_cli_bench_run_and_compare(self, bench_record, tmp_path, capsys):
+        out, record = bench_record
+        code = cli_main(
+            ["bench", "compare", str(out), str(out), "--threshold", "20"]
+        )
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+        inflated_path = tmp_path / "inflated.json"
+        inflated = json.loads(json.dumps(record))
+        for family in inflated["families"].values():
+            family["latency_seconds"]["p95"] *= 10
+        inflated_path.write_text(json.dumps(inflated))
+        code = cli_main(
+            ["bench", "compare", str(out), str(inflated_path),
+             "--threshold", "20"]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out

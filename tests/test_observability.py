@@ -1,8 +1,10 @@
 """Tests for the observability subsystem: bus, sinks, traces, CLI."""
 
 import json
+import threading
 from collections import Counter
 
+import numpy as np
 import pytest
 
 from repro.cli import main as cli_main
@@ -12,6 +14,7 @@ from repro.observability import (
     Event,
     EventBus,
     JsonlSink,
+    MetricsSink,
     ProgressSink,
     Recorder,
     get_bus,
@@ -98,6 +101,66 @@ class TestEventBus:
         event = Event("span", "work", {"a": 1}, 0.25)
         assert Event.from_dict(event.to_dict()) == event
 
+    def test_event_roundtrip_keeps_span_ids(self):
+        event = Event("span", "work", {"a": 1}, 0.25, span_id="1.2", parent_id="1.1")
+        assert Event.from_dict(event.to_dict()) == event
+
+    def test_spans_carry_tree_links(self, bus):
+        recorder = bus.attach(Recorder())
+        with bus.span("outer"):
+            with bus.span("inner"):
+                pass
+            bus.emit_span("pre.timed", 0.1)
+        inner, pre_timed, outer = recorder.events
+        assert outer.span_id is not None and outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert pre_timed.parent_id == outer.span_id
+        assert len({outer.span_id, inner.span_id, pre_timed.span_id}) == 3
+
+    def test_attach_during_emit_does_not_corrupt(self, bus):
+        """Copy-on-write sinks: a sink attached mid-dispatch is picked up
+        from the next event on, without corrupting the iteration."""
+        late = Recorder()
+
+        class Attacher:
+            def __init__(self):
+                self.armed = True
+
+            def handle(self, event):
+                if self.armed:
+                    self.armed = False
+                    bus.attach(late)
+
+        bus.attach(Attacher())
+        bus.attach(Recorder())
+        bus.emit_span("first", 0.1)
+        bus.emit_span("second", 0.1)
+        assert [e.name for e in late.events] == ["second"]
+
+    def test_concurrent_counts_and_spans(self, bus):
+        recorder = bus.attach(Recorder())
+        metrics = bus.attach(MetricsSink(group_by=("thread",)))
+        n_threads, per_thread = 8, 100
+
+        def hammer(index):
+            for _ in range(per_thread):
+                bus.count("hammer.count")
+                with bus.span("hammer.span", thread=index):
+                    pass
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert bus.counters()["hammer.count"] == n_threads * per_thread
+        assert len(recorder.spans("hammer.span")) == n_threads * per_thread
+        for i in range(n_threads):
+            assert metrics.get("hammer.span", thread=i).count == per_thread
+
 
 class TestSinks:
     def test_jsonl_sink_roundtrip(self, bus, tmp_path):
@@ -131,6 +194,53 @@ class TestSinks:
         out = capsys.readouterr().out
         assert out.count("\n") == 1
         assert "ED on Syn1" in out and "acc=0.5000" in out
+
+    def test_jsonl_sink_serializes_numpy_scalars(self, bus, tmp_path):
+        """Regression: the runner stores numpy scalars in span attrs
+        (``span.set(accuracy=np.float64(...))``); plain json.dumps raises
+        TypeError on those and used to kill the trace."""
+        path = tmp_path / "numpy.jsonl"
+        with bus.sink(JsonlSink(path)) as sink:
+            bus.emit_span(
+                "sweep.cell",
+                0.5,
+                accuracy=np.float64(0.9714),
+                n=np.int64(3),
+                flag=np.bool_(True),
+                grid=np.array([1.0, 2.0]),
+            )
+            sink.close()
+        (event,) = load_trace(path)
+        assert event.attrs["accuracy"] == pytest.approx(0.9714)
+        assert event.attrs["n"] == 3
+        assert event.attrs["flag"] is True
+        assert event.attrs["grid"] == [1.0, 2.0]
+
+    def test_progress_sink_tolerates_non_numeric_accuracy(self, bus, capsys):
+        import sys
+
+        bus.attach(ProgressSink(stream=sys.stdout))
+        bus.emit_span("sweep.cell", 0.01, variant="ED", accuracy=None)
+        bus.emit_span("sweep.cell", 0.01, variant="ED", accuracy="skipped")
+        bus.emit_span(
+            "sweep.cell", 0.01, variant="ED", accuracy=np.float64(0.5)
+        )
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        assert len(lines) == 3  # every cell still got a line
+        assert "acc=skipped" in lines[1]
+        assert "acc=0.5000" in lines[2]
+
+    def test_progress_sink_never_raises(self, bus):
+        class BrokenStream:
+            def write(self, text):
+                raise OSError("closed pipe")
+
+            def flush(self):
+                raise OSError("closed pipe")
+
+        bus.attach(ProgressSink(stream=BrokenStream()))
+        bus.emit_span("sweep.cell", 0.01, variant="ED", accuracy=0.5)
 
     def test_recorder_queries(self, bus):
         recorder = bus.attach(Recorder())
@@ -181,6 +291,38 @@ class TestTraceEquivalence:
         cells = recorder.spans("sweep.cell")
         assert len(cells) == len(variants) * len(datasets)
         assert all("accuracy" in e.attrs for e in cells)
+
+    def test_serial_and_parallel_metrics_aggregates_match(self, setup):
+        """The MetricsSink view of a sweep is the same serial and
+        parallel: same keys, same per-key observation counts (durations
+        are machine noise and differ), and splitting either event stream
+        into per-worker sinks then merging loses nothing."""
+        variants, datasets = setup
+        bus = get_bus()
+        group_by = ("family", "variant", "dataset")
+        serial_rec, parallel_rec = Recorder(), Recorder()
+        serial_metrics = MetricsSink(group_by=group_by)
+        parallel_metrics = MetricsSink(group_by=group_by)
+        with bus.sink(serial_rec), bus.sink(serial_metrics):
+            run_sweep(variants, datasets)
+        with bus.sink(parallel_rec), bus.sink(parallel_metrics):
+            run_sweep_parallel(variants, datasets, n_jobs=2)
+        serial_aggs = serial_metrics.aggregates()
+        parallel_aggs = parallel_metrics.aggregates()
+        assert set(serial_aggs) == set(parallel_aggs)
+        assert {k: a.count for k, a in serial_aggs.items()} == {
+            k: a.count for k, a in parallel_aggs.items()
+        }
+        # lossless merge: chunked per-"worker" sinks combine into exactly
+        # the aggregate of the full stream
+        events = parallel_rec.events
+        merged = MetricsSink(group_by=group_by)
+        for start in range(0, len(events), 7):
+            worker_sink = MetricsSink(group_by=group_by)
+            for event in events[start : start + 7]:
+                worker_sink.handle(event)
+            merged.merge(worker_sink)
+        assert merged.aggregates() == parallel_aggs
 
     def test_parallel_events_reach_parent_jsonl(self, setup, tmp_path):
         variants, datasets = setup
@@ -257,6 +399,45 @@ class TestCliTrace:
         assert code == 0
         assert "Trace summary" in out
         assert "events)" in out
+
+    def test_trace_summarize_matches_recorder_aggregates(
+        self, tiny_archive, tmp_path, capsys
+    ):
+        """End-to-end: trace_to() -> summarize; per-measure totals agree
+        with the in-memory Recorder view of the same sweep."""
+        datasets = tiny_archive.subset(2)
+        variants = [
+            MeasureVariant("euclidean", label="ED"),
+            MeasureVariant("sbd", label="NCC_c"),
+        ]
+        path = tmp_path / "e2e.jsonl"
+        recorder = Recorder()
+        with get_bus().sink(recorder), trace_to(path):
+            run_sweep(variants, datasets)
+        summary = summarize_trace(path)
+        by_label = {row.label: row for row in summary.variants}
+        for label in ("ED", "NCC_c"):
+            cells = [
+                e
+                for e in recorder.spans("sweep.cell")
+                if e.attrs["variant"] == label
+            ]
+            assert by_label[label].cells == len(cells) == len(datasets)
+            assert by_label[label].total_seconds == pytest.approx(
+                sum(e.duration_seconds for e in cells)
+            )
+            assert by_label[label].mean_accuracy == pytest.approx(
+                sum(e.attrs["accuracy"] for e in cells) / len(cells)
+            )
+        assert summary.sweep_seconds == pytest.approx(
+            recorder.total_seconds("sweep")
+        )
+        # the CLI path over the same file renders the critical path too
+        code = cli_main(["trace", "summarize", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ED" in out and "NCC_c" in out
+        assert "Critical path" in out
 
     def test_progress_flag_prints_cells(self, capsys):
         code = cli_main(
