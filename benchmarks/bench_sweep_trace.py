@@ -20,7 +20,7 @@ import time
 from pathlib import Path
 
 import repro
-from repro.evaluation import MeasureVariant, run_sweep, run_sweep_parallel
+from repro.evaluation import MeasureVariant, run_sweep
 from repro.observability import get_bus, summarize_trace, trace_to
 
 N_DATASETS = int(os.environ.get("REPRO_BENCH_DATASETS", "6"))
@@ -91,7 +91,7 @@ def main(out: str | Path = "BENCH_sweep.json") -> dict:
 
     traced_seconds = _timed(traced)
     parallel_seconds = _timed(
-        lambda: run_sweep_parallel(variants, datasets, n_jobs=2)
+        lambda: run_sweep(variants, datasets, executor="process", workers=2)
     )
     summary = summarize_trace(trace_path)
 

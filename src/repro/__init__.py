@@ -7,7 +7,9 @@ The package implements the paper's full measurement apparatus:
   :mod:`repro.embeddings`);
 - 8 normalization methods (:mod:`repro.normalization`);
 - the 1-NN evaluation framework with supervised/unsupervised tuning
-  (:mod:`repro.classification`, :mod:`repro.evaluation`);
+  (:mod:`repro.classification`, :mod:`repro.evaluation`) behind one
+  fault-tolerant, checkpoint-resumable :func:`run_sweep` entry point
+  (serial or process-parallel; see :class:`SweepConfig`);
 - Wilcoxon / Friedman / Nemenyi statistical validation (:mod:`repro.stats`);
 - a UCR-archive loader plus an offline synthetic substitute
   (:mod:`repro.datasets`);
@@ -50,11 +52,14 @@ from .distances import (
 )
 from .embeddings import get_embedding, list_embeddings
 from .evaluation import (
+    CellFailureInfo,
     MeasureVariant,
+    SweepConfig,
+    SweepResult,
     compare_to_baseline,
     run_sweep,
 )
-from .exceptions import ReproError
+from .exceptions import CellFailure, ReproError
 from .normalization import get_normalizer, list_normalizers, normalize
 from .observability import (
     Aggregate,
@@ -103,6 +108,10 @@ __all__ = [
     "tune_parameters",
     "MeasureVariant",
     "run_sweep",
+    "SweepConfig",
+    "SweepResult",
+    "CellFailure",
+    "CellFailureInfo",
     "compare_to_baseline",
     "KernelRidgeClassifier",
     "ElasticEnsemble",

@@ -19,7 +19,12 @@ Subcommands mirror what a practitioner reproducing the paper needs:
 
 The sweep-running subcommands (``evaluate``, ``compare``, ``experiment``)
 accept ``--trace PATH`` to capture an observability trace and
-``--progress`` for live per-cell lines on stderr.
+``--progress`` for live per-cell lines on stderr. ``evaluate`` and
+``experiment`` additionally expose the sweep engine's execution knobs:
+``--executor serial|process --workers N`` picks where cells run, and
+``--checkpoint DIR --resume --max-retries N --backoff S
+--cell-timeout S`` make sweeps fault-tolerant and resumable (a killed
+run continues from its journal, recomputing only unfinished cells).
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ from .datasets import default_archive, list_ucr_datasets, load_ucr, ucr_availabl
 from .distances import CATEGORIES, get_measure, list_measures
 from .evaluation import (
     MeasureVariant,
+    SweepConfig,
     compare_to_baseline,
     run_sweep,
     unsupervised_params,
@@ -52,6 +58,66 @@ def _add_observability_args(parser: argparse.ArgumentParser) -> None:
         "--progress", action="store_true",
         help="print live per-cell progress lines to stderr",
     )
+
+
+def _add_execution_args(parser: argparse.ArgumentParser) -> None:
+    """Shared sweep-engine flags (executor, durability, failure policy)."""
+    parser.add_argument(
+        "--executor", choices=["serial", "process"], default="serial",
+        help="run cells in-process (serial) or on a worker pool (process)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for --executor process (default: cpu count)",
+    )
+    parser.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="journal every finished cell to DIR (crash-safe, resumable)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay completed cells from --checkpoint, compute the rest",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="re-attempts per failing cell before it degrades to NaN",
+    )
+    parser.add_argument(
+        "--backoff", type=float, default=0.05, metavar="S",
+        help="base seconds of exponential backoff between retries",
+    )
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="S",
+        help="per-attempt wall-clock budget in seconds",
+    )
+
+
+def _sweep_config(
+    args: argparse.Namespace, *, executor: str | None = None
+) -> SweepConfig:
+    """Build the frozen engine config from parsed CLI flags."""
+    return SweepConfig(
+        executor=executor or getattr(args, "executor", "serial"),
+        workers=getattr(args, "workers", None),
+        max_retries=getattr(args, "max_retries", 0),
+        backoff=getattr(args, "backoff", 0.05),
+        cell_timeout=getattr(args, "cell_timeout", None),
+        checkpoint=getattr(args, "checkpoint", None),
+        resume=getattr(args, "resume", False),
+    )
+
+
+def _report_failures(sweep) -> None:
+    """Describe degraded cells (NaN entries) on stderr."""
+    if sweep.ok:
+        return
+    print(
+        f"{len(sweep.failures)} cell(s) failed after retries "
+        "(NaN in the matrix):",
+        file=sys.stderr,
+    )
+    for line in sweep.failure_report():
+        print(f"  {line}", file=sys.stderr)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -86,6 +152,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=0.5, help="archive size scale"
     )
     _add_observability_args(p_eval)
+    _add_execution_args(p_eval)
 
     p_cmp = sub.add_parser("compare", help="paper-style baseline comparison")
     p_cmp.add_argument("measures", nargs="+", help="candidate measure names")
@@ -106,6 +173,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, help="worker processes for the sweep"
     )
     _add_observability_args(p_exp)
+    _add_execution_args(p_exp)
 
     p_trace = sub.add_parser(
         "trace", help="work with observability traces (--trace output)"
@@ -221,12 +289,13 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     """Report 1-NN accuracy of the named measures."""
     datasets = _load_datasets(args.datasets, args.scale)
     variants = [_variant(name, args.normalization) for name in args.measures]
-    sweep = run_sweep(variants, datasets)
+    sweep = run_sweep(variants, datasets, config=_sweep_config(args))
     print(f"{'measure':<20} {'avg accuracy':>12}")
     for label, acc in sorted(
         sweep.mean_accuracy().items(), key=lambda kv: -kv[1]
     ):
         print(f"{label:<20} {acc:>12.4f}")
+    _report_failures(sweep)
     return 0
 
 
@@ -304,12 +373,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 def cmd_experiment(args: argparse.Namespace) -> int:
     """Run a named paper experiment (or list them)."""
-    from .evaluation import (
-        compare_to_baseline,
-        get_experiment,
-        list_experiments,
-        run_sweep_parallel,
-    )
+    from .evaluation import get_experiment, list_experiments
 
     if args.name == "list":
         for name in list_experiments():
@@ -318,9 +382,16 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     experiment = get_experiment(args.name)
     datasets = _load_datasets(args.datasets, args.scale)
     print(f"{experiment.description} on {len(datasets)} datasets")
-    sweep = run_sweep_parallel(
-        list(experiment.variants), datasets, n_jobs=args.jobs
+    # --jobs N (> 1) is shorthand for --executor process --workers N.
+    executor = "process" if args.jobs > 1 else args.executor
+    if args.jobs > 1 and args.workers is None:
+        args.workers = args.jobs
+    sweep = run_sweep(
+        list(experiment.variants),
+        datasets,
+        config=_sweep_config(args, executor=executor),
     )
+    _report_failures(sweep)
     table = compare_to_baseline(sweep, experiment.baseline)
     print(
         format_comparison_table(

@@ -327,6 +327,7 @@ def distance(
     x,
     y,
     measure: str = "euclidean",
+    *,
     normalization: str | None = None,
     **params: float,
 ) -> float:
@@ -359,6 +360,7 @@ def pairwise_distances(
     X,
     Y=None,
     measure: str = "euclidean",
+    *,
     normalization: str | None = None,
     **params: float,
 ) -> np.ndarray:

@@ -12,9 +12,10 @@ from .param_grids import (
     unsupervised_params,
 )
 from .cache import MatrixCache
+from .engine import CellJournal, SweepConfig
 from .experiments import Experiment, get_experiment, list_experiments
 from .parallel import run_sweep_parallel
-from .runner import SweepResult, run_sweep
+from .runner import CellFailureInfo, SweepResult, run_sweep
 from .runtime import (
     RuntimePoint,
     accuracy_runtime_points,
@@ -28,6 +29,9 @@ __all__ = [
     "run_sweep",
     "run_sweep_parallel",
     "SweepResult",
+    "SweepConfig",
+    "CellFailureInfo",
+    "CellJournal",
     "MatrixCache",
     "Experiment",
     "get_experiment",

@@ -11,8 +11,6 @@ point the rest of the framework uses.
 
 from __future__ import annotations
 
-import hashlib
-import json
 from pathlib import Path
 
 import numpy as np
@@ -22,6 +20,7 @@ from ..datasets.base import Dataset
 from ..distances.base import get_measure
 from ..exceptions import EvaluationError
 from ..observability import get_bus
+from .engine.keys import content_key
 
 
 class MatrixCache:
@@ -64,20 +63,25 @@ class MatrixCache:
         normalization: str | None,
         params: dict[str, float],
     ) -> str:
-        """Content hash covering the data and every evaluation knob."""
-        digest = hashlib.sha256()
-        digest.update(dataset.name.encode())
-        digest.update(dataset.train_X.tobytes())
+        """Content hash covering the data and every evaluation knob.
+
+        Uses the same :func:`~repro.evaluation.engine.keys.content_key`
+        scheme as the sweep journal, so every durable artifact in the
+        evaluation stack is addressed identically.
+        """
+        arrays = [dataset.train_X]
         if matrix_kind == "E":
-            digest.update(dataset.test_X.tobytes())
-        payload = {
-            "kind": matrix_kind,
-            "measure": get_measure(measure).name,
-            "normalization": normalization,
-            "params": {k: params[k] for k in sorted(params)},
-        }
-        digest.update(json.dumps(payload, sort_keys=True).encode())
-        return digest.hexdigest()[:32]
+            arrays.append(dataset.test_X)
+        return content_key(
+            {
+                "name": dataset.name,
+                "kind": matrix_kind,
+                "measure": get_measure(measure).name,
+                "normalization": normalization,
+                "params": {k: params[k] for k in sorted(params)},
+            },
+            arrays,
+        )
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.npz"

@@ -1,0 +1,30 @@
+"""Fault-tolerant, resumable sweep execution.
+
+The engine layer behind :func:`repro.run_sweep`: a crash-safe cell
+journal (:mod:`~repro.evaluation.engine.journal`), content-hash cell
+keying (:mod:`~repro.evaluation.engine.keys`), per-cell retry/timeout
+policy (:mod:`~repro.evaluation.engine.policy`), and two executors —
+an in-process serial loop and a self-healing worker pool
+(:mod:`~repro.evaluation.engine.process`) — orchestrated by
+:func:`~repro.evaluation.engine.core.execute_sweep`. Execution policy
+is a frozen :class:`SweepConfig` value object.
+"""
+
+from .config import EXECUTORS, FAILURE_POLICIES, SweepConfig
+from .core import execute_sweep
+from .journal import CellJournal
+from .keys import cell_key, content_key, dataset_fingerprint, variant_spec
+from .policy import CellTimeout
+
+__all__ = [
+    "SweepConfig",
+    "EXECUTORS",
+    "FAILURE_POLICIES",
+    "execute_sweep",
+    "CellJournal",
+    "CellTimeout",
+    "cell_key",
+    "content_key",
+    "dataset_fingerprint",
+    "variant_spec",
+]

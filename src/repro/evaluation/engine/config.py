@@ -1,0 +1,119 @@
+"""Execution policy for a sweep, frozen into one value object.
+
+The paper's grid (71 measures x 8 normalizations x 128 datasets on 360
+cores) makes execution policy — where to run, how often to retry, when
+to give up — as much a part of an experiment's identity as the variant
+list. :class:`SweepConfig` captures that policy in a single frozen
+dataclass instead of loose keyword arguments accreting on
+:func:`repro.run_sweep`; the CLI builds one from its flags, tests build
+them inline, and the engine threads it everywhere unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from ...exceptions import EvaluationError
+
+#: Valid ``executor`` values.
+EXECUTORS = ("serial", "process")
+
+#: Valid ``on_failure`` policies.
+FAILURE_POLICIES = ("degrade", "raise")
+
+#: Test hook signature: ``(variant_display, dataset_name, attempt)``.
+#: Raising simulates a crashing cell; sleeping past ``cell_timeout``
+#: simulates a hang. Must be picklable (a module-level function) when
+#: used with the process executor on a non-fork start method.
+FaultHook = Callable[[str, str, int], None]
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """How a sweep executes: executor, durability and failure policy.
+
+    Parameters
+    ----------
+    executor:
+        ``"serial"`` runs cells in-process; ``"process"`` dispatches
+        them to a pool of worker processes with kill-based timeout
+        enforcement and worker replacement.
+    workers:
+        Worker-process count for the process executor (``None`` =
+        ``os.cpu_count()``); ignored by the serial executor.
+    max_retries:
+        Re-attempts after a cell's first failure. ``0`` keeps the
+        historical one-shot behavior.
+    backoff:
+        Base seconds slept before retry *n* (exponential:
+        ``backoff * 2**(n-1)``).
+    cell_timeout:
+        Per-attempt wall-clock budget in seconds. Serial enforcement
+        uses a ``SIGALRM`` timer (main thread, POSIX only — silently
+        unenforced elsewhere); the process executor kills and replaces
+        the hung worker.
+    checkpoint:
+        Directory for the crash-safe cell journal; ``None`` disables
+        checkpointing.
+    resume:
+        Replay completed cells from ``checkpoint`` and compute only the
+        remainder. Requires ``checkpoint``.
+    on_failure:
+        ``"degrade"`` (default) records exhausted cells as NaN plus a
+        structured entry in ``SweepResult.failures``; ``"raise"`` aborts
+        the sweep with :class:`~repro.exceptions.CellFailure` (the
+        journal still keeps every cell finished so far).
+    inject_fault:
+        Deterministic fault-injection hook for tests (see
+        :data:`FaultHook`); called at the start of every attempt.
+    """
+
+    executor: str = "serial"
+    workers: int | None = None
+    max_retries: int = 0
+    backoff: float = 0.05
+    cell_timeout: float | None = None
+    checkpoint: str | Path | None = None
+    resume: bool = False
+    on_failure: str = "degrade"
+    inject_fault: FaultHook | None = None
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTORS:
+            raise EvaluationError(
+                f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise EvaluationError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        if self.max_retries < 0:
+            raise EvaluationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff < 0:
+            raise EvaluationError(f"backoff must be >= 0, got {self.backoff}")
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise EvaluationError(
+                f"cell_timeout must be > 0, got {self.cell_timeout}"
+            )
+        if self.on_failure not in FAILURE_POLICIES:
+            raise EvaluationError(
+                f"on_failure must be one of {FAILURE_POLICIES}, "
+                f"got {self.on_failure!r}"
+            )
+        if self.resume and self.checkpoint is None:
+            raise EvaluationError("resume=True requires a checkpoint directory")
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts per cell (first try + retries)."""
+        return self.max_retries + 1
+
+    def retry_delay(self, failed_attempts: int) -> float:
+        """Seconds to wait before the next attempt (exponential backoff)."""
+        if self.backoff <= 0:
+            return 0.0
+        return self.backoff * (2.0 ** max(0, failed_attempts - 1))

@@ -1,0 +1,298 @@
+"""Sweep engine core: plan cells, resume from the journal, execute, degrade.
+
+This is the single execution path behind :func:`repro.run_sweep` for
+both executors. The lifecycle of one sweep:
+
+1. **Plan.** Fingerprint every dataset once, derive each cell's content
+   key (:mod:`~repro.evaluation.engine.keys`).
+2. **Resume.** With a checkpoint, replay completed cells out of the
+   :class:`~repro.evaluation.engine.journal.CellJournal` straight into
+   the result matrices (one ``sweep.cell.resumed`` counter each, no
+   ``sweep.cell`` span — resumed cells cost no recomputation and are
+   countable in traces).
+3. **Execute.** Hand the remaining cells to the serial loop or the
+   process pool; both funnel every completed cell through one
+   ``finalize`` callback that journals it, fills the matrices, and
+   applies the failure policy.
+4. **Degrade or raise.** Exhausted cells land as NaN in
+   ``SweepResult.accuracies`` with a structured
+   :class:`~repro.evaluation.runner.CellFailureInfo` entry
+   (``on_failure="degrade"``), or abort the sweep with
+   :class:`~repro.exceptions.CellFailure` (``on_failure="raise"``) —
+   after the journal has made every finished cell durable either way.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ...datasets.base import Dataset
+from ...exceptions import CellFailure
+from ...observability import get_bus
+from ..variants import MeasureVariant, VariantResult
+from .config import SweepConfig
+from .journal import CellJournal
+from .keys import cell_key, dataset_fingerprint
+from .policy import CellState, run_attempt
+
+
+def execute_sweep(
+    variants: Sequence[MeasureVariant],
+    datasets: Sequence[Dataset],
+    config: SweepConfig,
+):
+    """Run the sweep described by ``config``; returns a ``SweepResult``."""
+    from ..runner import CellFailureInfo, SweepResult  # local: avoids cycle
+
+    bus = get_bus()
+    n_d, n_v = len(datasets), len(variants)
+    accuracies = np.full((n_d, n_v), np.nan, dtype=np.float64)
+    runtimes = np.full((n_d, n_v), np.nan, dtype=np.float64)
+    details: list[list[VariantResult | None]] = [
+        [None] * n_d for _ in range(n_v)
+    ]
+    failures: list[CellFailureInfo] = []
+
+    journal: CellJournal | None = None
+    if config.checkpoint is not None:
+        journal = CellJournal(config.checkpoint, resume=config.resume)
+    try:
+        fingerprints = [dataset_fingerprint(ds) for ds in datasets]
+        keys = {
+            (vi, di): cell_key(variant, fingerprints[di])
+            for vi, variant in enumerate(variants)
+            for di in range(n_d)
+        }
+
+        pending: list[CellState] = []
+        resumed: list[tuple[int, int, VariantResult]] = []
+        for vi, variant in enumerate(variants):  # variant-major, like serial
+            for di in range(n_d):
+                key = keys[(vi, di)]
+                prior = journal.completed.get(key) if journal else None
+                if prior is not None:
+                    resumed.append((vi, di, prior))
+                else:
+                    pending.append(
+                        CellState(
+                            vi=vi,
+                            di=di,
+                            key=key,
+                            variant=variant,
+                            dataset_name=datasets[di].name,
+                        )
+                    )
+
+        def finalize(cell: CellState, outcome) -> None:
+            """Parent-side completion of one cell (both executors)."""
+            if outcome is not None:
+                result = outcome.result
+                accuracies[cell.di, cell.vi] = result.accuracy
+                runtimes[cell.di, cell.vi] = result.inference_seconds
+                details[cell.vi][cell.di] = result
+                if journal is not None:
+                    journal.record_done(
+                        cell.key,
+                        cell.variant.display,
+                        cell.dataset_name,
+                        result,
+                        cell.attempts,
+                    )
+                return
+            # Exhausted: degrade to NaN + structured report, or abort.
+            bus.count(
+                "sweep.cell.failed",
+                variant=cell.variant.display,
+                dataset=cell.dataset_name,
+            )
+            details[cell.vi][cell.di] = VariantResult(
+                cell.dataset_name, float("nan"), float("nan")
+            )
+            if journal is not None:
+                journal.record_failed(
+                    cell.key,
+                    cell.variant.display,
+                    cell.dataset_name,
+                    attempts=cell.attempts,
+                    kind=cell.last_kind,
+                    error=cell.last_error,
+                    message=cell.last_message,
+                )
+            if config.on_failure == "raise":
+                raise CellFailure(
+                    cell.variant.display,
+                    cell.dataset_name,
+                    cell.attempts,
+                    kind=cell.last_kind,
+                    last_error=cell.last_error or cell.last_message,
+                )
+            failures.append(
+                CellFailureInfo(
+                    variant=cell.variant.display,
+                    dataset=cell.dataset_name,
+                    attempts=cell.attempts,
+                    kind=cell.last_kind,
+                    error=cell.last_error,
+                    message=cell.last_message,
+                )
+            )
+
+        with bus.span("sweep", n_variants=n_v, n_datasets=n_d):
+            for vi, di, result in resumed:
+                accuracies[di, vi] = result.accuracy
+                runtimes[di, vi] = result.inference_seconds
+                details[vi][di] = result
+                bus.count(
+                    "sweep.cell.resumed",
+                    variant=variants[vi].display,
+                    dataset=datasets[di].name,
+                )
+            if pending:
+                if config.executor == "process":
+                    _run_process(variants, datasets, pending, config, finalize)
+                else:
+                    _run_serial(variants, datasets, pending, config, finalize)
+    finally:
+        if journal is not None:
+            journal.close()
+
+    return SweepResult(
+        variants=tuple(variants),
+        dataset_names=tuple(ds.name for ds in datasets),
+        accuracies=accuracies,
+        inference_seconds=runtimes,
+        details=tuple(
+            tuple(
+                row[di]
+                if row[di] is not None
+                else VariantResult(datasets[di].name, float("nan"), float("nan"))
+                for di in range(n_d)
+            )
+            for row in details
+        ),
+        failures=tuple(failures),
+    )
+
+
+def _run_serial(
+    variants: Sequence[MeasureVariant],
+    datasets: Sequence[Dataset],
+    cells: list[CellState],
+    config: SweepConfig,
+    finalize,
+) -> None:
+    """In-process executor: variant-major loop with per-cell isolation.
+
+    Keeps the historical span shape — a real ``sweep.variant`` span
+    around each variant's dataset loop and a real ``sweep.cell`` span
+    around each cell's attempts.
+    """
+    bus = get_bus()
+    by_variant: dict[int, list[CellState]] = {}
+    for cell in cells:
+        by_variant.setdefault(cell.vi, []).append(cell)
+    for vi in sorted(by_variant):
+        variant = variants[vi]
+        with bus.span("sweep.variant", variant=variant.display):
+            for cell in by_variant[vi]:
+                dataset = datasets[cell.di]
+                with bus.span(
+                    "sweep.cell",
+                    variant=variant.display,
+                    dataset=dataset.name,
+                    family=variant.family,
+                ) as span:
+                    outcome = None
+                    while True:
+                        attempt_outcome = run_attempt(
+                            variant, dataset, cell.attempts + 1, config,
+                            enforce_timeout=True,
+                        )
+                        if attempt_outcome.ok:
+                            outcome = attempt_outcome
+                            cell.attempts += 1
+                            cell.total_seconds += (
+                                attempt_outcome.duration_seconds
+                            )
+                            break
+                        cell.note_failure(attempt_outcome)
+                        if attempt_outcome.timed_out:
+                            bus.count(
+                                "sweep.cell.timeout",
+                                variant=variant.display,
+                                dataset=dataset.name,
+                            )
+                        if cell.exhausted(config):
+                            break
+                        bus.count(
+                            "sweep.cell.retry",
+                            variant=variant.display,
+                            dataset=dataset.name,
+                        )
+                        delay = config.retry_delay(cell.attempts)
+                        if delay > 0:
+                            time.sleep(delay)
+                    if outcome is not None:
+                        span.set(accuracy=outcome.result.accuracy)
+                    else:
+                        span.set(
+                            error=cell.last_error, attempts=cell.attempts
+                        )
+                finalize(cell, outcome)
+
+
+def _run_process(
+    variants: Sequence[MeasureVariant],
+    datasets: Sequence[Dataset],
+    cells: list[CellState],
+    config: SweepConfig,
+    finalize,
+) -> None:
+    """Process-pool executor plus trace synthesis for cell/variant spans.
+
+    Workers emit ``sweep.cell.attempt`` (and nested ``variant.*`` /
+    ``matrix.compute``) spans; the parent synthesizes each ``sweep.cell``
+    span when the cell settles and one ``sweep.variant`` span per
+    variant from its cells' summed durations, mirroring the serial span
+    multiset.
+    """
+    from .process import run_cells_process
+
+    bus = get_bus()
+    variant_seconds: dict[int, float] = {}
+
+    def finalize_and_trace(cell: CellState, outcome) -> None:
+        variant_seconds[cell.vi] = (
+            variant_seconds.get(cell.vi, 0.0) + cell.total_seconds
+        )
+        if outcome is not None:
+            bus.emit_span(
+                "sweep.cell",
+                cell.total_seconds,
+                variant=cell.variant.display,
+                dataset=cell.dataset_name,
+                family=cell.variant.family,
+                accuracy=outcome.result.accuracy,
+            )
+        else:
+            bus.emit_span(
+                "sweep.cell",
+                cell.total_seconds,
+                variant=cell.variant.display,
+                dataset=cell.dataset_name,
+                family=cell.variant.family,
+                error=cell.last_error,
+                attempts=cell.attempts,
+            )
+        finalize(cell, outcome)
+
+    run_cells_process(variants, datasets, cells, config, finalize_and_trace)
+    for vi in sorted({c.vi for c in cells}):
+        bus.emit_span(
+            "sweep.variant",
+            variant_seconds.get(vi, 0.0),
+            variant=variants[vi].display,
+        )

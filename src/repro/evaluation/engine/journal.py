@@ -1,0 +1,205 @@
+"""Crash-safe cell journal: the durability substrate of checkpointed sweeps.
+
+At the paper's scale (four months of compute) a worker crash or OOM must
+not discard finished work. The journal makes each completed cell durable
+the moment it finishes, with a two-part layout under the checkpoint
+directory:
+
+- ``cells/<key>.json`` — one :class:`~repro.evaluation.variants.VariantResult`
+  per completed cell, written atomically (temp file + ``rename``) and
+  keyed by the content hash of variant knobs + dataset fingerprint
+  (:mod:`repro.evaluation.engine.keys`);
+- ``journal.jsonl`` — an append-only completion log, one JSON object per
+  line, flushed per line so a SIGKILLed run keeps a readable prefix.
+
+The cell file is written *before* its journal line, so a journal entry
+always points at a complete result; a crash between the two leaves an
+orphan cell file that is simply recomputed. On load, malformed trailing
+lines (the torn write of the crash itself) are tolerated and counted as
+``journal.torn_lines`` on the observability bus.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from ...exceptions import EvaluationError
+from ...observability import get_bus
+from ..variants import VariantResult
+
+#: Journal schema identifier; bumped on layout changes.
+SCHEMA = "repro.sweep-journal/1"
+
+
+class CellJournal:
+    """Append-only record of finished sweep cells in one directory.
+
+    >>> import tempfile
+    >>> from repro.evaluation.variants import VariantResult
+    >>> journal = CellJournal(tempfile.mkdtemp(), resume=False)
+    >>> journal.record_done("k1", "ED", "Syn", VariantResult("Syn", 0.5, 0.1), 1)
+    >>> CellJournal(journal.directory, resume=True).completed["k1"].accuracy
+    0.5
+    """
+
+    def __init__(self, directory: str | Path, *, resume: bool):
+        self.directory = Path(directory)
+        self.cells_dir = self.directory / "cells"
+        self.path = self.directory / "journal.jsonl"
+        self.cells_dir.mkdir(parents=True, exist_ok=True)
+        #: key -> VariantResult for every durably completed cell.
+        self.completed: dict[str, VariantResult] = {}
+        #: key -> failure record dicts replayed from a previous run.
+        self.prior_failures: dict[str, dict] = {}
+        if self.path.exists() and not resume:
+            if any(True for _ in self._lines()):
+                raise EvaluationError(
+                    f"checkpoint {self.directory} already holds a journal; "
+                    "pass resume=True to continue it (or point checkpoint "
+                    "at a fresh directory)"
+                )
+        if resume:
+            self._replay()
+        self._fh = self.path.open("a", encoding="utf-8")
+        if self.path.stat().st_size == 0:
+            self._append(
+                {
+                    "type": "meta",
+                    "schema": SCHEMA,
+                    "created_unix": round(time.time(), 3),
+                }
+            )
+
+    # -- load ----------------------------------------------------------
+    def _lines(self):
+        with self.path.open("r", encoding="utf-8") as fh:
+            yield from fh
+
+    def _replay(self) -> None:
+        """Rebuild the completed-cell map from the journal on disk.
+
+        Tolerates a torn final line (the write the crash interrupted)
+        and skips journal entries whose cell file is missing or corrupt
+        — those cells are recomputed rather than trusted.
+        """
+        if not self.path.exists():
+            return
+        torn = 0
+        for line in self._lines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                torn += 1
+                continue
+            if record.get("type") != "cell":
+                continue
+            key = record.get("key", "")
+            if record.get("status") == "done":
+                result = self._load_cell(key)
+                if result is not None:
+                    self.completed[key] = result
+            elif record.get("status") == "failed":
+                self.prior_failures[key] = record
+        if torn:
+            get_bus().count("journal.torn_lines", torn)
+
+    def _cell_path(self, key: str) -> Path:
+        return self.cells_dir / f"{key}.json"
+
+    def _load_cell(self, key: str) -> VariantResult | None:
+        try:
+            payload = json.loads(self._cell_path(key).read_text())
+            return VariantResult(
+                dataset=payload["dataset"],
+                accuracy=float(payload["accuracy"]),
+                inference_seconds=float(payload["inference_seconds"]),
+                params={k: float(v) for k, v in payload.get("params", {}).items()},
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    # -- write ---------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def record_done(
+        self,
+        key: str,
+        variant: str,
+        dataset: str,
+        result: VariantResult,
+        attempts: int,
+    ) -> None:
+        """Durably record a completed cell (cell file first, then log)."""
+        cell_path = self._cell_path(key)
+        tmp = cell_path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(
+                {
+                    "dataset": result.dataset,
+                    "accuracy": float(result.accuracy),
+                    "inference_seconds": float(result.inference_seconds),
+                    "params": {k: float(v) for k, v in result.params.items()},
+                },
+                sort_keys=True,
+            )
+        )
+        os.replace(tmp, cell_path)
+        self._append(
+            {
+                "type": "cell",
+                "status": "done",
+                "key": key,
+                "variant": variant,
+                "dataset": dataset,
+                "attempts": attempts,
+            }
+        )
+        self.completed[key] = result
+
+    def record_failed(
+        self,
+        key: str,
+        variant: str,
+        dataset: str,
+        *,
+        attempts: int,
+        kind: str,
+        error: str,
+        message: str,
+    ) -> None:
+        """Log an exhausted cell. Failed cells are retried on resume."""
+        self._append(
+            {
+                "type": "cell",
+                "status": "failed",
+                "key": key,
+                "variant": variant,
+                "dataset": dataset,
+                "attempts": attempts,
+                "kind": kind,
+                "error": error,
+                "message": message,
+            }
+        )
+
+    def close(self) -> None:
+        try:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        except (OSError, ValueError):
+            pass
+        self._fh.close()
+
+    def __enter__(self) -> "CellJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

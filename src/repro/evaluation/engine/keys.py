@@ -1,0 +1,84 @@
+"""Content-hash keying shared by the sweep journal and the matrix cache.
+
+Every durable artifact of the evaluation stack — a journaled cell
+result, a cached W/E matrix — is addressed by a content hash covering
+the data and every knob that influenced the computation. Two sweeps that
+evaluate the same variant on the same bytes therefore share keys across
+processes, machines and code versions, which is what makes checkpoints
+resumable and caches safely shareable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ...datasets.base import Dataset
+from ..variants import MeasureVariant
+
+
+def content_key(
+    payload: Mapping[str, object],
+    arrays: Sequence[np.ndarray] = (),
+) -> str:
+    """Stable hex digest of a JSON payload plus raw array bytes.
+
+    ``payload`` is serialized with sorted keys (and numpy scalars coerced
+    through ``float``), so dict ordering never perturbs the key; arrays
+    are folded in as contiguous bytes.
+    """
+    digest = hashlib.sha256()
+    for array in arrays:
+        digest.update(np.ascontiguousarray(array).tobytes())
+    digest.update(
+        json.dumps(payload, sort_keys=True, default=float).encode()
+    )
+    return digest.hexdigest()[:32]
+
+
+def dataset_fingerprint(dataset: Dataset) -> str:
+    """Content hash of a dataset: name, shapes, data and labels.
+
+    Renaming a dataset or touching a single value in any split changes
+    the fingerprint, so a journal written against one archive can never
+    be silently replayed against another.
+    """
+    return content_key(
+        {
+            "name": dataset.name,
+            "train_shape": list(dataset.train_X.shape),
+            "test_shape": list(dataset.test_X.shape),
+        },
+        [dataset.train_X, dataset.test_X, dataset.train_y, dataset.test_y],
+    )
+
+
+def variant_spec(variant: MeasureVariant) -> dict:
+    """Canonical JSON-able description of a variant's evaluation knobs."""
+    return {
+        "measure": variant.measure,
+        "normalization": variant.normalization,
+        "tuning": variant.tuning,
+        "params": {k: float(v) for k, v in sorted(variant.params.items())},
+        "grid": (
+            None
+            if variant.grid is None
+            else [
+                {k: float(v) for k, v in sorted(entry.items())}
+                for entry in variant.grid
+            ]
+        ),
+    }
+
+
+def cell_key(variant: MeasureVariant, dataset_fp: str) -> str:
+    """Journal key of one (variant, dataset) cell.
+
+    Keyed on the variant's evaluation knobs plus the dataset fingerprint
+    — *not* on display labels, so relabelling a variant keeps its
+    checkpoint while changing any parameter invalidates it.
+    """
+    return content_key({"variant": variant_spec(variant), "dataset": dataset_fp})

@@ -1,0 +1,167 @@
+"""Per-cell attempt policy: fault isolation, retries, timeouts.
+
+One *cell* is a (variant, dataset) pair; one *attempt* is a single
+evaluation of it. This module owns everything that happens between the
+two, identically for both executors so their traces stay equivalent:
+
+- every attempt runs inside a ``sweep.cell.attempt`` span (attrs:
+  ``variant``, ``dataset``, ``attempt``; an ``error`` attribute when it
+  fails) — in the serial executor on the spot, in the process executor
+  inside the worker with the events shipped back;
+- serial timeout enforcement arms a ``SIGALRM`` interval timer around
+  the attempt (the "worker-side alarm"; the process executor instead
+  kills and replaces the hung worker — see
+  :mod:`repro.evaluation.engine.process`);
+- the retry decision (:class:`CellState`) is executor-agnostic parent
+  state: attempts consumed, exponential-backoff deadline, and the
+  structured failure the cell degrades to when exhausted.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from ...observability import get_bus
+from ..variants import MeasureVariant, VariantResult
+from .config import SweepConfig
+
+
+class CellTimeout(Exception):
+    """An attempt exceeded ``cell_timeout``.
+
+    Deliberately *not* a :class:`~repro.exceptions.ReproError`: it is
+    internal control flow, converted into a retry or a structured
+    failure by the attempt policy and never shown to callers.
+    """
+
+
+def can_use_alarm() -> bool:
+    """Whether SIGALRM-based serial timeouts work here (POSIX main thread)."""
+    return (
+        hasattr(signal, "SIGALRM")
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@contextmanager
+def alarm(seconds: float | None) -> Iterator[None]:
+    """Raise :class:`CellTimeout` in the block after ``seconds``.
+
+    No-op when ``seconds`` is ``None`` or the platform/thread cannot
+    take SIGALRM (timeouts are then unenforced in the serial executor —
+    the process executor enforces them regardless via worker kills).
+    """
+    if seconds is None or not can_use_alarm():
+        yield
+        return
+
+    def _on_alarm(signum, frame):  # pragma: no cover - trivial
+        raise CellTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@dataclass
+class AttemptOutcome:
+    """What one attempt produced (picklable: crosses the worker queue)."""
+
+    ok: bool
+    result: VariantResult | None = None
+    error: str = ""  # exception type name
+    message: str = ""
+    timed_out: bool = False
+    duration_seconds: float = 0.0
+
+
+def run_attempt(
+    variant: MeasureVariant,
+    dataset,
+    attempt: int,
+    config: SweepConfig,
+    *,
+    enforce_timeout: bool,
+) -> AttemptOutcome:
+    """Execute one attempt inside its ``sweep.cell.attempt`` span.
+
+    ``enforce_timeout`` arms the SIGALRM path (serial executor only;
+    worker processes rely on the parent's kill-based enforcement, so a
+    hang inside a worker never needs to be catchable).
+    """
+    bus = get_bus()
+    span = bus.span(
+        "sweep.cell.attempt",
+        variant=variant.display,
+        dataset=dataset.name,
+        attempt=attempt,
+    )
+    try:
+        with span:
+            with alarm(config.cell_timeout if enforce_timeout else None):
+                if config.inject_fault is not None:
+                    config.inject_fault(variant.display, dataset.name, attempt)
+                result = variant.evaluate(dataset)
+        return AttemptOutcome(
+            ok=True,
+            result=result,
+            duration_seconds=span.duration_seconds or 0.0,
+        )
+    except CellTimeout:
+        return AttemptOutcome(
+            ok=False,
+            error=CellTimeout.__name__,
+            message=f"exceeded cell_timeout={config.cell_timeout}s",
+            timed_out=True,
+            duration_seconds=span.duration_seconds or 0.0,
+        )
+    except Exception as exc:
+        return AttemptOutcome(
+            ok=False,
+            error=type(exc).__name__,
+            message=str(exc),
+            duration_seconds=span.duration_seconds or 0.0,
+        )
+
+
+@dataclass
+class CellState:
+    """Parent-side bookkeeping for one cell across its attempts."""
+
+    vi: int
+    di: int
+    key: str
+    variant: MeasureVariant
+    dataset_name: str
+    attempts: int = 0
+    ready_at: float = 0.0  # monotonic time the next attempt may start
+    last_error: str = ""
+    last_message: str = ""
+    last_kind: str = "error"
+    total_seconds: float = 0.0
+
+    def note_failure(self, outcome: AttemptOutcome) -> None:
+        self.attempts += 1
+        self.total_seconds += outcome.duration_seconds
+        self.last_error = outcome.error
+        self.last_message = outcome.message
+        self.last_kind = "timeout" if outcome.timed_out else "error"
+
+    def note_crash(self, message: str) -> None:
+        """A worker died mid-attempt (the attempt produced no outcome)."""
+        self.attempts += 1
+        self.last_error = "WorkerCrash"
+        self.last_message = message
+        self.last_kind = "crash"
+
+    def exhausted(self, config: SweepConfig) -> bool:
+        return self.attempts >= config.max_attempts

@@ -1,0 +1,295 @@
+"""Process executor: a self-healing worker pool for sweep cells.
+
+``concurrent.futures.ProcessPoolExecutor`` cannot express the engine's
+failure policy — a running future cannot be cancelled, and one hung
+worker poisons ``pool.map`` forever. This executor manages workers
+directly with :mod:`multiprocessing` primitives so every cell can be
+killed, retried and replaced individually:
+
+- **Persistent workers, cheap tasks.** Workers are spawned once with the
+  full variant and dataset lists (zero-copy under the ``fork`` start
+  method; pickled once per worker otherwise) and pull ``(vi, di,
+  attempt)`` index triples from a shared task queue — cheaper per cell
+  than the old per-batch dataset pickling.
+- **Kill-based timeouts with worker replacement.** A worker announces
+  each attempt on the result queue before starting it; the parent tracks
+  per-attempt deadlines and SIGKILLs a worker that blows its budget,
+  spawning a replacement. A worker that dies on its own (OOM kill,
+  segfault, ``os._exit``) is detected by liveness polling and treated
+  the same way.
+- **Trace equivalence.** Workers capture their events with an isolated
+  :class:`~repro.observability.Recorder` and ship them back per attempt;
+  the parent replays them and synthesizes the enclosing ``sweep.cell``
+  and ``sweep.variant`` spans, so a serial and a process run of the same
+  sweep emit the same span/counter multiset (killed attempts are the one
+  exception: their worker-side events die with the worker, and the
+  parent synthesizes just the timed-out attempt span).
+
+Retry scheduling (attempt counting, exponential backoff, degradation)
+lives in the parent via the shared :class:`~.policy.CellState`, so an
+attempt interrupted by a kill still consumes retry budget.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import time
+from typing import Callable, Sequence
+
+from ...datasets.base import Dataset
+from ...observability import Recorder, get_bus
+from ..variants import MeasureVariant
+from .config import SweepConfig
+from .policy import AttemptOutcome, CellState, CellTimeout, run_attempt
+
+#: Seconds between parent housekeeping passes (deadline + liveness checks).
+_POLL_SECONDS = 0.02
+
+#: Grace period for SIGTERM before escalating to SIGKILL.
+_TERM_GRACE_SECONDS = 0.5
+
+
+def _mp_context():
+    """Prefer ``fork`` (zero-copy task state); fall back to the default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _worker_loop(
+    worker_id: int,
+    task_queue,
+    result_queue,
+    variants: Sequence[MeasureVariant],
+    datasets: Sequence[Dataset],
+    config: SweepConfig,
+) -> None:
+    """Worker entry: evaluate queued attempts until the ``None`` sentinel.
+
+    Swaps the fork-inherited bus sinks for an isolated recorder per
+    attempt so a parent ``--trace`` file never sees worker events
+    directly; they travel back as plain dicts and are replayed by the
+    parent. Announces every attempt (``"start"``) before evaluating it
+    so the parent can attribute a kill or crash to the right cell.
+    """
+    bus = get_bus()
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        vi, di, attempt = task
+        result_queue.put(("start", worker_id, vi, di, attempt))
+        recorder = Recorder()
+        inherited = bus.swap_sinks([recorder])
+        try:
+            outcome = run_attempt(
+                variants[vi], datasets[di], attempt, config,
+                enforce_timeout=False,
+            )
+        finally:
+            bus.swap_sinks(inherited)
+        result_queue.put(
+            ("end", worker_id, vi, di, attempt, outcome, recorder.to_dicts())
+        )
+
+
+class _Worker:
+    """One managed worker process plus its bookkeeping."""
+
+    def __init__(self, worker_id: int, spawn: Callable[[int], object]):
+        self.id = worker_id
+        self.process = spawn(worker_id)
+        #: (vi, di, attempt, deadline) of the announced in-flight task.
+        self.in_flight: tuple[int, int, int, float] | None = None
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(_TERM_GRACE_SECONDS)
+            if self.process.is_alive():  # pragma: no cover - stubborn worker
+                self.process.kill()
+                self.process.join()
+
+
+def run_cells_process(
+    variants: Sequence[MeasureVariant],
+    datasets: Sequence[Dataset],
+    cells: list[CellState],
+    config: SweepConfig,
+    finalize: Callable[[CellState, AttemptOutcome | None], None],
+) -> None:
+    """Drive ``cells`` to completion on a pool of worker processes.
+
+    ``finalize(cell, outcome)`` is invoked in the parent exactly once
+    per cell — with the successful outcome, or with ``None`` when the
+    cell exhausted its attempts (the cell's ``last_*`` fields then
+    describe the final failure).
+    """
+    bus = get_bus()
+    ctx = _mp_context()
+    n_workers = min(config.workers or (multiprocessing.cpu_count() or 2), len(cells))
+    task_queue = ctx.Queue()
+    result_queue = ctx.Queue()
+    by_index = {(c.vi, c.di): c for c in cells}
+    done: set[tuple[int, int]] = set()
+    #: cells whose next attempt waits on a backoff deadline.
+    backlog: list[CellState] = []
+
+    next_worker_id = 0
+
+    def spawn(worker_id: int):
+        process = ctx.Process(
+            target=_worker_loop,
+            args=(worker_id, task_queue, result_queue,
+                  list(variants), list(datasets), config),
+            daemon=True,
+        )
+        process.start()
+        return process
+
+    def new_worker() -> _Worker:
+        nonlocal next_worker_id
+        worker = _Worker(next_worker_id, spawn)
+        next_worker_id += 1
+        return worker
+
+    def enqueue(cell: CellState) -> None:
+        task_queue.put((cell.vi, cell.di, cell.attempts + 1))
+
+    def schedule_retry_or_finalize(cell: CellState) -> None:
+        if cell.exhausted(config):
+            finalize(cell, None)
+            done.add((cell.vi, cell.di))
+        else:
+            bus.count(
+                "sweep.cell.retry",
+                variant=cell.variant.display,
+                dataset=cell.dataset_name,
+            )
+            cell.ready_at = time.monotonic() + config.retry_delay(cell.attempts)
+            if cell.ready_at <= time.monotonic():
+                enqueue(cell)
+            else:
+                backlog.append(cell)
+
+    workers = {w.id: w for w in (new_worker() for _ in range(n_workers))}
+    for cell in cells:
+        enqueue(cell)
+
+    try:
+        while len(done) < len(cells):
+            # Release backed-off retries whose deadline passed.
+            now = time.monotonic()
+            ready = [c for c in backlog if c.ready_at <= now]
+            for cell in ready:
+                backlog.remove(cell)
+                enqueue(cell)
+
+            try:
+                message = result_queue.get(timeout=_POLL_SECONDS)
+            except queue_mod.Empty:
+                message = None
+
+            if message is not None:
+                kind, worker_id = message[0], message[1]
+                worker = workers.get(worker_id)
+                if worker is None:
+                    continue  # stale message from a replaced worker
+                if kind == "start":
+                    _, _, vi, di, attempt = message
+                    deadline = (
+                        time.monotonic() + config.cell_timeout
+                        if config.cell_timeout
+                        else float("inf")
+                    )
+                    worker.in_flight = (vi, di, attempt, deadline)
+                    continue
+                _, _, vi, di, attempt, outcome, events = message
+                worker.in_flight = None
+                if (vi, di) in done:
+                    continue
+                bus.replay(events)
+                cell = by_index[(vi, di)]
+                if outcome.ok:
+                    cell.attempts += 1
+                    cell.total_seconds += outcome.duration_seconds
+                    finalize(cell, outcome)
+                    done.add((vi, di))
+                else:
+                    cell.note_failure(outcome)
+                    schedule_retry_or_finalize(cell)
+                continue
+
+            # Housekeeping: blown deadlines and dead workers.
+            now = time.monotonic()
+            for worker_id, worker in list(workers.items()):
+                timed_out = (
+                    worker.in_flight is not None and worker.in_flight[3] < now
+                )
+                crashed = not worker.process.is_alive()
+                if not timed_out and not crashed:
+                    continue
+                if timed_out:
+                    worker.kill()
+                del workers[worker_id]
+                replacement = new_worker()
+                workers[replacement.id] = replacement
+                if worker.in_flight is None:
+                    continue  # died idle; nothing to attribute
+                vi, di, attempt, _ = worker.in_flight
+                if (vi, di) in done:
+                    continue
+                cell = by_index[(vi, di)]
+                if timed_out:
+                    bus.count(
+                        "sweep.cell.timeout",
+                        variant=cell.variant.display,
+                        dataset=cell.dataset_name,
+                    )
+                    # The worker-side attempt span died with the worker;
+                    # synthesize it so traces still show the attempt.
+                    bus.emit_span(
+                        "sweep.cell.attempt",
+                        float(config.cell_timeout or 0.0),
+                        variant=cell.variant.display,
+                        dataset=cell.dataset_name,
+                        attempt=attempt,
+                        error=CellTimeout.__name__,
+                    )
+                    cell.note_failure(
+                        AttemptOutcome(
+                            ok=False,
+                            error=CellTimeout.__name__,
+                            message=(
+                                f"exceeded cell_timeout={config.cell_timeout}s"
+                                " (worker killed)"
+                            ),
+                            timed_out=True,
+                            duration_seconds=float(config.cell_timeout or 0.0),
+                        )
+                    )
+                else:
+                    exitcode = worker.process.exitcode
+                    bus.emit_span(
+                        "sweep.cell.attempt",
+                        0.0,
+                        variant=cell.variant.display,
+                        dataset=cell.dataset_name,
+                        attempt=attempt,
+                        error="WorkerCrash",
+                    )
+                    cell.note_crash(
+                        f"worker process died (exit code {exitcode})"
+                    )
+                schedule_retry_or_finalize(cell)
+    finally:
+        for worker in workers.values():
+            worker.kill()
+        for worker in workers.values():
+            worker.process.join(1.0)
+        task_queue.cancel_join_thread()
+        result_queue.cancel_join_thread()
+        task_queue.close()
+        result_queue.close()

@@ -1,105 +1,22 @@
-"""Parallel sweep execution.
+"""Deprecated: ``run_sweep_parallel`` is now ``run_sweep(executor="process")``.
 
-The paper's evaluation ran on 360 cores for four months; its framework was
-designed so "the computation of the dissimilarity matrixes for different
-parameters" distributes trivially (Section 3). This module provides the
-single-machine version: a process pool over batches of (variant, dataset)
-cells that produces the exact same
-:class:`~repro.evaluation.runner.SweepResult` as the serial runner
-(asserted by the test suite).
-
-Two things distinguish it from a naive ``pool.map`` over cells:
-
-- **Serialization economy.** Cells are grouped by dataset so each dataset
-  is pickled once per worker batch instead of once per (variant, dataset)
-  cell, and ``chunksize`` is sized to a few tasks per worker.
-- **Trace equivalence.** Workers capture their observability events with
-  an isolated in-process recorder and ship them back alongside each batch
-  result; the parent replays them into its own bus. A serial and a
-  parallel run of the same sweep therefore emit the same set of spans and
-  counters (only durations and ordering differ).
-
-Workers re-import :mod:`repro`, so everything shipped to them must be
-picklable — variants and datasets are plain dataclasses, which is why the
-runner was designed around them.
+The serial/parallel split this module used to own collapsed into the
+single :func:`repro.run_sweep` entry point backed by
+:mod:`repro.evaluation.engine`, which adds what the old process-pool
+path could not express: per-cell retries with backoff, kill-based cell
+timeouts with worker replacement, crash-safe checkpointing and resume.
+This shim remains for source compatibility and will be removed in 2.0.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 from typing import Iterable, Sequence
-
-import numpy as np
 
 from ..datasets.base import Dataset
 from ..exceptions import EvaluationError
-from ..observability import Recorder, get_bus
-from .runner import SweepResult
-from .variants import MeasureVariant, VariantResult
-
-#: Target number of pool tasks per worker; more gives better load
-#: balancing, fewer amortizes dataset pickling over more cells.
-_TASKS_PER_WORKER = 4
-
-_Batch = tuple[int, Dataset, tuple[tuple[int, MeasureVariant], ...]]
-
-
-def _evaluate_batch(
-    payload: _Batch,
-) -> tuple[list[tuple[int, int, VariantResult]], list[dict]]:
-    """Worker entry: evaluate one dataset against a batch of variants.
-
-    Swaps the worker's bus sinks for an isolated recorder so a sink
-    inherited from the parent over ``fork`` (e.g. a ``--trace`` file
-    sharing a file descriptor) never sees worker events directly; they
-    travel back as plain dicts and are replayed by the parent.
-    """
-    di, dataset, items = payload
-    bus = get_bus()
-    recorder = Recorder()
-    inherited = bus.swap_sinks([recorder])
-    try:
-        results = []
-        for vi, variant in items:
-            with bus.span(
-                "sweep.cell",
-                variant=variant.display,
-                dataset=dataset.name,
-                family=variant.family,
-            ) as cell:
-                result = variant.evaluate(dataset)
-                cell.set(accuracy=result.accuracy)
-            results.append((vi, di, result))
-    finally:
-        bus.swap_sinks(inherited)
-    return results, recorder.to_dicts()
-
-
-def _batch_cells(
-    variants: Sequence[MeasureVariant],
-    datasets: Sequence[Dataset],
-    n_jobs: int,
-) -> list[_Batch]:
-    """Group (variant, dataset) cells into per-dataset batches.
-
-    Each task carries one dataset and a slice of the variant list, so a
-    dataset is serialized ``ceil(n_variants / batch)`` times total rather
-    than ``n_variants`` times. The batch size is chosen to yield roughly
-    ``n_jobs * _TASKS_PER_WORKER`` tasks so the pool still load-balances.
-    """
-    n_v, n_d = len(variants), len(datasets)
-    target_tasks = max(n_jobs * _TASKS_PER_WORKER, n_d)
-    batches_per_dataset = max(1, -(-target_tasks // n_d))
-    batch = max(1, -(-n_v // batches_per_dataset))
-    tasks: list[_Batch] = []
-    for di, dataset in enumerate(datasets):
-        for start in range(0, n_v, batch):
-            items = tuple(
-                (vi, variants[vi])
-                for vi in range(start, min(start + batch, n_v))
-            )
-            tasks.append((di, dataset, items))
-    return tasks
+from .runner import SweepResult, run_sweep
+from .variants import MeasureVariant
 
 
 def run_sweep_parallel(
@@ -109,64 +26,19 @@ def run_sweep_parallel(
 ) -> SweepResult:
     """Evaluate every variant on every dataset across worker processes.
 
-    Produces results identical to
-    :func:`~repro.evaluation.runner.run_sweep` (cells are independent and
-    deterministic); only wall-clock differs. ``n_jobs=1`` falls back to
-    the serial runner. Worker-side observability events are replayed into
-    the parent bus, so traces match the serial runner's up to durations
-    and ordering.
+    .. deprecated:: 1.2
+        Use ``run_sweep(variants, datasets, executor="process",
+        workers=n_jobs)`` — the unified entry point also supports
+        checkpointing, retries and cell timeouts.
     """
-    dataset_list = list(datasets)
-    if not dataset_list or not variants:
-        raise EvaluationError("need at least one dataset and one variant")
+    warnings.warn(
+        "run_sweep_parallel is deprecated; use "
+        "run_sweep(variants, datasets, executor='process', workers=n_jobs)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if n_jobs < 1:
         raise EvaluationError(f"n_jobs must be >= 1, got {n_jobs}")
     if n_jobs == 1:
-        from .runner import run_sweep
-
-        return run_sweep(variants, dataset_list)
-
-    n_d, n_v = len(dataset_list), len(variants)
-    accuracies = np.empty((n_d, n_v), dtype=np.float64)
-    runtimes = np.empty((n_d, n_v), dtype=np.float64)
-    details: list[list[VariantResult | None]] = [
-        [None] * n_d for _ in range(n_v)
-    ]
-    bus = get_bus()
-    variant_seconds = [0.0] * n_v
-    display_index = {v.display: vi for vi, v in enumerate(variants)}
-    with bus.span("sweep", n_variants=n_v, n_datasets=n_d):
-        tasks = _batch_cells(variants, dataset_list, n_jobs)
-        chunksize = max(1, len(tasks) // (n_jobs * _TASKS_PER_WORKER))
-        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            for results, events in pool.map(
-                _evaluate_batch, tasks, chunksize=chunksize
-            ):
-                for vi, di, result in results:
-                    accuracies[di, vi] = result.accuracy
-                    runtimes[di, vi] = result.inference_seconds
-                    details[vi][di] = result
-                for event in events:
-                    if event.get("name") == "sweep.cell":
-                        vi = display_index.get(
-                            event.get("attrs", {}).get("variant", "")
-                        )
-                        if vi is not None:
-                            variant_seconds[vi] += event.get(
-                                "duration_seconds", 0.0
-                            )
-                bus.replay(events)
-        # The serial runner wraps each variant's dataset loop in a span;
-        # here cells of one variant finish on different workers, so the
-        # equivalent per-variant span is synthesized from its cells.
-        for vi, variant in enumerate(variants):
-            bus.emit_span(
-                "sweep.variant", variant_seconds[vi], variant=variant.display
-            )
-    return SweepResult(
-        variants=tuple(variants),
-        dataset_names=tuple(ds.name for ds in dataset_list),
-        accuracies=accuracies,
-        inference_seconds=runtimes,
-        details=tuple(tuple(row) for row in details),  # type: ignore[arg-type]
-    )
+        return run_sweep(variants, datasets)
+    return run_sweep(variants, datasets, executor="process", workers=n_jobs)

@@ -59,5 +59,45 @@ class EvaluationError(ReproError):
     """An experiment could not be evaluated (e.g. empty split)."""
 
 
+class CellFailure(EvaluationError):
+    """One (variant, dataset) cell exhausted its retry budget.
+
+    Raised by :func:`repro.run_sweep` under ``on_failure="raise"`` — by
+    both the serial and the process executor, so callers never see
+    executor-specific exceptions (``BrokenProcessPool``, a raw worker
+    traceback, ...). Under the default ``on_failure="degrade"`` policy
+    the same information lands in ``SweepResult.failures`` instead.
+
+    Attributes
+    ----------
+    variant, dataset:
+        Display label / dataset name identifying the cell.
+    attempts:
+        Number of attempts made before giving up.
+    kind:
+        ``"error"`` (the cell raised), ``"timeout"`` (the cell exceeded
+        ``cell_timeout``) or ``"crash"`` (a worker process died).
+    """
+
+    def __init__(
+        self,
+        variant: str,
+        dataset: str,
+        attempts: int,
+        kind: str = "error",
+        last_error: str = "",
+    ):
+        self.variant = variant
+        self.dataset = dataset
+        self.attempts = attempts
+        self.kind = kind
+        self.last_error = last_error
+        detail = f": {last_error}" if last_error else ""
+        super().__init__(
+            f"sweep cell ({variant!r} on {dataset!r}) failed after "
+            f"{attempts} attempt(s) [{kind}]{detail}"
+        )
+
+
 class TraceError(ReproError):
     """A trace file could not be read or summarized."""

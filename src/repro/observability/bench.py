@@ -81,10 +81,14 @@ def build_workloads(quick: bool = False) -> dict[str, Callable[[], None]]:
     """The pinned per-family operations, name -> zero-arg callable.
 
     One entry per measure family the performance model distinguishes
-    (lock-step / sliding / elastic / kernel) plus the two framework
-    paths every sweep exercises (matrix cache, end-to-end sweep). Shapes
-    shrink under ``quick`` so the CI gate stays under a minute.
+    (lock-step / sliding / elastic / kernel) plus the framework paths
+    every sweep exercises (matrix cache, end-to-end sweep, and the
+    journal-backed checkpointed sweep — tracking the durability
+    overhead of ``--checkpoint``). Shapes shrink under ``quick`` so the
+    CI gate stays under a minute.
     """
+    import itertools
+
     from ..classification.matrices import dissimilarity_matrix
     from ..datasets import default_archive
     from ..evaluation import MeasureVariant, run_sweep
@@ -130,6 +134,18 @@ def build_workloads(quick: bool = False) -> dict[str, Callable[[], None]]:
     def sweep() -> None:
         run_sweep(sweep_variants, sweep_datasets)
 
+    checkpoint_root = Path(tempfile.mkdtemp(prefix="repro-bench-ckpt-"))
+    checkpoint_ids = itertools.count()
+
+    def checkpoint() -> None:
+        # A fresh journal per repetition: measures the full durability
+        # cost (cell files + journal appends), never the resume path.
+        run_sweep(
+            sweep_variants,
+            sweep_datasets,
+            checkpoint=checkpoint_root / f"run{next(checkpoint_ids)}",
+        )
+
     return {
         "lockstep": lockstep,
         "sliding": sliding,
@@ -137,6 +153,7 @@ def build_workloads(quick: bool = False) -> dict[str, Callable[[], None]]:
         "kernel": kernel,
         "cache": cache_path,
         "sweep": sweep,
+        "checkpoint": checkpoint,
     }
 
 

@@ -56,6 +56,58 @@ class TestEvaluateCommand:
         assert "NCC_c" in out and "ED" in out
 
 
+class TestEvaluateCheckpointFlags:
+    def test_checkpoint_writes_journal(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.delenv("UCR_ARCHIVE_PATH", raising=False)
+        checkpoint = tmp_path / "ckpt"
+        code, out = run_cli(
+            capsys,
+            "evaluate", "euclidean", "--datasets", "2",
+            "--checkpoint", str(checkpoint),
+        )
+        assert code == 0
+        assert (checkpoint / "journal.jsonl").exists()
+        assert len(list((checkpoint / "cells").glob("*.json"))) == 2
+
+    def test_resume_replays_journal(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.delenv("UCR_ARCHIVE_PATH", raising=False)
+        checkpoint = tmp_path / "ckpt"
+        args = (
+            "evaluate", "euclidean", "--datasets", "2",
+            "--checkpoint", str(checkpoint),
+        )
+        code, first = run_cli(capsys, *args)
+        assert code == 0
+        code, second = run_cli(capsys, *args, "--resume")
+        assert code == 0
+        assert first == second  # replayed cells give identical accuracies
+
+    def test_second_run_without_resume_fails(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.delenv("UCR_ARCHIVE_PATH", raising=False)
+        checkpoint = tmp_path / "ckpt"
+        args = (
+            "evaluate", "euclidean", "--datasets", "2",
+            "--checkpoint", str(checkpoint),
+        )
+        assert run_cli(capsys, *args)[0] == 0
+        with pytest.raises(Exception, match="resume=True"):
+            main(list(args))
+
+    def test_executor_and_retry_flags_accepted(self, capsys, monkeypatch):
+        monkeypatch.delenv("UCR_ARCHIVE_PATH", raising=False)
+        code, out = run_cli(
+            capsys,
+            "evaluate", "euclidean", "--datasets", "2",
+            "--executor", "process", "--workers", "2",
+            "--max-retries", "1", "--backoff", "0.01",
+            "--cell-timeout", "30",
+        )
+        assert code == 0
+        assert "ED" in out
+
+
 class TestCompareCommand:
     def test_renders_table_and_ranks(self, capsys, monkeypatch):
         monkeypatch.delenv("UCR_ARCHIVE_PATH", raising=False)

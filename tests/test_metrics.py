@@ -294,6 +294,7 @@ class TestBench:
         assert record["workload"] == "quick"
         assert set(record["families"]) == {
             "lockstep", "sliding", "elastic", "kernel", "cache", "sweep",
+            "checkpoint",
         }
         for payload in record["families"].values():
             latency = payload["latency_seconds"]
@@ -362,6 +363,7 @@ class TestBench:
         workloads = build_workloads(quick=True)
         assert set(workloads) == {
             "lockstep", "sliding", "elastic", "kernel", "cache", "sweep",
+            "checkpoint",
         }
 
     def test_cli_bench_run_and_compare(self, bench_record, tmp_path, capsys):

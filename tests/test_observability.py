@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.cli import main as cli_main
-from repro.evaluation import MeasureVariant, run_sweep, run_sweep_parallel
+from repro.evaluation import MeasureVariant, run_sweep
 from repro.exceptions import TraceError
 from repro.observability import (
     Event,
@@ -275,7 +275,7 @@ class TestTraceEquivalence:
         with bus.sink(serial):
             run_sweep(variants, datasets)
         with bus.sink(parallel):
-            run_sweep_parallel(variants, datasets, n_jobs=2)
+            run_sweep(variants, datasets, executor="process", workers=2)
         serial_set = Counter(span_signature(e) for e in serial.spans())
         parallel_set = Counter(span_signature(e) for e in parallel.spans())
         assert serial_set == parallel_set
@@ -306,7 +306,7 @@ class TestTraceEquivalence:
         with bus.sink(serial_rec), bus.sink(serial_metrics):
             run_sweep(variants, datasets)
         with bus.sink(parallel_rec), bus.sink(parallel_metrics):
-            run_sweep_parallel(variants, datasets, n_jobs=2)
+            run_sweep(variants, datasets, executor="process", workers=2)
         serial_aggs = serial_metrics.aggregates()
         parallel_aggs = parallel_metrics.aggregates()
         assert set(serial_aggs) == set(parallel_aggs)
@@ -328,7 +328,7 @@ class TestTraceEquivalence:
         variants, datasets = setup
         path = tmp_path / "parallel.jsonl"
         with trace_to(path):
-            run_sweep_parallel(variants, datasets, n_jobs=2)
+            run_sweep(variants, datasets, executor="process", workers=2)
         events = load_trace(path)
         assert sum(e.name == "sweep.cell" for e in events) == len(
             variants

@@ -1,4 +1,4 @@
-"""Tests for the parallel sweep runner."""
+"""Tests for the process executor and the deprecated parallel shim."""
 
 import numpy as np
 import pytest
@@ -21,35 +21,35 @@ def setup(tiny_archive):
     return variants, datasets
 
 
-class TestRunSweepParallel:
+class TestProcessExecutor:
     def test_matches_serial_results(self, setup):
         variants, datasets = setup
         serial = run_sweep(variants, datasets)
-        parallel = run_sweep_parallel(variants, datasets, n_jobs=2)
+        parallel = run_sweep(variants, datasets, executor="process", workers=2)
         assert np.allclose(serial.accuracies, parallel.accuracies)
         assert serial.labels == parallel.labels
         assert serial.dataset_names == parallel.dataset_names
 
-    def test_single_job_falls_back_to_serial(self, setup):
-        variants, datasets = setup
-        result = run_sweep_parallel(variants, datasets, n_jobs=1)
-        assert result.accuracies.shape == (3, 2)
-
     def test_details_populated(self, setup):
         variants, datasets = setup
-        result = run_sweep_parallel(variants, datasets, n_jobs=2)
+        result = run_sweep(variants, datasets, executor="process", workers=2)
         assert len(result.details) == 2
         assert all(r is not None for row in result.details for r in row)
         assert result.details[0][0].dataset == datasets[0].name
 
-    def test_invalid_jobs_rejected(self, setup):
+    def test_invalid_workers_rejected(self, setup):
         variants, datasets = setup
         with pytest.raises(EvaluationError):
-            run_sweep_parallel(variants, datasets, n_jobs=0)
+            run_sweep(variants, datasets, executor="process", workers=0)
+
+    def test_invalid_executor_rejected(self, setup):
+        variants, datasets = setup
+        with pytest.raises(EvaluationError):
+            run_sweep(variants, datasets, executor="threads")
 
     def test_empty_inputs_rejected(self):
         with pytest.raises(EvaluationError):
-            run_sweep_parallel([], [], n_jobs=2)
+            run_sweep([], [], executor="process", workers=2)
 
     def test_loocv_variants_supported(self, setup):
         _, datasets = setup
@@ -60,5 +60,29 @@ class TestRunSweepParallel:
             )
         ]
         serial = run_sweep(variants, datasets)
-        parallel = run_sweep_parallel(variants, datasets, n_jobs=2)
+        parallel = run_sweep(variants, datasets, executor="process", workers=2)
         assert np.allclose(serial.accuracies, parallel.accuracies)
+
+
+class TestDeprecatedShim:
+    """``run_sweep_parallel`` must warn and delegate to ``run_sweep``."""
+
+    def test_warns_and_matches_unified_api(self, setup):
+        variants, datasets = setup
+        unified = run_sweep(variants, datasets, executor="process", workers=2)
+        with pytest.warns(DeprecationWarning, match="run_sweep"):
+            shim = run_sweep_parallel(variants, datasets, n_jobs=2)
+        assert np.allclose(unified.accuracies, shim.accuracies)
+        assert unified.labels == shim.labels
+
+    def test_single_job_falls_back_to_serial(self, setup):
+        variants, datasets = setup
+        with pytest.warns(DeprecationWarning):
+            result = run_sweep_parallel(variants, datasets, n_jobs=1)
+        assert result.accuracies.shape == (3, 2)
+
+    def test_invalid_jobs_rejected(self, setup):
+        variants, datasets = setup
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(EvaluationError):
+                run_sweep_parallel(variants, datasets, n_jobs=0)
