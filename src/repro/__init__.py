@@ -59,8 +59,9 @@ from .evaluation import (
     compare_to_baseline,
     run_sweep,
 )
-from .exceptions import CellFailure, ReproError
+from .exceptions import ArtifactError, CellFailure, ReproError, ServingError
 from .normalization import get_normalizer, list_normalizers, normalize
+from .serving import ModelArtifact, QueryEngine, ReproServer
 from .observability import (
     Aggregate,
     EventBus,
@@ -135,4 +136,10 @@ __all__ = [
     "MetricsSink",
     "Aggregate",
     "ResourceSampler",
+    # serving
+    "ModelArtifact",
+    "QueryEngine",
+    "ReproServer",
+    "ArtifactError",
+    "ServingError",
 ]

@@ -15,7 +15,11 @@ Subcommands mirror what a practitioner reproducing the paper needs:
   per-measure time/accuracy breakdown plus the sweep's critical path;
 - ``bench``     — run the pinned per-family benchmark workloads
   (``bench run`` -> ``BENCH_sweep.json``) and gate a run against a
-  baseline (``bench compare``, nonzero exit on regression).
+  baseline (``bench compare``, nonzero exit on regression);
+- ``fit``       — freeze a measure + normalization + reference set into
+  a serveable artifact directory (``.npz`` + manifest);
+- ``serve``     — answer online 1-NN ``/predict`` queries over a fitted
+  artifact from a stdlib HTTP server with load shedding.
 
 The sweep-running subcommands (``evaluate``, ``compare``, ``experiment``)
 accept ``--trace PATH`` to capture an observability trace and
@@ -218,6 +222,56 @@ def _build_parser() -> argparse.ArgumentParser:
         "--threshold", type=float, default=20.0,
         help="regression threshold in percent (p95 latency, peak RSS)",
     )
+
+    p_fit = sub.add_parser(
+        "fit", help="fit a serveable 1-NN artifact (reference set + measure)"
+    )
+    p_fit.add_argument("measure", help="distance measure to freeze")
+    p_fit.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="artifact output directory (arrays.npz + manifest.json)",
+    )
+    p_fit.add_argument(
+        "--normalization", default=None,
+        help="per-series normalization applied to reference set and queries",
+    )
+    p_fit.add_argument(
+        "--datasets", type=int, default=8,
+        help="archive size to load the source dataset from",
+    )
+    p_fit.add_argument(
+        "--dataset-index", type=int, default=0,
+        help="which archive dataset's train split to freeze",
+    )
+    p_fit.add_argument("--scale", type=float, default=0.5, help="archive size scale")
+    p_fit.add_argument(
+        "--param", action="append", default=[], metavar="NAME=VALUE",
+        help="measure parameter override (repeatable); defaults to the "
+        "paper's unsupervised parameters",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="serve online 1-NN queries over a fitted artifact"
+    )
+    p_serve.add_argument(
+        "--artifact", required=True, metavar="DIR",
+        help="artifact directory written by `repro fit`",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765)
+    p_serve.add_argument(
+        "--max-inflight", type=int, default=32, metavar="N",
+        help="concurrent /predict requests admitted before shedding (503)",
+    )
+    p_serve.add_argument(
+        "--retry-after", type=float, default=1.0, metavar="S",
+        help="Retry-After seconds suggested to shed clients",
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=None, metavar="N",
+        help="LRU query-cache entries (0 disables; default 1024)",
+    )
+    _add_observability_args(p_serve)
     return parser
 
 
@@ -371,6 +425,73 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return code
 
 
+def cmd_fit(args: argparse.Namespace) -> int:
+    """Freeze a measure + reference set into a serveable artifact."""
+    from .serving import ModelArtifact
+
+    params = unsupervised_params(args.measure)
+    for override in args.param:
+        name, _, value = override.partition("=")
+        if not _ or not name:
+            print(f"--param expects NAME=VALUE, got {override!r}", file=sys.stderr)
+            return 2
+        params[name] = float(value)
+    datasets = _load_datasets(args.datasets, args.scale)
+    if not 0 <= args.dataset_index < len(datasets):
+        print(
+            f"--dataset-index {args.dataset_index} out of range "
+            f"(loaded {len(datasets)} datasets)",
+            file=sys.stderr,
+        )
+        return 2
+    dataset = datasets[args.dataset_index]
+    artifact = ModelArtifact.fit_dataset(
+        dataset,
+        measure=args.measure,
+        normalization=args.normalization,
+        params=params,
+    )
+    artifact.save(args.out)
+    info = artifact.describe()
+    print(
+        f"fitted {info['measure']} ({info['category']}) on "
+        f"{dataset.name}: {info['n_train']} reference series of length "
+        f"{info['series_length']}, {info['n_classes']} classes"
+    )
+    print(f"fingerprint {info['fingerprint']}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve online 1-NN queries over a fitted artifact (blocking)."""
+    from .serving import serve_artifact
+
+    server = serve_artifact(
+        args.artifact,
+        args.host,
+        args.port,
+        max_inflight=args.max_inflight,
+        retry_after=args.retry_after,
+        cache_size=args.cache_size,
+    )
+    info = server.engine.artifact.describe()
+    print(
+        f"serving {info['measure']} artifact {info['fingerprint'][:12]} "
+        f"({info['n_train']} x {info['series_length']}) on {server.url} "
+        f"(max inflight {server.gate.limit})",
+        file=sys.stderr,
+    )
+    server.serve_forever(install_signal_handlers=True)
+    stats = server.engine.cache_stats()
+    print(
+        f"graceful shutdown: cache {stats.hits} hits / {stats.misses} "
+        "misses, in-flight requests flushed",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     """Run a named paper experiment (or list them)."""
     from .evaluation import get_experiment, list_experiments
@@ -419,6 +540,8 @@ _COMMANDS = {
     "experiment": cmd_experiment,
     "trace": cmd_trace,
     "bench": cmd_bench,
+    "fit": cmd_fit,
+    "serve": cmd_serve,
 }
 
 

@@ -5,20 +5,28 @@ from .cross_correlation import (
     NCC_B,
     NCC_C,
     NCC_U,
+    SlidingReference,
     best_shift,
+    cc_max_from_reference,
     cross_correlation,
     cross_correlation_naive,
     ncc,
     ncc_b,
     ncc_c,
+    ncc_c_matrix_from_reference,
     ncc_u,
     sbd,
+    sliding_reference,
 )
 
 __all__ = [
     "cross_correlation",
     "cross_correlation_naive",
     "best_shift",
+    "SlidingReference",
+    "sliding_reference",
+    "cc_max_from_reference",
+    "ncc_c_matrix_from_reference",
     "ncc",
     "ncc_b",
     "ncc_u",

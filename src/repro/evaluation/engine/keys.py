@@ -28,11 +28,17 @@ def content_key(
 
     ``payload`` is serialized with sorted keys (and numpy scalars coerced
     through ``float``), so dict ordering never perturbs the key; arrays
-    are folded in as contiguous bytes.
+    are folded in as C-contiguous float64 bytes. The dtype/layout
+    coercion means *values* are what is hashed: a float32 copy, a
+    non-contiguous slice, or a double-transposed view of the same data
+    all produce the same key — which serving artifacts rely on to
+    recognize a reference set regardless of how it was materialized.
     """
     digest = hashlib.sha256()
     for array in arrays:
-        digest.update(np.ascontiguousarray(array).tobytes())
+        canonical = np.ascontiguousarray(array, dtype=np.float64)
+        digest.update(str(canonical.shape).encode())
+        digest.update(canonical.tobytes())
     digest.update(
         json.dumps(payload, sort_keys=True, default=float).encode()
     )

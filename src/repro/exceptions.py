@@ -101,3 +101,22 @@ class CellFailure(EvaluationError):
 
 class TraceError(ReproError):
     """A trace file could not be read or summarized."""
+
+
+class ArtifactError(ReproError):
+    """A serving artifact could not be fitted, saved, loaded or verified.
+
+    Raised by :class:`repro.serving.ModelArtifact` on schema mismatches,
+    missing files and — critically — content-hash integrity failures: an
+    artifact whose arrays no longer hash to the fingerprint recorded in
+    its manifest is refused rather than served.
+    """
+
+
+class ServingError(ReproError):
+    """The online query-serving layer was misused or misconfigured.
+
+    Covers query/artifact shape mismatches in
+    :class:`repro.serving.QueryEngine` and malformed requests rejected by
+    the HTTP layer before they reach the engine.
+    """

@@ -84,8 +84,10 @@ def build_workloads(quick: bool = False) -> dict[str, Callable[[], None]]:
     (lock-step / sliding / elastic / kernel) plus the framework paths
     every sweep exercises (matrix cache, end-to-end sweep, and the
     journal-backed checkpointed sweep — tracking the durability
-    overhead of ``--checkpoint``). Shapes shrink under ``quick`` so the
-    CI gate stays under a minute.
+    overhead of ``--checkpoint``), and the online serving path (a
+    batched ``QueryEngine.predict`` over a fitted artifact, cache
+    disabled so the compute path is what's timed). Shapes shrink under
+    ``quick`` so the CI gate stays under a minute.
     """
     import itertools
 
@@ -93,6 +95,7 @@ def build_workloads(quick: bool = False) -> dict[str, Callable[[], None]]:
     from ..datasets import default_archive
     from ..evaluation import MeasureVariant, run_sweep
     from ..evaluation.cache import MatrixCache
+    from ..serving import ModelArtifact, QueryEngine
 
     scale = 1 if quick else 2
     lock_x = _series(12 * scale, 64 * scale)
@@ -134,6 +137,21 @@ def build_workloads(quick: bool = False) -> dict[str, Callable[[], None]]:
     def sweep() -> None:
         run_sweep(sweep_variants, sweep_datasets)
 
+    serve_dataset = sweep_datasets[0]
+    serve_engine = QueryEngine(
+        ModelArtifact.fit_dataset(
+            serve_dataset, measure="nccc", normalization="zscore"
+        ),
+        cache_size=0,  # measure the compute path, not cache lookups
+    )
+    serve_rng = np.random.default_rng(_SEED + 8)
+    serve_queries = serve_rng.standard_normal(
+        (8 * scale, serve_dataset.train_X.shape[1])
+    )
+
+    def serving() -> None:
+        serve_engine.predict(serve_queries)
+
     checkpoint_root = Path(tempfile.mkdtemp(prefix="repro-bench-ckpt-"))
     checkpoint_ids = itertools.count()
 
@@ -154,6 +172,7 @@ def build_workloads(quick: bool = False) -> dict[str, Callable[[], None]]:
         "cache": cache_path,
         "sweep": sweep,
         "checkpoint": checkpoint,
+        "serving": serving,
     }
 
 

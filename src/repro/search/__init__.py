@@ -11,7 +11,12 @@ for motif and anomaly discovery::
     a, b, d = mp.motif()
 """
 
-from .cascade import CascadeStats, cascade_nn_search, dtw_early_abandon
+from .cascade import (
+    CascadeStats,
+    candidate_envelopes,
+    cascade_nn_search,
+    dtw_early_abandon,
+)
 from .mass import (
     best_match,
     mass,
@@ -30,6 +35,7 @@ __all__ = [
     "matrix_profile",
     "MatrixProfile",
     "cascade_nn_search",
+    "candidate_envelopes",
     "dtw_early_abandon",
     "CascadeStats",
 ]

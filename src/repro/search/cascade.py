@@ -13,6 +13,13 @@ cascade for the library's banded DTW:
 
 Statistics of how much each stage pruned are returned so callers (and the
 pruning ablation) can report the cascade's effectiveness.
+
+.. note:: **Precondition.** The cascade is *exact* for any inputs (the
+   lower bounds are valid unconditionally), but LB_Keogh is only *tight*
+   — and the cascade only prunes well — when query and candidates are
+   z-normalized, as in the UCR-suite setting it reproduces. Un-normalized
+   series with large offsets degrade every stage to a no-op and the
+   search degenerates to exhaustive early-abandoning DTW.
 """
 
 from __future__ import annotations
@@ -86,22 +93,69 @@ class CascadeStats:
         return 1.0 - self.full_computations / self.total
 
 
+def candidate_envelopes(candidates, delta: float = 10.0) -> np.ndarray:
+    """Stacked LB_Keogh envelopes of every candidate, shape ``(n, 2, m)``.
+
+    ``out[i, 0]`` / ``out[i, 1]`` are the upper / lower envelope of
+    ``candidates[i]``. Computing these once per reference set (they
+    depend only on the candidates and the band) and passing them to
+    :func:`cascade_nn_search` amortizes the O(n·m·w) envelope cost across
+    every query — the pattern the serving artifact uses.
+    """
+    candidates = as_dataset(candidates, "candidates")
+    out = np.empty((candidates.shape[0], 2, candidates.shape[1]))
+    for i, cand in enumerate(candidates):
+        upper, lower = envelope(cand, delta)
+        out[i, 0] = upper
+        out[i, 1] = lower
+    return out
+
+
 def cascade_nn_search(
-    query, candidates, delta: float = 10.0
+    query, candidates, delta: float = 10.0, envelopes: np.ndarray | None = None
 ) -> tuple[int, float, CascadeStats]:
     """Exact 1-NN under banded DTW with the LB_Kim -> LB_Keogh ->
     early-abandon cascade.
 
     Returns ``(best_index, best_distance, stats)``; the result always
     equals the exhaustive scan (asserted by the test suite).
+
+    ``envelopes`` is an optional ``(n, 2, m)`` array of precomputed
+    candidate envelopes from :func:`candidate_envelopes`. When given, the
+    LB_Keogh stage bounds each comparison with the *candidate's* envelope
+    (still a valid lower bound of the symmetric DTW) instead of building
+    the query envelope per call — so repeated searches against a fixed
+    reference set pay the envelope cost once, not per query.
     """
     query = as_series(query, "query")
     candidates = as_dataset(candidates, "candidates")
-    query_env = envelope(query, delta)
-    # Visit candidates by ascending LB_Keogh for an early tight best.
-    keogh_bounds = np.array(
-        [lb_keogh(cand, query, delta, y_envelope=query_env) for cand in candidates]
-    )
+    if envelopes is not None:
+        envelopes = np.asarray(envelopes, dtype=np.float64)
+        expected = (candidates.shape[0], 2, candidates.shape[1])
+        if envelopes.shape != expected:
+            raise ValueError(
+                f"envelopes must have shape {expected}, got {envelopes.shape}"
+            )
+        keogh_bounds = np.array(
+            [
+                lb_keogh(
+                    query,
+                    candidates[i],
+                    delta,
+                    y_envelope=(envelopes[i, 0], envelopes[i, 1]),
+                )
+                for i in range(candidates.shape[0])
+            ]
+        )
+    else:
+        query_env = envelope(query, delta)
+        # Visit candidates by ascending LB_Keogh for an early tight best.
+        keogh_bounds = np.array(
+            [
+                lb_keogh(cand, query, delta, y_envelope=query_env)
+                for cand in candidates
+            ]
+        )
     order = np.argsort(keogh_bounds)
     best_idx, best_dist = -1, np.inf
     kim_pruned = keogh_pruned = abandoned = full = 0

@@ -1,0 +1,46 @@
+"""Online query-serving: fitted artifacts, a batched 1-NN engine, HTTP.
+
+The subsystem that turns the paper's offline verdicts (deploy NCC_c/SBD
+or a tuned elastic measure — Sections 6-7) into something that can
+answer live traffic, in three layers:
+
+- :class:`ModelArtifact` (:mod:`repro.serving.artifact`) — fit once,
+  save/load as a content-hash-verified ``.npz`` + JSON manifest;
+- :class:`QueryEngine` (:mod:`repro.serving.engine`) — batched 1-NN with
+  per-family fast paths and a bounded LRU query cache;
+- :class:`ReproServer` (:mod:`repro.serving.server`) — a stdlib
+  ``ThreadingHTTPServer`` with load shedding (503 + ``Retry-After``),
+  ``/healthz``, ``/metrics`` and graceful SIGTERM drains, run via
+  ``repro serve``.
+
+Quickstart::
+
+    from repro.serving import ModelArtifact, QueryEngine
+
+    artifact = ModelArtifact.fit(train_X, train_y, measure="nccc",
+                                 normalization="zscore")
+    artifact.save("artifact/")
+    engine = QueryEngine(ModelArtifact.load("artifact/"))
+    labels = engine.predict(queries)        # == offline one_nn_predict
+"""
+
+from .artifact import ARTIFACT_SCHEMA, ModelArtifact
+from .engine import CacheStats, Prediction, QueryEngine
+from .server import (
+    DEFAULT_MAX_INFLIGHT,
+    AdmissionGate,
+    ReproServer,
+    serve_artifact,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "ModelArtifact",
+    "QueryEngine",
+    "Prediction",
+    "CacheStats",
+    "ReproServer",
+    "AdmissionGate",
+    "serve_artifact",
+    "DEFAULT_MAX_INFLIGHT",
+]

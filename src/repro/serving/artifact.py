@@ -1,0 +1,337 @@
+"""Fitted serving artifacts: a frozen reference set plus precomputations.
+
+The offline evaluation stack answers "which measure should we deploy?";
+this module packages the answer so it can actually be deployed. A
+:class:`ModelArtifact` freezes everything a 1-NN query needs:
+
+- the **reference set** (the training split), already normalized with the
+  chosen Section-4 method so queries pay normalization once per series,
+  never per comparison;
+- **measure-specific precomputations** — conjugated reference FFTs and
+  norms for the sliding family (Eq. 10's :math:`\\mathcal{F}(\\vec y)`
+  side never changes between queries), and LB_Keogh candidate envelopes
+  for banded DTW (the cascade's O(n·m·w) fit-time cost);
+- a **content-hash fingerprint** over the reference arrays and every
+  knob, built from the same :func:`~repro.evaluation.engine.keys.content_key`
+  machinery that keys sweep checkpoints — so two artifacts fitted from
+  the same bytes with the same config are interchangeable, and a
+  corrupted or hand-edited artifact is refused at load time.
+
+On disk an artifact is a directory holding a versioned ``arrays.npz``
+plus a human-readable ``manifest.json``; :meth:`ModelArtifact.load`
+verifies a per-array digest *and* the logical fingerprint before
+returning anything to the query engine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from .._validation import as_dataset, as_labels
+from ..distances.base import DistanceMeasure, get_measure
+from ..distances.sliding.cross_correlation import sliding_reference
+from ..evaluation.engine.keys import content_key
+from ..exceptions import ArtifactError
+from ..normalization import get_normalizer
+from ..search.cascade import candidate_envelopes
+
+#: Artifact layout identifier; bumped whenever the on-disk format changes.
+ARTIFACT_SCHEMA = "repro.artifact/1"
+
+MANIFEST_NAME = "manifest.json"
+ARRAYS_NAME = "arrays.npz"
+
+#: Measures served through the precomputed-FFT sliding path.
+SLIDING_MEASURES = frozenset({"ncc", "nccb", "nccu", "nccc"})
+
+
+def _array_digest(array: np.ndarray) -> str:
+    """Exact digest of one stored array (dtype + shape + bytes).
+
+    Unlike :func:`content_key` this does *not* canonicalize dtype — the
+    arrays here were written by :meth:`ModelArtifact.save` in a known
+    layout, and the digest's job is to detect on-disk corruption, so the
+    stricter "these exact bytes" semantics are what we want (it also
+    keeps complex FFT arrays hashable).
+    """
+    arr = np.ascontiguousarray(array)
+    digest = hashlib.sha256()
+    digest.update(arr.dtype.str.encode())
+    digest.update(str(arr.shape).encode())
+    digest.update(arr.tobytes())
+    return digest.hexdigest()[:32]
+
+
+@dataclass(frozen=True)
+class ModelArtifact:
+    """A fitted, serveable 1-NN model: reference set + measure + config.
+
+    Instances are immutable; build them with :meth:`fit` or :meth:`load`.
+
+    Attributes
+    ----------
+    measure:
+        Canonical registry name of the distance measure.
+    normalization:
+        Normalization method name (applied to the stored reference set at
+        fit time and to every query at predict time), or ``None``.
+    params:
+        Fully-resolved measure parameters (defaults merged under any
+        caller overrides at fit time).
+    train_X:
+        Normalized ``(n, m)`` float64 reference series.
+    train_y:
+        Integer labels, shape ``(n,)``.
+    precomputed:
+        Measure-specific derived arrays (``sliding_fft_conj`` /
+        ``sliding_norms`` or ``envelopes``); possibly empty.
+    fingerprint:
+        Content hash over the reference arrays and every config knob.
+    """
+
+    measure: str
+    normalization: str | None
+    params: dict[str, float]
+    train_X: np.ndarray
+    train_y: np.ndarray
+    precomputed: dict[str, np.ndarray] = field(default_factory=dict)
+    fingerprint: str = ""
+    created_unix: float = 0.0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit(
+        cls,
+        train_X,
+        train_y,
+        *,
+        measure: str | DistanceMeasure = "nccc",
+        normalization: str | None = None,
+        params: Mapping[str, float] | None = None,
+    ) -> "ModelArtifact":
+        """Freeze a reference set for online 1-NN serving.
+
+        Normalizes the training series (per-series methods only — the
+        pairwise AdaptiveScaling cannot be frozen into a reference set
+        and is rejected), resolves the measure's parameters, and runs the
+        measure-specific precomputations.
+        """
+        m = get_measure(measure)
+        resolved = m.resolve_params(dict(params or {}))
+        X = as_dataset(train_X, "train_X")
+        y = as_labels(train_y, X.shape[0], "train_y")
+        norm_name = None
+        if normalization is not None:
+            norm = get_normalizer(normalization)
+            if norm.is_pairwise:
+                raise ArtifactError(
+                    f"normalization {norm.name!r} is pairwise (it depends on "
+                    "both series of each comparison) and cannot be frozen "
+                    "into a serving artifact; use a per-series method"
+                )
+            X = norm.apply_dataset(X)
+            norm_name = norm.name
+        X = np.ascontiguousarray(X, dtype=np.float64)
+
+        precomputed: dict[str, np.ndarray] = {}
+        if m.name in SLIDING_MEASURES:
+            reference = sliding_reference(X)
+            precomputed["sliding_fft_conj"] = reference.fft_conj
+            precomputed["sliding_norms"] = reference.norms
+        elif m.name == "dtw":
+            precomputed["envelopes"] = candidate_envelopes(
+                X, resolved["delta"]
+            )
+
+        fingerprint = cls._fingerprint(m.name, norm_name, resolved, X, y)
+        return cls(
+            measure=m.name,
+            normalization=norm_name,
+            params=resolved,
+            train_X=X,
+            train_y=y,
+            precomputed=precomputed,
+            fingerprint=fingerprint,
+            created_unix=round(time.time(), 3),
+        )
+
+    @classmethod
+    def fit_dataset(cls, dataset, **kwargs) -> "ModelArtifact":
+        """:meth:`fit` on a :class:`~repro.datasets.Dataset`'s train split."""
+        return cls.fit(dataset.train_X, dataset.train_y, **kwargs)
+
+    @staticmethod
+    def _fingerprint(
+        measure: str,
+        normalization: str | None,
+        params: Mapping[str, float],
+        train_X: np.ndarray,
+        train_y: np.ndarray,
+    ) -> str:
+        """Logical identity: config + reference values (not derived data).
+
+        Precomputed arrays are deterministic functions of these inputs,
+        so they are excluded — refitting from the same data always
+        reproduces the same fingerprint.
+        """
+        return content_key(
+            {
+                "schema": ARTIFACT_SCHEMA,
+                "measure": measure,
+                "normalization": normalization,
+                "params": {k: float(v) for k, v in sorted(params.items())},
+            },
+            [train_X, train_y],
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_train(self) -> int:
+        """Number of reference series."""
+        return int(self.train_X.shape[0])
+
+    @property
+    def series_length(self) -> int:
+        """Length every query must have."""
+        return int(self.train_X.shape[1])
+
+    @property
+    def category(self) -> str:
+        """The measure's paper category (lockstep/sliding/elastic/...)."""
+        return get_measure(self.measure).category
+
+    def describe(self) -> dict:
+        """JSON-able summary (what ``/healthz`` reports)."""
+        return {
+            "schema": ARTIFACT_SCHEMA,
+            "fingerprint": self.fingerprint,
+            "measure": self.measure,
+            "category": self.category,
+            "normalization": self.normalization,
+            "params": dict(self.params),
+            "n_train": self.n_train,
+            "series_length": self.series_length,
+            "n_classes": int(np.unique(self.train_y).size),
+        }
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Write the artifact into directory ``path`` and return it.
+
+        Layout: ``arrays.npz`` (reference + precomputed arrays) and
+        ``manifest.json`` (config, shapes, fingerprint, per-array
+        digests). The manifest is written last so a crash mid-save leaves
+        a directory that :meth:`load` cleanly rejects.
+        """
+        directory = Path(path)
+        directory.mkdir(parents=True, exist_ok=True)
+        arrays = {
+            "train_X": self.train_X,
+            "train_y": self.train_y,
+            **self.precomputed,
+        }
+        np.savez(directory / ARRAYS_NAME, **arrays)
+        manifest = {
+            **self.describe(),
+            "created_unix": self.created_unix,
+            "precomputed": sorted(self.precomputed),
+            "array_digests": {
+                name: _array_digest(arr) for name, arr in arrays.items()
+            },
+        }
+        (directory / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+        return directory
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ModelArtifact":
+        """Read and *verify* an artifact directory.
+
+        Every stored array must hash to the digest the manifest recorded
+        for it, and the reference arrays plus config must reproduce the
+        manifest's logical fingerprint; any mismatch raises
+        :class:`~repro.exceptions.ArtifactError` rather than serving
+        silently-wrong answers.
+        """
+        directory = Path(path)
+        manifest_path = directory / MANIFEST_NAME
+        arrays_path = directory / ARRAYS_NAME
+        if not manifest_path.exists() or not arrays_path.exists():
+            raise ArtifactError(
+                f"{directory} is not an artifact directory "
+                f"(need {MANIFEST_NAME} + {ARRAYS_NAME})"
+            )
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except ValueError as exc:
+            raise ArtifactError(
+                f"{manifest_path}: malformed manifest ({exc})"
+            ) from exc
+        schema = manifest.get("schema")
+        if schema != ARTIFACT_SCHEMA:
+            raise ArtifactError(
+                f"{directory}: unsupported artifact schema {schema!r} "
+                f"(want {ARTIFACT_SCHEMA!r})"
+            )
+        try:
+            with np.load(arrays_path) as bundle:
+                arrays = {name: bundle[name] for name in bundle.files}
+        except (OSError, ValueError) as exc:
+            raise ArtifactError(
+                f"{arrays_path}: unreadable array bundle ({exc})"
+            ) from exc
+        digests = manifest.get("array_digests", {})
+        expected_names = {"train_X", "train_y", *manifest.get("precomputed", [])}
+        if set(arrays) != expected_names or set(digests) != expected_names:
+            raise ArtifactError(
+                f"{directory}: array inventory mismatch "
+                f"(manifest {sorted(expected_names)}, bundle {sorted(arrays)})"
+            )
+        for name, arr in arrays.items():
+            if _array_digest(arr) != digests[name]:
+                raise ArtifactError(
+                    f"{directory}: integrity check failed for array "
+                    f"{name!r} (content does not match its manifest digest)"
+                )
+        params = {k: float(v) for k, v in manifest["params"].items()}
+        fingerprint = cls._fingerprint(
+            manifest["measure"],
+            manifest["normalization"],
+            params,
+            arrays["train_X"],
+            arrays["train_y"],
+        )
+        if fingerprint != manifest["fingerprint"]:
+            raise ArtifactError(
+                f"{directory}: fingerprint mismatch (manifest "
+                f"{manifest['fingerprint']}, recomputed {fingerprint})"
+            )
+        precomputed = {
+            name: arrays[name] for name in manifest.get("precomputed", [])
+        }
+        return cls(
+            measure=manifest["measure"],
+            normalization=manifest["normalization"],
+            params=params,
+            train_X=np.ascontiguousarray(arrays["train_X"], dtype=np.float64),
+            train_y=as_labels(
+                arrays["train_y"], arrays["train_X"].shape[0], "train_y"
+            ),
+            precomputed=precomputed,
+            fingerprint=fingerprint,
+            created_unix=float(manifest.get("created_unix", 0.0)),
+        )

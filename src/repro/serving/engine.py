@@ -1,0 +1,334 @@
+"""Batched online 1-NN over a fitted :class:`ModelArtifact`.
+
+The engine is the compute half of the serving subsystem: given a batch
+of queries it produces, for each, the index/distance/label of its
+nearest reference series — routed down whichever path the artifact's
+measure family makes fastest:
+
+- **lock-step / kernel / generic elastic** measures go through the
+  measure's vectorized ``pairwise`` matrix kernel followed by the same
+  ``argmin`` scan as the offline :func:`repro.one_nn_predict` (paper
+  Algorithm 1), so online and offline answers are bit-for-bit identical;
+- **sliding** measures (the NCC family) reuse the artifact's precomputed
+  conjugated reference FFTs via
+  :func:`~repro.distances.sliding.cc_max_from_reference` — the identical
+  arithmetic the registered matrix kernels run, minus the reference-side
+  FFT;
+- **banded DTW** goes through the LB_Kim -> LB_Keogh -> early-abandon
+  cascade (:func:`repro.search.cascade_nn_search`) with the artifact's
+  precomputed candidate envelopes.
+
+Results flow through a bounded, thread-safe LRU cache keyed by the raw
+query bytes; repeated queries (dashboards, retries, hot keys) skip the
+distance computation entirely. All cache bookkeeping happens under one
+lock while the distance math runs outside it, so concurrent ``predict``
+calls scale across threads and remain bitwise-deterministic (the
+computation is pure; a racing duplicate computes the same values).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import as_dataset
+from ..distances.base import get_measure
+from ..distances.sliding.cross_correlation import (
+    SlidingReference,
+    cc_max_from_reference,
+    ncc_c_matrix_from_reference,
+    sliding_reference,
+)
+from ..exceptions import ServingError
+from ..normalization import get_normalizer
+from ..observability import get_bus
+from ..search.cascade import cascade_nn_search
+from .artifact import SLIDING_MEASURES, ModelArtifact
+
+from scipy.fft import next_fast_len
+
+#: Default bound on the LRU query cache (entries, i.e. distinct queries).
+DEFAULT_CACHE_SIZE = 1024
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Outcome of one ``predict`` batch.
+
+    ``labels[i]`` / ``indices[i]`` / ``distances[i]`` describe the
+    nearest reference series of query ``i``; ``cache_hits`` counts how
+    many of the batch's queries were answered from the LRU cache.
+    """
+
+    labels: np.ndarray
+    indices: np.ndarray
+    distances: np.ndarray
+    cache_hits: int = 0
+    pruned: int = 0
+    full_computations: int = 0
+
+
+@dataclass
+class CacheStats:
+    """Cumulative LRU cache counters (monotonic over the engine's life)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+        }
+
+
+def _query_key(row: np.ndarray) -> bytes:
+    """Cache key of one validated query (exact float64 bytes)."""
+    return hashlib.sha256(row.tobytes()).digest()
+
+
+class QueryEngine:
+    """Thread-safe batched 1-NN prediction over a fitted artifact.
+
+    Parameters
+    ----------
+    artifact:
+        The fitted reference set (see :class:`ModelArtifact`).
+    cache_size:
+        Maximum number of distinct queries the LRU cache retains;
+        ``0`` disables caching.
+    use_cascade:
+        Route banded DTW through the lower-bounding cascade (default).
+        Disable to force the generic matrix path (the ablation knob).
+    """
+
+    def __init__(
+        self,
+        artifact: ModelArtifact,
+        *,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        use_cascade: bool = True,
+    ):
+        if cache_size < 0:
+            raise ServingError(f"cache_size must be >= 0, got {cache_size}")
+        self.artifact = artifact
+        self._measure = get_measure(artifact.measure)
+        self._params = dict(artifact.params)
+        self._normalizer = (
+            None
+            if artifact.normalization is None
+            else get_normalizer(artifact.normalization)
+        )
+        self._cache: OrderedDict[bytes, tuple[int, float]] = OrderedDict()
+        self._cache_size = int(cache_size)
+        self._lock = threading.Lock()
+        self._stats = CacheStats(capacity=self._cache_size)
+        self.route = self._pick_route(use_cascade)
+        if self.route == "sliding":
+            self._reference = self._sliding_reference()
+        elif self.route == "cascade":
+            self._envelopes = artifact.precomputed.get("envelopes")
+
+    def _pick_route(self, use_cascade: bool) -> str:
+        name = self._measure.name
+        if name in SLIDING_MEASURES:
+            return "sliding"
+        if name == "dtw" and use_cascade:
+            return "cascade"
+        return "matrix"
+
+    def _sliding_reference(self) -> SlidingReference:
+        """Rebuild the FFT reference from the artifact's stored arrays.
+
+        Falls back to recomputing from the reference set when the stored
+        precomputations are absent (e.g. an artifact constructed in
+        memory without them) — same values either way.
+        """
+        pre = self.artifact.precomputed
+        if "sliding_fft_conj" in pre and "sliding_norms" in pre:
+            m = self.artifact.series_length
+            nfft = next_fast_len(2 * m - 1, real=True)
+            fft_conj = np.asarray(pre["sliding_fft_conj"])
+            if fft_conj.shape != (self.artifact.n_train, nfft // 2 + 1):
+                raise ServingError(
+                    f"stored sliding FFT has shape {fft_conj.shape}, "
+                    f"expected {(self.artifact.n_train, nfft // 2 + 1)}"
+                )
+            return SlidingReference(
+                length=m,
+                nfft=nfft,
+                fft_conj=fft_conj,
+                norms=np.asarray(pre["sliding_norms"], dtype=np.float64),
+            )
+        return sliding_reference(self.artifact.train_X)
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def predict(self, queries) -> np.ndarray:
+        """1-NN labels of a query batch (the common fast path)."""
+        return self.predict_detailed(queries).labels
+
+    def predict_detailed(self, queries) -> Prediction:
+        """Full per-query detail: labels, indices, distances, cache hits.
+
+        Accepts a single series or an ``(r, m)`` batch; queries are
+        normalized with the artifact's method before comparison, exactly
+        as the reference set was at fit time.
+        """
+        Q = as_dataset(queries, "queries")
+        if Q.shape[1] != self.artifact.series_length:
+            raise ServingError(
+                f"query length {Q.shape[1]} != artifact series length "
+                f"{self.artifact.series_length}"
+            )
+        bus = get_bus()
+        with bus.span(
+            "serve.predict",
+            measure=self.artifact.measure,
+            route=self.route,
+            batch=Q.shape[0],
+        ) as span:
+            keys = [_query_key(np.ascontiguousarray(row)) for row in Q]
+            hits: dict[int, tuple[int, float]] = {}
+            miss_rows: list[int] = []
+            with self._lock:
+                for i, key in enumerate(keys):
+                    entry = self._cache.get(key)
+                    if entry is None:
+                        miss_rows.append(i)
+                    else:
+                        self._cache.move_to_end(key)
+                        hits[i] = entry
+                self._stats.hits += len(hits)
+                self._stats.misses += len(miss_rows)
+            if hits:
+                bus.count("serve.cache.hit", len(hits))
+            if miss_rows:
+                bus.count("serve.cache.miss", len(miss_rows))
+
+            pruned = full = 0
+            indices = np.empty(Q.shape[0], dtype=np.intp)
+            distances = np.empty(Q.shape[0], dtype=np.float64)
+            for i, (idx, dist) in hits.items():
+                indices[i] = idx
+                distances[i] = dist
+            if miss_rows:
+                sub = Q[miss_rows]
+                if self._normalizer is not None:
+                    sub = self._normalizer.apply_dataset(sub)
+                sub_idx, sub_dist, pruned, full = self._nearest(sub)
+                for offset, i in enumerate(miss_rows):
+                    indices[i] = sub_idx[offset]
+                    distances[i] = sub_dist[offset]
+                if self._cache_size:
+                    with self._lock:
+                        for offset, i in enumerate(miss_rows):
+                            self._cache[keys[i]] = (
+                                int(sub_idx[offset]),
+                                float(sub_dist[offset]),
+                            )
+                            self._cache.move_to_end(keys[i])
+                        while len(self._cache) > self._cache_size:
+                            self._cache.popitem(last=False)
+                            self._stats.evictions += 1
+                        self._stats.size = len(self._cache)
+            labels = self.artifact.train_y[indices]
+            span.set(cache_hits=len(hits))
+            return Prediction(
+                labels=labels,
+                indices=indices,
+                distances=distances,
+                cache_hits=len(hits),
+                pruned=pruned,
+                full_computations=full,
+            )
+
+    def _nearest(
+        self, Q: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, int, int]:
+        """Nearest reference index/distance per normalized query row.
+
+        Returns ``(indices, distances, pruned, full_computations)``; the
+        last two are nonzero only on the cascade route.
+        """
+        if self.route == "sliding":
+            E = self._sliding_matrix(Q)
+        elif self.route == "cascade":
+            return self._cascade_nearest(Q)
+        else:
+            E = self._measure.pairwise(
+                Q, self.artifact.train_X, **self._params
+            )
+        idx = np.argmin(E, axis=1)
+        return idx, E[np.arange(E.shape[0]), idx], 0, Q.shape[0]
+
+    def _sliding_matrix(self, Q: np.ndarray) -> np.ndarray:
+        """Dissimilarity matrix via the precomputed reference FFTs.
+
+        Mirrors the registered sliding matrix kernels term by term so
+        the serving path and ``measure.pairwise`` agree bitwise.
+        """
+        name = self._measure.name
+        if name == "nccc":
+            return ncc_c_matrix_from_reference(Q, self._reference)
+        if name == "ncc":
+            return -cc_max_from_reference(Q, self._reference, "none")
+        if name == "nccb":
+            return (
+                -cc_max_from_reference(Q, self._reference, "none")
+                / Q.shape[1]
+            )
+        return -cc_max_from_reference(Q, self._reference, "unbiased")
+
+    def _cascade_nearest(
+        self, Q: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, int, int]:
+        """Per-query cascade search with the artifact's envelopes."""
+        delta = self._params.get("delta", 100.0)
+        indices = np.empty(Q.shape[0], dtype=np.intp)
+        distances = np.empty(Q.shape[0], dtype=np.float64)
+        pruned = full = 0
+        for i, row in enumerate(Q):
+            idx, dist, stats = cascade_nn_search(
+                row,
+                self.artifact.train_X,
+                delta,
+                envelopes=self._envelopes,
+            )
+            indices[i] = idx
+            distances[i] = dist
+            pruned += stats.total - stats.full_computations
+            full += stats.full_computations
+        return indices, distances, pruned, full
+
+    # ------------------------------------------------------------------
+    # cache management
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> CacheStats:
+        """Snapshot of the cumulative cache counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._stats.hits,
+                misses=self._stats.misses,
+                evictions=self._stats.evictions,
+                size=len(self._cache),
+                capacity=self._cache_size,
+            )
+
+    def clear_cache(self) -> None:
+        """Drop every cached query result (counters are retained)."""
+        with self._lock:
+            self._cache.clear()
+            self._stats.size = 0

@@ -1,0 +1,383 @@
+"""Stdlib HTTP front-end for the query engine, with backpressure.
+
+``repro serve --artifact DIR --port N`` exposes a fitted
+:class:`~repro.serving.ModelArtifact` behind three endpoints:
+
+- ``POST /predict`` — a JSON batch (``{"queries": [[...], ...]}``) or a
+  base64-encoded ``.npy`` payload (``{"queries_npy_b64": "..."}``);
+  responds with per-query labels, reference indices, distances and the
+  batch's cache-hit count;
+- ``GET /healthz`` — liveness plus the artifact's manifest summary;
+- ``GET /metrics`` — the server's :class:`~repro.observability.MetricsSink`
+  aggregates (count/mean/p50/p95/p99 per span) and the process counters,
+  as JSON.
+
+**Backpressure.** Every worker thread a request would occupy counts
+against a bounded admission gate; once ``max_inflight`` ``/predict``
+requests are in flight, further ones are *shed* immediately with
+``503 Service Unavailable`` + a ``Retry-After`` header instead of
+queueing without bound. Shedding is deliberate load-loss, never
+wrong answers: admitted requests always run to completion, and the
+gate is released only after the response is written.
+
+**Observability.** Each request is wrapped in a ``serve.request`` span
+(attrs: path, status, shed) and predictions additionally emit the
+engine's ``serve.predict`` span and ``serve.cache.hit/miss`` counters —
+all captured by the server-owned metrics sink that ``/metrics`` renders.
+
+**Graceful shutdown.** ``serve_forever(install_signal_handlers=True)``
+converts SIGTERM/SIGINT into a graceful stop: the accept loop exits, and
+``server_close`` joins the non-daemon worker threads so every in-flight
+request is flushed before the process exits.
+"""
+
+from __future__ import annotations
+
+import base64
+import io
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import ReproError, ServingError
+from ..observability import MetricsSink, get_bus
+from .engine import QueryEngine
+
+#: Default bound on concurrent ``/predict`` requests.
+DEFAULT_MAX_INFLIGHT = 32
+
+#: Default ``Retry-After`` seconds suggested to shed clients.
+DEFAULT_RETRY_AFTER = 1.0
+
+#: Largest request body accepted, in bytes (a batch of ~4k queries of
+#: length 512 as JSON). Bigger bodies are rejected with 413.
+MAX_BODY_BYTES = 64 << 20
+
+
+class AdmissionGate:
+    """Bounded in-flight counter: admit-or-shed, never queue.
+
+    ``try_enter`` is a single lock-protected compare-and-increment, so
+    the shed decision costs nanoseconds even under overload — the whole
+    point of shedding at the door instead of timing out in a queue.
+    """
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ServingError(f"max_inflight must be >= 1, got {limit}")
+        self.limit = int(limit)
+        self._depth = 0
+        self._lock = threading.Lock()
+
+    def try_enter(self) -> bool:
+        """Admit one request unless the gate is full."""
+        with self._lock:
+            if self._depth >= self.limit:
+                return False
+            self._depth += 1
+            return True
+
+    def leave(self) -> None:
+        """Release one admitted request's slot."""
+        with self._lock:
+            self._depth -= 1
+
+    @property
+    def depth(self) -> int:
+        """Current number of admitted, unfinished requests."""
+        with self._lock:
+            return self._depth
+
+
+def _parse_queries(payload: Any) -> np.ndarray:
+    """Extract the query batch from a decoded ``/predict`` JSON body."""
+    if not isinstance(payload, dict):
+        raise ServingError("request body must be a JSON object")
+    if "queries" in payload:
+        try:
+            return np.asarray(payload["queries"], dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise ServingError(f"'queries' is not numeric: {exc}") from exc
+    if "queries_npy_b64" in payload:
+        try:
+            raw = base64.b64decode(payload["queries_npy_b64"], validate=True)
+            return np.asarray(
+                np.load(io.BytesIO(raw), allow_pickle=False),
+                dtype=np.float64,
+            )
+        except (ValueError, OSError, TypeError) as exc:
+            raise ServingError(
+                f"'queries_npy_b64' is not a base64 .npy payload: {exc}"
+            ) from exc
+    raise ServingError(
+        "request body needs a 'queries' (nested JSON list) or "
+        "'queries_npy_b64' (base64 .npy) field"
+    )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Per-request handler; all shared state lives on ``self.server``."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence the default per-request stderr chatter; the event bus
+        is the supported way to observe the server."""
+
+    def _respond(
+        self,
+        status: int,
+        payload: dict,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        server: ReproServer = self.server.repro  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        with get_bus().span("serve.request", path=path) as span:
+            if path == "/healthz":
+                status, payload = 200, {
+                    "status": "ok",
+                    "inflight": server.gate.depth,
+                    "artifact": server.engine.artifact.describe(),
+                }
+            elif path == "/metrics":
+                status, payload = 200, server.render_metrics()
+            else:
+                status, payload = 404, {"error": f"unknown path {path!r}"}
+            span.set(status=status)
+            self._respond(status, payload)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        server: ReproServer = self.server.repro  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        bus = get_bus()
+        with bus.span("serve.request", path=path) as span:
+            if path != "/predict":
+                span.set(status=404)
+                self._respond(404, {"error": f"unknown path {path!r}"})
+                return
+            if not server.gate.try_enter():
+                bus.count("serve.shed")
+                span.set(status=503, shed=True)
+                self._respond(
+                    503,
+                    {
+                        "error": "overloaded: admission queue full",
+                        "inflight": server.gate.depth,
+                        "limit": server.gate.limit,
+                    },
+                    {"Retry-After": f"{server.retry_after:g}"},
+                )
+                return
+            try:
+                status, payload = self._predict(server)
+            finally:
+                server.gate.leave()
+            span.set(status=status)
+            self._respond(status, payload)
+
+    def _predict(self, server: "ReproServer") -> tuple[int, dict]:
+        """Parse, predict, and shape the ``/predict`` response."""
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            if length <= 0:
+                raise ServingError("empty request body")
+            if length > MAX_BODY_BYTES:
+                return 413, {
+                    "error": f"body of {length} bytes exceeds the "
+                    f"{MAX_BODY_BYTES}-byte limit"
+                }
+            try:
+                payload = json.loads(self.rfile.read(length))
+            except ValueError as exc:
+                raise ServingError(f"body is not valid JSON: {exc}") from exc
+            queries = _parse_queries(payload)
+            result = server.engine.predict_detailed(queries)
+            return 200, {
+                "labels": result.labels.tolist(),
+                "indices": result.indices.tolist(),
+                "distances": result.distances.tolist(),
+                "cache_hits": result.cache_hits,
+                "batch": int(result.labels.shape[0]),
+            }
+        except ReproError as exc:
+            return 400, {"error": str(exc)}
+
+
+class _ThreadingServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer configured for graceful drains.
+
+    Worker threads are non-daemon and ``server_close`` blocks on them, so
+    a shutdown flushes every admitted request before returning — the
+    property the CI SIGTERM drill asserts.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+    # Modest accept backlog; beyond it the kernel refuses, which is the
+    # outermost (involuntary) layer of backpressure.
+    request_queue_size = 64
+
+
+class ReproServer:
+    """Owns the HTTP server, the engine, the gate and the metrics sink.
+
+    Usable three ways: ``serve_forever()`` in a foreground process (the
+    CLI), ``start_background()`` for tests and the load harness, or as a
+    context manager wrapping either.
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        retry_after: float = DEFAULT_RETRY_AFTER,
+    ):
+        self.engine = engine
+        self.gate = AdmissionGate(max_inflight)
+        self.retry_after = float(retry_after)
+        self.sink = MetricsSink(group_by=("path", "status", "route", "measure"))
+        self._httpd = _ThreadingServer((host, port), _Handler)
+        self._httpd.repro = self  # type: ignore[attr-defined]
+        self._sink_attached = False
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """Bound ``(host, port)`` — port is resolved even when 0 was asked."""
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def _attach_sink(self) -> None:
+        if not self._sink_attached:
+            get_bus().attach(self.sink)
+            self._sink_attached = True
+
+    def _detach_sink(self) -> None:
+        if self._sink_attached:
+            get_bus().detach(self.sink)
+            self._sink_attached = False
+
+    def serve_forever(self, *, install_signal_handlers: bool = False) -> None:
+        """Run the accept loop in the calling thread until shutdown.
+
+        With ``install_signal_handlers=True`` (CLI foreground mode),
+        SIGTERM and SIGINT trigger a graceful stop: no new connections,
+        in-flight requests flushed, then this method returns.
+        """
+        self._attach_sink()
+        previous: dict[int, Any] = {}
+        if install_signal_handlers:
+            def _stop(signum: int, frame: Any) -> None:
+                # shutdown() blocks until the accept loop exits, so it
+                # must run off the loop's own thread.
+                threading.Thread(
+                    target=self._httpd.shutdown, daemon=True
+                ).start()
+
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                previous[signum] = signal.signal(signum, _stop)
+        try:
+            self._httpd.serve_forever(poll_interval=0.05)
+        finally:
+            self._httpd.server_close()  # joins in-flight worker threads
+            self._detach_sink()
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+
+    def start_background(self) -> "ReproServer":
+        """Serve from a daemon thread; returns self once accepting."""
+        if self._thread is not None:
+            raise ServingError("server already started")
+        self._attach_sink()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Graceful stop from any thread: drain in-flight, then return."""
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()
+        self._detach_sink()
+
+    def __enter__(self) -> "ReproServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        if self._thread is not None:
+            self.shutdown()
+        return False
+
+    # -- metrics -------------------------------------------------------
+    def render_metrics(self) -> dict:
+        """The ``/metrics`` payload: sink aggregates + process counters."""
+        counters = {
+            name: value
+            for name, value in sorted(get_bus().counters().items())
+            if name.startswith("serve.")
+        }
+        return {
+            "counters": counters,
+            "inflight": self.gate.depth,
+            "cache": self.engine.cache_stats().to_dict(),
+            "metrics": self.sink.to_dicts(),
+        }
+
+
+def serve_artifact(
+    artifact_path: str,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    retry_after: float = DEFAULT_RETRY_AFTER,
+    cache_size: int | None = None,
+) -> ReproServer:
+    """Load an artifact and build a ready-to-run :class:`ReproServer`."""
+    from .artifact import ModelArtifact
+    from .engine import DEFAULT_CACHE_SIZE
+
+    artifact = ModelArtifact.load(artifact_path)
+    engine = QueryEngine(
+        artifact,
+        cache_size=DEFAULT_CACHE_SIZE if cache_size is None else cache_size,
+    )
+    return ReproServer(
+        engine,
+        host,
+        port,
+        max_inflight=max_inflight,
+        retry_after=retry_after,
+    )

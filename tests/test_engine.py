@@ -358,3 +358,50 @@ class TestTraceEquivalenceUnderFaults:
         process_spans = Counter(span_signature(e) for e in process.spans())
         assert serial_spans == process_spans
         assert serial.counters() == process.counters()
+
+
+class TestContentKeyCanonicalization:
+    """Regression: hashing must see values, not memory layout or dtype.
+
+    Serving-artifact fingerprints are built on `content_key`, so a
+    reference set materialized as a transposed view, a Fortran-ordered
+    copy or a narrower float dtype must key identically to its
+    C-contiguous float64 twin.
+    """
+
+    def test_layout_invariant(self):
+        rng = np.random.default_rng(7)
+        A = rng.standard_normal((6, 9))
+        base = content_key({}, [A])
+        assert base == content_key({}, [A.T.T])
+        assert base == content_key({}, [np.asfortranarray(A)])
+        assert base == content_key({}, [A[::-1][::-1]])
+        strided = A[:, ::2]
+        assert content_key({}, [strided]) == content_key(
+            {}, [np.ascontiguousarray(strided)]
+        )
+
+    def test_dtype_invariant_for_exact_values(self):
+        ints = np.arange(24).reshape(4, 6)  # exactly representable
+        base = content_key({}, [ints])
+        assert base == content_key({}, [ints.astype(np.float32)])
+        assert base == content_key({}, [ints.astype(np.float64)])
+
+    def test_shape_and_values_still_distinguish(self):
+        A = np.arange(12.0).reshape(3, 4)
+        assert content_key({}, [A]) != content_key({}, [A.reshape(4, 3)])
+        B = A.copy()
+        B[0, 0] += 1e-9
+        assert content_key({}, [A]) != content_key({}, [B])
+
+    def test_dataset_fingerprint_survives_views(self, setup):
+        _, datasets = setup
+        ds = datasets[0]
+        viewed = type(ds)(
+            name=ds.name,
+            train_X=ds.train_X.T.copy().T,
+            train_y=ds.train_y,
+            test_X=np.asfortranarray(ds.test_X),
+            test_y=ds.test_y,
+        )
+        assert dataset_fingerprint(viewed) == dataset_fingerprint(ds)

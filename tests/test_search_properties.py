@@ -12,7 +12,7 @@ from hypothesis import strategies as st
 
 from repro.distances.elastic import dtw
 from repro.normalization import zscore
-from repro.search import cascade_nn_search, mass, matrix_profile
+from repro.search import candidate_envelopes, cascade_nn_search, mass, matrix_profile
 
 
 @st.composite
@@ -35,6 +35,29 @@ class TestCascadeExactness:
         # Ties may resolve to different-but-equidistant candidates.
         assert dist == pytest.approx(best)
         assert exhaustive[idx] == pytest.approx(best)
+
+    @given(corpora(), st.sampled_from([0.0, 10.0, 100.0]))
+    @settings(max_examples=25, deadline=None)
+    def test_precomputed_envelopes_stay_exact(self, data, delta):
+        """The serving path (candidate envelopes amortized across
+        queries) must return the same exact nearest neighbor as the
+        per-query-envelope path."""
+        corpus, query = data
+        envs = candidate_envelopes(corpus, delta)
+        assert envs.shape == (corpus.shape[0], 2, corpus.shape[1])
+        idx, dist, _ = cascade_nn_search(query, corpus, delta, envelopes=envs)
+        exhaustive = [dtw(query, c, delta) for c in corpus]
+        assert dist == pytest.approx(min(exhaustive))
+        assert exhaustive[idx] == pytest.approx(min(exhaustive))
+
+    def test_envelope_shape_mismatch_rejected(self):
+        rng = np.random.default_rng(0)
+        corpus = rng.normal(size=(4, 16))
+        with pytest.raises(ValueError, match="envelopes"):
+            cascade_nn_search(
+                rng.normal(size=16), corpus, 10.0,
+                envelopes=np.zeros((4, 2, 8)),
+            )
 
 
 class TestMassOracle:

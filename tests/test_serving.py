@@ -1,0 +1,470 @@
+"""Tests for the online query-serving subsystem (repro.serving).
+
+Covers the three layers and their contracts:
+
+- **artifacts**: fit/save/load round-trips, fingerprint stability, and
+  integrity refusal on tampered bytes;
+- **engine**: online predictions bitwise-identical to the offline
+  ``one_nn_predict`` path for all three measure families, LRU cache
+  semantics, and 8-thread concurrency determinism;
+- **server**: endpoint behavior, malformed-request handling, 503 load
+  shedding with zero wrong answers on admitted requests, metrics
+  exposure, and graceful shutdown flushing in-flight requests.
+"""
+
+from __future__ import annotations
+
+import base64
+import io
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.classification.one_nn import one_nn_predict
+from repro.datasets import default_archive
+from repro.distances import get_measure
+from repro.exceptions import ArtifactError, ServingError
+from repro.normalization import get_normalizer
+from repro.serving import (
+    ARTIFACT_SCHEMA,
+    AdmissionGate,
+    ModelArtifact,
+    QueryEngine,
+    ReproServer,
+)
+
+#: (measure, normalization, params) triples spanning every engine route:
+#: lock-step matrix kernel, sliding precomputed-FFT, banded-DTW cascade,
+#: and the generic matrix fallback used by the other elastic measures.
+FAMILY_CASES = [
+    ("euclidean", "zscore", None),
+    ("nccc", "zscore", None),
+    ("dtw", "zscore", {"delta": 10.0}),
+    ("msm", None, {"c": 0.5}),
+]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return default_archive(n_datasets=4, size_scale=0.4, seed=3).subset(1)[0]
+
+
+@pytest.fixture(scope="module")
+def nccc_artifact(dataset):
+    return ModelArtifact.fit_dataset(
+        dataset, measure="nccc", normalization="zscore"
+    )
+
+
+def offline_labels(artifact: ModelArtifact, queries: np.ndarray) -> np.ndarray:
+    """The offline reference path: normalize, full matrix, Algorithm 1."""
+    if artifact.normalization is not None:
+        queries = get_normalizer(artifact.normalization).apply_dataset(queries)
+    E = get_measure(artifact.measure).pairwise(
+        queries, artifact.train_X, **artifact.params
+    )
+    return one_nn_predict(E, artifact.train_y)
+
+
+def post_json(url: str, payload: dict, timeout: float = 10.0):
+    """POST helper returning ``(status, decoded_body)`` without raising."""
+    req = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+class TestModelArtifact:
+    def test_roundtrip_preserves_everything(self, dataset, tmp_path):
+        art = ModelArtifact.fit_dataset(
+            dataset, measure="nccc", normalization="zscore"
+        )
+        art.save(tmp_path / "a")
+        loaded = ModelArtifact.load(tmp_path / "a")
+        assert loaded.fingerprint == art.fingerprint
+        assert loaded.measure == "nccc"
+        assert loaded.normalization == "zscore"
+        np.testing.assert_array_equal(loaded.train_X, art.train_X)
+        np.testing.assert_array_equal(loaded.train_y, art.train_y)
+        assert set(loaded.precomputed) == set(art.precomputed)
+        for name in art.precomputed:
+            np.testing.assert_array_equal(
+                loaded.precomputed[name], art.precomputed[name]
+            )
+
+    def test_fingerprint_is_config_and_data_sensitive(self, dataset):
+        base = ModelArtifact.fit_dataset(dataset, measure="nccc")
+        assert base.fingerprint == ModelArtifact.fit_dataset(
+            dataset, measure="nccc"
+        ).fingerprint
+        assert base.fingerprint != ModelArtifact.fit_dataset(
+            dataset, measure="euclidean"
+        ).fingerprint
+        assert base.fingerprint != ModelArtifact.fit_dataset(
+            dataset, measure="nccc", normalization="zscore"
+        ).fingerprint
+        perturbed = dataset.train_X.copy()
+        perturbed[0, 0] += 1.0
+        assert base.fingerprint != ModelArtifact.fit(
+            perturbed, dataset.train_y, measure="nccc"
+        ).fingerprint
+
+    def test_precomputations_per_family(self, dataset):
+        sliding = ModelArtifact.fit_dataset(dataset, measure="nccc")
+        assert set(sliding.precomputed) == {
+            "sliding_fft_conj", "sliding_norms",
+        }
+        elastic = ModelArtifact.fit_dataset(
+            dataset, measure="dtw", params={"delta": 10.0}
+        )
+        assert set(elastic.precomputed) == {"envelopes"}
+        assert elastic.precomputed["envelopes"].shape == (
+            dataset.train_X.shape[0], 2, dataset.train_X.shape[1],
+        )
+        lockstep = ModelArtifact.fit_dataset(dataset, measure="euclidean")
+        assert lockstep.precomputed == {}
+
+    def test_pairwise_normalization_rejected(self, dataset):
+        with pytest.raises(ArtifactError, match="pairwise"):
+            ModelArtifact.fit_dataset(
+                dataset, measure="euclidean", normalization="adaptive"
+            )
+
+    def test_tampered_arrays_refused(self, dataset, tmp_path):
+        art = ModelArtifact.fit_dataset(dataset, measure="euclidean")
+        path = art.save(tmp_path / "a")
+        with np.load(path / "arrays.npz") as bundle:
+            arrays = {name: bundle[name] for name in bundle.files}
+        arrays["train_X"][0, 0] += 1.0
+        np.savez(path / "arrays.npz", **arrays)
+        with pytest.raises(ArtifactError, match="integrity"):
+            ModelArtifact.load(path)
+
+    def test_tampered_manifest_refused(self, dataset, tmp_path):
+        art = ModelArtifact.fit_dataset(dataset, measure="euclidean")
+        path = art.save(tmp_path / "a")
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["params"] = {"bogus": 1.0}
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="fingerprint"):
+            ModelArtifact.load(path)
+
+    def test_schema_and_missing_files_refused(self, dataset, tmp_path):
+        with pytest.raises(ArtifactError, match="not an artifact"):
+            ModelArtifact.load(tmp_path / "nope")
+        art = ModelArtifact.fit_dataset(dataset, measure="euclidean")
+        path = art.save(tmp_path / "a")
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["schema"] = "repro.artifact/999"
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="schema"):
+            ModelArtifact.load(path)
+        assert ARTIFACT_SCHEMA == "repro.artifact/1"
+
+
+class TestQueryEngine:
+    @pytest.mark.parametrize("measure,norm,params", FAMILY_CASES)
+    def test_online_equals_offline_bitwise(
+        self, dataset, tmp_path, measure, norm, params
+    ):
+        art = ModelArtifact.fit_dataset(
+            dataset, measure=measure, normalization=norm, params=params
+        )
+        # Through a save/load cycle, as production would run it.
+        art.save(tmp_path / measure)
+        engine = QueryEngine(ModelArtifact.load(tmp_path / measure))
+        online = engine.predict(dataset.test_X)
+        np.testing.assert_array_equal(
+            online, offline_labels(art, dataset.test_X)
+        )
+
+    def test_routes(self, dataset):
+        def route(measure, **kw):
+            return QueryEngine(
+                ModelArtifact.fit_dataset(dataset, measure=measure, **kw)
+            ).route
+
+        assert route("euclidean") == "matrix"
+        assert route("nccc") == "sliding"
+        assert route("dtw", params={"delta": 10.0}) == "cascade"
+        assert route("msm") == "matrix"
+
+    def test_cascade_toggle_agrees(self, dataset):
+        art = ModelArtifact.fit_dataset(
+            dataset, measure="dtw", normalization="zscore",
+            params={"delta": 10.0},
+        )
+        with_cascade = QueryEngine(art, use_cascade=True)
+        without = QueryEngine(art, use_cascade=False)
+        detailed = with_cascade.predict_detailed(dataset.test_X)
+        np.testing.assert_array_equal(
+            detailed.labels, without.predict(dataset.test_X)
+        )
+        # The cascade must actually have pruned something on smooth data.
+        assert detailed.pruned > 0
+
+    def test_query_shape_validated(self, nccc_artifact):
+        engine = QueryEngine(nccc_artifact)
+        with pytest.raises(ServingError, match="length"):
+            engine.predict(np.zeros(7))
+
+    def test_cache_hits_and_eviction(self, dataset, nccc_artifact):
+        engine = QueryEngine(nccc_artifact, cache_size=4)
+        batch = dataset.test_X[:3]
+        first = engine.predict_detailed(batch)
+        assert first.cache_hits == 0
+        second = engine.predict_detailed(batch)
+        assert second.cache_hits == 3
+        np.testing.assert_array_equal(first.labels, second.labels)
+        np.testing.assert_array_equal(first.distances, second.distances)
+        stats = engine.cache_stats()
+        assert stats.hits == 3 and stats.misses == 3 and stats.size == 3
+        # Overflow the 4-entry cache: oldest entries evict, size bounded.
+        engine.predict(dataset.test_X[3:9])
+        stats = engine.cache_stats()
+        assert stats.size == 4
+        assert stats.evictions > 0
+
+    def test_cache_disabled(self, dataset, nccc_artifact):
+        engine = QueryEngine(nccc_artifact, cache_size=0)
+        engine.predict(dataset.test_X[:2])
+        engine.predict(dataset.test_X[:2])
+        stats = engine.cache_stats()
+        assert stats.hits == 0 and stats.size == 0 and stats.capacity == 0
+
+    def test_single_series_query(self, dataset, nccc_artifact):
+        engine = QueryEngine(nccc_artifact)
+        label = engine.predict(dataset.test_X[0])
+        assert label.shape == (1,)
+        np.testing.assert_array_equal(
+            label, offline_labels(nccc_artifact, dataset.test_X[:1])
+        )
+
+
+class TestConcurrency:
+    @pytest.mark.parametrize("measure,norm,params", FAMILY_CASES[:3])
+    def test_8_threads_bitwise_equal_serial(
+        self, dataset, measure, norm, params
+    ):
+        art = ModelArtifact.fit_dataset(
+            dataset, measure=measure, normalization=norm, params=params
+        )
+        serial = QueryEngine(art, cache_size=64).predict(dataset.test_X)
+        engine = QueryEngine(art, cache_size=64)
+        # 8 threads x 4 rounds over overlapping slices: plenty of cache
+        # races, identical answers required.
+        slices = [
+            dataset.test_X[i % dataset.test_X.shape[0]:][:5]
+            for i in range(32)
+        ]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(engine.predict, slices))
+        for q, labels in zip(slices, results):
+            offset = next(
+                i for i in range(dataset.test_X.shape[0])
+                if np.array_equal(dataset.test_X[i], q[0])
+            )
+            np.testing.assert_array_equal(
+                labels, serial[offset:offset + q.shape[0]]
+            )
+
+    def test_cache_counters_consistent_under_race(self, dataset, nccc_artifact):
+        engine = QueryEngine(nccc_artifact, cache_size=1024)
+        batch = dataset.test_X[:6]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(
+                pool.map(lambda _: engine.predict_detailed(batch), range(16))
+            )
+        for result in results[1:]:
+            np.testing.assert_array_equal(results[0].labels, result.labels)
+            np.testing.assert_array_equal(
+                results[0].distances, result.distances
+            )
+        stats = engine.cache_stats()
+        # Every query was either a hit or a miss, nothing lost or
+        # double-counted even when threads raced on the same keys.
+        assert stats.hits + stats.misses == 16 * 6
+        assert stats.misses >= 6  # at least the first computation
+        assert stats.size == 6
+
+
+class TestAdmissionGate:
+    def test_admit_and_release(self):
+        gate = AdmissionGate(2)
+        assert gate.try_enter() and gate.try_enter()
+        assert not gate.try_enter()
+        gate.leave()
+        assert gate.depth == 1
+        assert gate.try_enter()
+
+    def test_invalid_limit(self):
+        with pytest.raises(ServingError):
+            AdmissionGate(0)
+
+
+@pytest.fixture()
+def live_server(dataset, nccc_artifact):
+    engine = QueryEngine(nccc_artifact)
+    server = ReproServer(engine, port=0, max_inflight=4, retry_after=0.5)
+    server.start_background()
+    yield server, engine
+    if server._thread is not None:
+        server.shutdown()
+
+
+class TestServer:
+    def test_predict_json(self, dataset, live_server):
+        server, engine = live_server
+        status, body, _ = post_json(
+            server.url + "/predict",
+            {"queries": dataset.test_X[:4].tolist()},
+        )
+        assert status == 200
+        expected = offline_labels(engine.artifact, dataset.test_X[:4])
+        assert body["labels"] == expected.tolist()
+        assert body["batch"] == 4
+        assert len(body["indices"]) == len(body["distances"]) == 4
+
+    def test_predict_npy_b64(self, dataset, live_server):
+        server, engine = live_server
+        buf = io.BytesIO()
+        np.save(buf, dataset.test_X[:3])
+        status, body, _ = post_json(
+            server.url + "/predict",
+            {"queries_npy_b64": base64.b64encode(buf.getvalue()).decode()},
+        )
+        assert status == 200
+        expected = offline_labels(engine.artifact, dataset.test_X[:3])
+        assert body["labels"] == expected.tolist()
+
+    def test_healthz(self, live_server):
+        server, engine = live_server
+        with urllib.request.urlopen(server.url + "/healthz", timeout=10) as r:
+            body = json.loads(r.read())
+        assert body["status"] == "ok"
+        assert body["artifact"]["fingerprint"] == engine.artifact.fingerprint
+        assert body["artifact"]["measure"] == "nccc"
+
+    def test_metrics_reports_request_percentiles(self, dataset, live_server):
+        server, _ = live_server
+        for _ in range(3):
+            post_json(
+                server.url + "/predict",
+                {"queries": dataset.test_X[:2].tolist()},
+            )
+        with urllib.request.urlopen(server.url + "/metrics", timeout=10) as r:
+            body = json.loads(r.read())
+        requests = [
+            rec for rec in body["metrics"] if rec["name"] == "serve.request"
+        ]
+        assert sum(rec["aggregate"]["count"] for rec in requests) >= 3
+        assert max(rec["aggregate"]["p95"] for rec in requests) > 0.0
+        predicts = [
+            rec for rec in body["metrics"] if rec["name"] == "serve.predict"
+        ]
+        assert predicts and all(
+            rec["attrs"].get("measure") == "nccc" for rec in predicts
+        )
+        assert body["cache"]["capacity"] > 0
+
+    def test_bad_requests(self, live_server):
+        server, _ = live_server
+        status, body, _ = post_json(server.url + "/predict", {"nope": 1})
+        assert status == 400 and "queries" in body["error"]
+        status, body, _ = post_json(
+            server.url + "/predict", {"queries": [["x"]]}
+        )
+        assert status == 400
+        status, body, _ = post_json(server.url + "/nothing", {"queries": []})
+        assert status == 404
+
+    def test_overload_sheds_with_503_and_no_wrong_answers(
+        self, dataset, nccc_artifact
+    ):
+        engine = QueryEngine(nccc_artifact, cache_size=0)
+        server = ReproServer(engine, port=0, max_inflight=1, retry_after=2.0)
+        entered, release = threading.Event(), threading.Event()
+        inner = engine.predict_detailed
+
+        def slow_predict(queries):
+            entered.set()
+            assert release.wait(10.0)
+            return inner(queries)
+
+        engine.predict_detailed = slow_predict  # type: ignore[method-assign]
+        expected = offline_labels(nccc_artifact, dataset.test_X[:2])
+        with server.start_background():
+            first: dict = {}
+
+            def admitted_request():
+                first["response"] = post_json(
+                    server.url + "/predict",
+                    {"queries": dataset.test_X[:2].tolist()},
+                )
+
+            thread = threading.Thread(target=admitted_request)
+            thread.start()
+            assert entered.wait(10.0)
+            # Gate full: the second request must shed immediately.
+            status, body, headers = post_json(
+                server.url + "/predict",
+                {"queries": dataset.test_X[:2].tolist()},
+            )
+            assert status == 503
+            assert headers.get("Retry-After") == "2"
+            assert body["limit"] == 1
+            release.set()
+            thread.join(timeout=10.0)
+        status, body, _ = first["response"]
+        assert status == 200
+        assert body["labels"] == expected.tolist()
+
+    def test_graceful_shutdown_flushes_inflight(self, dataset, nccc_artifact):
+        engine = QueryEngine(nccc_artifact, cache_size=0)
+        server = ReproServer(engine, port=0, max_inflight=4)
+        entered, release = threading.Event(), threading.Event()
+        inner = engine.predict_detailed
+
+        def slow_predict(queries):
+            entered.set()
+            assert release.wait(10.0)
+            return inner(queries)
+
+        engine.predict_detailed = slow_predict  # type: ignore[method-assign]
+        server.start_background()
+        result: dict = {}
+
+        def inflight_request():
+            result["response"] = post_json(
+                server.url + "/predict",
+                {"queries": dataset.test_X[:1].tolist()},
+            )
+
+        request_thread = threading.Thread(target=inflight_request)
+        request_thread.start()
+        assert entered.wait(10.0)
+        shutdown_thread = threading.Thread(target=server.shutdown)
+        shutdown_thread.start()
+        # Shutdown must block on the in-flight request, not abort it.
+        shutdown_thread.join(timeout=0.3)
+        assert shutdown_thread.is_alive()
+        release.set()
+        request_thread.join(timeout=10.0)
+        shutdown_thread.join(timeout=10.0)
+        assert not shutdown_thread.is_alive()
+        status, body, _ = result["response"]
+        assert status == 200
+        assert body["labels"] == offline_labels(
+            nccc_artifact, dataset.test_X[:1]
+        ).tolist()
