@@ -1,0 +1,80 @@
+"""Compiled-vs-reference speedup of the backend-tiered DP measures.
+
+For each measure carrying a compiled tier (DTW, MSM, TWE, ERP, GAK,
+KDTW) this bench times the pairwise matrix path under
+``backend="reference"`` and ``backend="compiled"`` on the same pinned
+inputs, checks the answers agree (bitwise for the elastic four, to
+1e-9 relative for the exp/log-based kernel measures), and asserts the
+compiled tier is at least :data:`MIN_SPEEDUP` times faster — the
+acceptance criterion the backend registry exists to deliver.
+
+Skips cleanly when numba is not installed: the speedup claim is only
+verifiable where a compiled tier can actually run.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.distances import (
+    compiled_measures,
+    get_measure,
+    numba_status,
+    warm_backends,
+)
+
+#: Required compiled/reference latency ratio on the matrix path.
+MIN_SPEEDUP = 10.0
+
+#: Pinned workload shape: pairs = N_X * N_Y DP matrices of LENGTH^2 cells.
+N_X = 10
+N_Y = 10
+LENGTH = 100
+
+#: Measures whose tiers agree bitwise (IEEE-exact ops only); the kernel
+#: measures use exp/log and are compared to 1e-9 relative instead.
+BITWISE = {"dtw", "msm", "twe", "erp"}
+
+
+def _workload():
+    rng = np.random.default_rng(20200607)
+    return (
+        rng.standard_normal((N_X, LENGTH)),
+        rng.standard_normal((N_Y, LENGTH)),
+    )
+
+
+def _time_pairwise(measure, X, Y, backend: str) -> tuple[float, np.ndarray]:
+    start = time.perf_counter()
+    out = measure.pairwise(X, Y, backend=backend)
+    return time.perf_counter() - start, out
+
+
+@pytest.mark.skipif(
+    not numba_status()[0],
+    reason="numba not installed; compiled tier cannot run here",
+)
+@pytest.mark.parametrize("name", sorted(compiled_measures()))
+def test_compiled_speedup(name, save_result):
+    """Compiled tier >= MIN_SPEEDUP x faster, answers parity-checked."""
+    warm_backends([name], strict=True)  # JIT outside the timed region
+    measure = get_measure(name)
+    X, Y = _workload()
+    ref_seconds, ref = _time_pairwise(measure, X, Y, "reference")
+    jit_seconds, jit = _time_pairwise(measure, X, Y, "compiled")
+    if name in BITWISE:
+        np.testing.assert_array_equal(jit, ref)
+    else:
+        np.testing.assert_allclose(jit, ref, rtol=1e-9, atol=1e-12)
+    speedup = ref_seconds / jit_seconds if jit_seconds > 0 else float("inf")
+    save_result(
+        f"backend_speedup_{name}",
+        f"{name}: reference {ref_seconds * 1e3:.1f} ms, compiled "
+        f"{jit_seconds * 1e3:.1f} ms -> {speedup:.1f}x "
+        f"({N_X}x{N_Y} pairs, length {LENGTH})",
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"{name}: compiled tier only {speedup:.1f}x faster than reference "
+        f"(need >= {MIN_SPEEDUP}x)"
+    )

@@ -4,7 +4,10 @@ Time-Series Distance Measures" (Paparrizos et al., SIGMOD 2020).
 The package implements the paper's full measurement apparatus:
 
 - 71 distance measures in five categories (:mod:`repro.distances`,
-  :mod:`repro.embeddings`);
+  :mod:`repro.embeddings`), each elastic/kernel DP measure carrying a
+  tiered implementation backend (numpy reference + optional numba
+  compiled kernels) selected via ``backend="auto"|"compiled"|"reference"``
+  or ambiently with :func:`use_backend`;
 - 8 normalization methods (:mod:`repro.normalization`);
 - the 1-NN evaluation framework with supervised/unsupervised tuning
   (:mod:`repro.classification`, :mod:`repro.evaluation`) behind one
@@ -43,12 +46,17 @@ from .classification.kernel_classifier import KernelRidgeClassifier
 from .clustering import adjusted_rand_index, kmedoids, kshape
 from .datasets import Dataset, default_archive, generate_dataset, load_ucr
 from .distances import (
+    BackendFallbackWarning,
+    BackendMismatchWarning,
     describe_measure,
     distance,
     get_measure,
     iter_measures,
     list_measures,
+    measure_backends,
     pairwise_distances,
+    use_backend,
+    warm_backends,
 )
 from .embeddings import get_embedding, list_embeddings
 from .evaluation import (
@@ -59,7 +67,13 @@ from .evaluation import (
     compare_to_baseline,
     run_sweep,
 )
-from .exceptions import ArtifactError, CellFailure, ReproError, ServingError
+from .exceptions import (
+    ArtifactError,
+    BackendUnavailableError,
+    CellFailure,
+    ReproError,
+    ServingError,
+)
 from .normalization import get_normalizer, list_normalizers, normalize
 from .serving import ModelArtifact, QueryEngine, ReproServer
 from .observability import (
@@ -89,6 +103,13 @@ __all__ = [
     "describe_measure",
     "list_measures",
     "iter_measures",
+    # backends
+    "use_backend",
+    "warm_backends",
+    "measure_backends",
+    "BackendUnavailableError",
+    "BackendFallbackWarning",
+    "BackendMismatchWarning",
     # normalization
     "normalize",
     "get_normalizer",

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from .._validation import EPS, as_dataset
+from ..distances.backends import active_backend, resolve_backend
 from ..distances.base import DistanceMeasure, get_measure
 from ..normalization import Normalizer, get_normalizer
 from ..observability import get_bus
@@ -23,6 +24,8 @@ def dissimilarity_matrix(
     X,
     Y=None,
     normalization: str | Normalizer | None = None,
+    *,
+    backend: str | None = None,
     **params: float,
 ) -> np.ndarray:
     """``D[i, j] = d(norm(X[i]), norm(Y[j]))`` for a named measure.
@@ -30,9 +33,14 @@ def dissimilarity_matrix(
     ``Y=None`` produces the self-distance matrix ``W``; otherwise the
     test-vs-train matrix ``E`` (paper Section 3 notation).
 
+    ``backend`` selects the implementation tier (``"auto"`` /
+    ``"compiled"`` / ``"reference"``; ``None`` defers to the ambient
+    policy installed by :func:`repro.distances.use_backend`).
+
     Every call emits a ``matrix.compute`` span carrying the measure,
-    matrix kind, normalization, shape and resolved parameters — the
-    finest-grained level of the evaluation trace.
+    matrix kind, normalization, shape, resolved parameters and the
+    active implementation backend — the finest-grained level of the
+    evaluation trace.
     """
     measure = get_measure(measure)
     norm = None if normalization is None else get_normalizer(normalization)
@@ -44,14 +52,17 @@ def dissimilarity_matrix(
         n_x=len(X),
         n_y=len(X) if Y is None else len(Y),
         params=measure.resolve_params(params),
+        backend=active_backend(measure, backend),
     ):
         if norm is None:
-            return measure.pairwise(X, Y, **params)
+            return measure.pairwise(X, Y, backend=backend, **params)
         if not norm.is_pairwise:
             Xn = norm.apply_dataset(as_dataset(X))
             Yn = None if Y is None else norm.apply_dataset(as_dataset(Y))
-            return measure.pairwise(Xn, Yn, **params)
-        return _pairwise_normalized(measure, norm, X, Y, **params)
+            return measure.pairwise(Xn, Yn, backend=backend, **params)
+        return _pairwise_normalized(
+            measure, norm, X, Y, backend=backend, **params
+        )
 
 
 def _pairwise_normalized(
@@ -59,12 +70,15 @@ def _pairwise_normalized(
     norm: Normalizer,
     X,
     Y=None,
+    *,
+    backend: str | None = None,
     **params: float,
 ) -> np.ndarray:
     """Per-pair normalization path (AdaptiveScaling)."""
     Xa = as_dataset(X)
     Ya = Xa if Y is None else as_dataset(Y)
     resolved = measure.resolve_params(params)
+    impl = resolve_backend(measure, backend)
     out = np.empty((Xa.shape[0], Ya.shape[0]), dtype=np.float64)
     for i in range(Xa.shape[0]):
         xi = Xa[i]
@@ -73,7 +87,7 @@ def _pairwise_normalized(
             if measure.requires_nonnegative:
                 a = np.maximum(a, EPS)
                 b = np.maximum(b, EPS)
-            out[i, j] = measure.func(a, b, **resolved)
+            out[i, j] = impl.func(a, b, **resolved)
     return out
 
 

@@ -3,6 +3,8 @@
 Subcommands mirror what a practitioner reproducing the paper needs:
 
 - ``measures``  — list registered measures (filter by category/family);
+- ``backends``  — per-measure implementation-backend status (compiled
+  tier availability, JIT warm/cold state, numba presence);
 - ``normalizations`` — list the 8 normalization methods;
 - ``archive``   — describe the dataset archive (synthetic or real UCR);
 - ``evaluate``  — 1-NN accuracy of measures on archive datasets;
@@ -94,6 +96,13 @@ def _add_execution_args(parser: argparse.ArgumentParser) -> None:
         "--cell-timeout", type=float, default=None, metavar="S",
         help="per-attempt wall-clock budget in seconds",
     )
+    parser.add_argument(
+        "--backend", choices=["auto", "compiled", "reference"],
+        default="auto",
+        help="distance implementation tier (auto prefers compiled "
+        "kernels where usable; compiled requires them; reference "
+        "forces the numpy implementations)",
+    )
 
 
 def _sweep_config(
@@ -108,6 +117,7 @@ def _sweep_config(
         cell_timeout=getattr(args, "cell_timeout", None),
         checkpoint=getattr(args, "checkpoint", None),
         resume=getattr(args, "resume", False),
+        backend=getattr(args, "backend", "auto"),
     )
 
 
@@ -138,6 +148,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_measures.add_argument(
         "--family", default=None, help="filter by survey family"
+    )
+
+    sub.add_parser(
+        "backends",
+        help="per-measure implementation-backend status (compiled tiers)",
     )
 
     sub.add_parser("normalizations", help="list the 8 normalization methods")
@@ -249,6 +264,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="measure parameter override (repeatable); defaults to the "
         "paper's unsupervised parameters",
     )
+    p_fit.add_argument(
+        "--backend", choices=["auto", "compiled", "reference"],
+        default="auto",
+        help="implementation tier to fit (and record in the manifest as "
+        "the tier the artifact was validated against)",
+    )
 
     p_serve = sub.add_parser(
         "serve", help="serve online 1-NN queries over a fitted artifact"
@@ -270,6 +291,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--cache-size", type=int, default=None, metavar="N",
         help="LRU query-cache entries (0 disables; default 1024)",
+    )
+    p_serve.add_argument(
+        "--backend", choices=["auto", "compiled", "reference"],
+        default="auto",
+        help="implementation tier for the serving matrix route "
+        "(compiled kernels are JIT-warmed before the first request)",
     )
     _add_observability_args(p_serve)
     return parser
@@ -303,6 +330,14 @@ def cmd_measures(args: argparse.Namespace) -> int:
             f"{measure.complexity:<12} {measure.description}"
         )
     print(f"({len(names)} measures)")
+    return 0
+
+
+def cmd_backends(_: argparse.Namespace) -> int:
+    """Show per-measure implementation-backend status."""
+    from .reporting import format_backend_table
+
+    print(format_backend_table())
     return 0
 
 
@@ -445,18 +480,22 @@ def cmd_fit(args: argparse.Namespace) -> int:
         )
         return 2
     dataset = datasets[args.dataset_index]
-    artifact = ModelArtifact.fit_dataset(
-        dataset,
-        measure=args.measure,
-        normalization=args.normalization,
-        params=params,
-    )
+    from .distances import use_backend
+
+    with use_backend(args.backend):
+        artifact = ModelArtifact.fit_dataset(
+            dataset,
+            measure=args.measure,
+            normalization=args.normalization,
+            params=params,
+        )
     artifact.save(args.out)
     info = artifact.describe()
     print(
         f"fitted {info['measure']} ({info['category']}) on "
         f"{dataset.name}: {info['n_train']} reference series of length "
-        f"{info['series_length']}, {info['n_classes']} classes"
+        f"{info['series_length']}, {info['n_classes']} classes "
+        f"[backend {info['backend']}]"
     )
     print(f"fingerprint {info['fingerprint']}")
     print(f"wrote {args.out}")
@@ -474,11 +513,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_inflight=args.max_inflight,
         retry_after=args.retry_after,
         cache_size=args.cache_size,
+        backend=args.backend,
     )
     info = server.engine.artifact.describe()
     print(
         f"serving {info['measure']} artifact {info['fingerprint'][:12]} "
         f"({info['n_train']} x {info['series_length']}) on {server.url} "
+        f"[backend {server.engine.backend}] "
         f"(max inflight {server.gate.limit})",
         file=sys.stderr,
     )
@@ -532,6 +573,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "measures": cmd_measures,
+    "backends": cmd_backends,
     "normalizations": cmd_normalizations,
     "archive": cmd_archive,
     "evaluate": cmd_evaluate,

@@ -15,6 +15,22 @@ Quick use::
 """
 
 from . import elastic, kernels, lockstep, sliding  # noqa: F401 - registration
+from .backends import (
+    BACKEND_POLICIES,
+    BackendFallbackWarning,
+    BackendMismatchWarning,
+    ResolvedBackend,
+    active_backend,
+    compiled_measures,
+    default_backend,
+    measure_backends,
+    numba_status,
+    register_compiled_backend,
+    reset_backends,
+    resolve_backend,
+    use_backend,
+    warm_backends,
+)
 from .base import (
     CATEGORIES,
     BoundMeasure,
@@ -43,6 +59,20 @@ __all__ = [
     "iter_measures",
     "register_measure",
     "category_counts",
+    "BACKEND_POLICIES",
+    "BackendFallbackWarning",
+    "BackendMismatchWarning",
+    "ResolvedBackend",
+    "active_backend",
+    "compiled_measures",
+    "default_backend",
+    "measure_backends",
+    "numba_status",
+    "register_compiled_backend",
+    "reset_backends",
+    "resolve_backend",
+    "use_backend",
+    "warm_backends",
     "lockstep",
     "sliding",
     "elastic",

@@ -1,0 +1,20 @@
+"""Compiled (JIT) kernel implementations of the DP hot-path measures.
+
+Each module here re-implements one family's dynamic-programming
+recurrences in a numba-compilable subset of Python, decorated through
+:mod:`repro.distances._jit`:
+
+- :mod:`.elastic` — DTW, MSM, TWE, ERP (paper Section 7);
+- :mod:`.kernels` — GAK, KDTW (paper Section 8).
+
+The kernels mirror the reference implementations *operation for
+operation* (same accumulation order, same rescaling points, no
+``fastmath``), so compiled and reference answers agree bitwise wherever
+float semantics allow — the parity suite in ``tests/test_backends.py``
+gates that promise across the Table 4 parameter grids.
+
+Nothing imports these modules eagerly: the backend registry
+(:mod:`repro.distances.backends`) loads them lazily the first time a
+compiled tier is resolved, so environments without numba never pay the
+import and plain ``import repro`` stays fast.
+"""

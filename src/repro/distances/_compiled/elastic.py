@@ -1,0 +1,303 @@
+"""Compiled DP kernels for the elastic measures (DTW, MSM, TWE, ERP).
+
+Every ``*_kernel`` function below is the numba-compiled twin of one
+reference recurrence in :mod:`repro.distances.elastic`, written to use
+the exact same accumulation order so the two tiers agree bitwise (these
+four measures use only ``+ - * abs min sqrt``, which are IEEE-exact).
+The ``*_pair`` / ``*_matrix`` wrappers adapt the registry's calling
+convention (percentage windows, keyword parameters) before dropping into
+the kernels; the matrix kernels ``prange`` over the independent series
+pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._jit import JIT_KWARGS, JIT_MATRIX_KWARGS, njit, prange
+from ..elastic._dp import band_width
+
+_INF = np.inf
+
+
+# ----------------------------------------------------------------------
+# DTW (Sakoe-Chiba banded; squared ground cost, rooted total)
+# ----------------------------------------------------------------------
+@njit(**JIT_KWARGS)
+def dtw_kernel(x: np.ndarray, y: np.ndarray, w: int) -> float:
+    """Banded DTW distance with a band half-width of ``w`` points."""
+    m = x.shape[0]
+    n = y.shape[0]
+    prev = np.empty(n + 1, dtype=np.float64)
+    for j in range(n + 1):
+        prev[j] = _INF
+    prev[0] = 0.0
+    for i in range(1, m + 1):
+        xi = x[i - 1]
+        cur = np.empty(n + 1, dtype=np.float64)
+        for j in range(n + 1):
+            cur[j] = _INF
+        j_lo = max(1, i - w)
+        j_hi = min(n, i + w)
+        cur_jm1 = _INF  # cur[j_lo - 1] is always untouched, i.e. inf
+        for j in range(j_lo, j_hi + 1):
+            d = xi - y[j - 1]
+            best = prev[j - 1]
+            up = prev[j]
+            if up < best:
+                best = up
+            if cur_jm1 < best:
+                best = cur_jm1
+            cur_jm1 = d * d + best
+            cur[j] = cur_jm1
+        prev = cur
+    total = prev[n]
+    if total == _INF:
+        return _INF
+    return total ** 0.5
+
+
+@njit(**JIT_MATRIX_KWARGS)
+def dtw_matrix_kernel(X: np.ndarray, Y: np.ndarray, w: int) -> np.ndarray:
+    """Pairwise banded DTW, parallel over the query series."""
+    n_x = X.shape[0]
+    n_y = Y.shape[0]
+    out = np.empty((n_x, n_y), dtype=np.float64)
+    for i in prange(n_x):
+        for j in range(n_y):
+            out[i, j] = dtw_kernel(X[i], Y[j], w)
+    return out
+
+
+def dtw_pair(x: np.ndarray, y: np.ndarray, delta: float = 10.0) -> float:
+    """Registry-facing DTW pair function (window as a length percentage).
+
+    The default ``delta`` matches the registry measure's default so the
+    kernels agree with the reference tier when called bare.
+    """
+    xs = np.ascontiguousarray(x, dtype=np.float64)
+    ys = np.ascontiguousarray(y, dtype=np.float64)
+    w = band_width(xs.shape[0], ys.shape[0], delta)
+    return float(dtw_kernel(xs, ys, w))
+
+
+def dtw_matrix(X: np.ndarray, Y: np.ndarray, delta: float = 10.0) -> np.ndarray:
+    """Registry-facing DTW matrix function."""
+    Xa = np.ascontiguousarray(X, dtype=np.float64)
+    Ya = np.ascontiguousarray(Y, dtype=np.float64)
+    w = band_width(Xa.shape[1], Ya.shape[1], delta)
+    return dtw_matrix_kernel(Xa, Ya, w)
+
+
+# ----------------------------------------------------------------------
+# MSM (move-split-merge metric)
+# ----------------------------------------------------------------------
+@njit(**JIT_KWARGS)
+def _msm_cost(new: float, left: float, right: float, c: float) -> float:
+    """Split/merge cost of *new* between neighbors *left* and *right*."""
+    if (left <= new and new <= right) or (right <= new and new <= left):
+        return c
+    a = abs(new - left)
+    b = abs(new - right)
+    if a < b:
+        return c + a
+    return c + b
+
+
+@njit(**JIT_KWARGS)
+def msm_kernel(x: np.ndarray, y: np.ndarray, c: float) -> float:
+    """MSM distance with split/merge cost ``c``."""
+    m = x.shape[0]
+    n = y.shape[0]
+    prev = np.zeros(n, dtype=np.float64)
+    prev[0] = abs(x[0] - y[0])
+    for j in range(1, n):
+        prev[j] = prev[j - 1] + _msm_cost(y[j], y[j - 1], x[0], c)
+    for i in range(1, m):
+        xi = x[i]
+        xim1 = x[i - 1]
+        cur = np.zeros(n, dtype=np.float64)
+        cur[0] = prev[0] + _msm_cost(xi, xim1, y[0], c)
+        cur_jm1 = cur[0]
+        for j in range(1, n):
+            yj = y[j]
+            move = prev[j - 1] + abs(xi - yj)
+            split = prev[j] + _msm_cost(xi, xim1, yj, c)
+            merge = cur_jm1 + _msm_cost(yj, y[j - 1], xi, c)
+            best = move
+            if split < best:
+                best = split
+            if merge < best:
+                best = merge
+            cur[j] = best
+            cur_jm1 = best
+        prev = cur
+    return prev[n - 1]
+
+
+@njit(**JIT_MATRIX_KWARGS)
+def msm_matrix_kernel(X: np.ndarray, Y: np.ndarray, c: float) -> np.ndarray:
+    """Pairwise MSM, parallel over the query series."""
+    n_x = X.shape[0]
+    n_y = Y.shape[0]
+    out = np.empty((n_x, n_y), dtype=np.float64)
+    for i in prange(n_x):
+        for j in range(n_y):
+            out[i, j] = msm_kernel(X[i], Y[j], c)
+    return out
+
+
+def msm_pair(x: np.ndarray, y: np.ndarray, c: float = 0.5) -> float:
+    """Registry-facing MSM pair function."""
+    xs = np.ascontiguousarray(x, dtype=np.float64)
+    ys = np.ascontiguousarray(y, dtype=np.float64)
+    return float(msm_kernel(xs, ys, c))
+
+
+def msm_matrix(X: np.ndarray, Y: np.ndarray, c: float = 0.5) -> np.ndarray:
+    """Registry-facing MSM matrix function."""
+    Xa = np.ascontiguousarray(X, dtype=np.float64)
+    Ya = np.ascontiguousarray(Y, dtype=np.float64)
+    return msm_matrix_kernel(Xa, Ya, c)
+
+
+# ----------------------------------------------------------------------
+# TWE (time-warp edit metric; zero-padded per Marteau's reference)
+# ----------------------------------------------------------------------
+@njit(**JIT_KWARGS)
+def twe_kernel(x: np.ndarray, y: np.ndarray, lam: float, nu: float) -> float:
+    """TWE distance with delete penalty ``lam`` and stiffness ``nu``."""
+    m = x.shape[0]
+    n = y.shape[0]
+    xs = np.empty(m + 1, dtype=np.float64)
+    xs[0] = 0.0
+    for i in range(m):
+        xs[i + 1] = x[i]
+    ys = np.empty(n + 1, dtype=np.float64)
+    ys[0] = 0.0
+    for j in range(n):
+        ys[j + 1] = y[j]
+    prev = np.empty(n + 1, dtype=np.float64)
+    for j in range(n + 1):
+        prev[j] = _INF
+    prev[0] = 0.0
+    delete_cost = nu + lam
+    for i in range(1, m + 1):
+        xi = xs[i]
+        xim1 = xs[i - 1]
+        cur = np.empty(n + 1, dtype=np.float64)
+        for j in range(n + 1):
+            cur[j] = _INF
+        cur_jm1 = _INF
+        for j in range(1, n + 1):
+            yj = ys[j]
+            match = (
+                prev[j - 1]
+                + abs(xi - yj)
+                + abs(xim1 - ys[j - 1])
+                + 2.0 * nu * abs(i - j)
+            )
+            del_x = prev[j] + abs(xi - xim1) + delete_cost
+            del_y = cur_jm1 + abs(yj - ys[j - 1]) + delete_cost
+            best = match
+            if del_x < best:
+                best = del_x
+            if del_y < best:
+                best = del_y
+            cur[j] = best
+            cur_jm1 = best
+        prev = cur
+    return prev[n]
+
+
+@njit(**JIT_MATRIX_KWARGS)
+def twe_matrix_kernel(
+    X: np.ndarray, Y: np.ndarray, lam: float, nu: float
+) -> np.ndarray:
+    """Pairwise TWE, parallel over the query series."""
+    n_x = X.shape[0]
+    n_y = Y.shape[0]
+    out = np.empty((n_x, n_y), dtype=np.float64)
+    for i in prange(n_x):
+        for j in range(n_y):
+            out[i, j] = twe_kernel(X[i], Y[j], lam, nu)
+    return out
+
+
+def twe_pair(
+    x: np.ndarray, y: np.ndarray, lam: float = 1.0, nu: float = 1e-4
+) -> float:
+    """Registry-facing TWE pair function."""
+    xs = np.ascontiguousarray(x, dtype=np.float64)
+    ys = np.ascontiguousarray(y, dtype=np.float64)
+    return float(twe_kernel(xs, ys, lam, nu))
+
+
+def twe_matrix(
+    X: np.ndarray, Y: np.ndarray, lam: float = 1.0, nu: float = 1e-4
+) -> np.ndarray:
+    """Registry-facing TWE matrix function."""
+    Xa = np.ascontiguousarray(X, dtype=np.float64)
+    Ya = np.ascontiguousarray(Y, dtype=np.float64)
+    return twe_matrix_kernel(Xa, Ya, lam, nu)
+
+
+# ----------------------------------------------------------------------
+# ERP (edit distance with real penalty; parameter-free, g = 0)
+# ----------------------------------------------------------------------
+@njit(**JIT_KWARGS)
+def erp_kernel(x: np.ndarray, y: np.ndarray, g: float) -> float:
+    """ERP distance with gap reference value ``g``."""
+    m = x.shape[0]
+    n = y.shape[0]
+    gap_y = np.empty(n, dtype=np.float64)
+    for j in range(n):
+        gap_y[j] = abs(y[j] - g)
+    prev = np.zeros(n + 1, dtype=np.float64)
+    for j in range(1, n + 1):
+        prev[j] = prev[j - 1] + gap_y[j - 1]
+    for i in range(1, m + 1):
+        xi = x[i - 1]
+        gap_xi = abs(xi - g)
+        cur = np.zeros(n + 1, dtype=np.float64)
+        cur[0] = prev[0] + gap_xi
+        cur_jm1 = cur[0]
+        for j in range(1, n + 1):
+            match = prev[j - 1] + abs(xi - y[j - 1])
+            del_x = prev[j] + gap_xi
+            del_y = cur_jm1 + gap_y[j - 1]
+            best = match
+            if del_x < best:
+                best = del_x
+            if del_y < best:
+                best = del_y
+            cur[j] = best
+            cur_jm1 = best
+        prev = cur
+    return prev[n]
+
+
+@njit(**JIT_MATRIX_KWARGS)
+def erp_matrix_kernel(X: np.ndarray, Y: np.ndarray, g: float) -> np.ndarray:
+    """Pairwise ERP, parallel over the query series."""
+    n_x = X.shape[0]
+    n_y = Y.shape[0]
+    out = np.empty((n_x, n_y), dtype=np.float64)
+    for i in prange(n_x):
+        for j in range(n_y):
+            out[i, j] = erp_kernel(X[i], Y[j], g)
+    return out
+
+
+def erp_pair(x: np.ndarray, y: np.ndarray, g: float = 0.0) -> float:
+    """Registry-facing ERP pair function."""
+    xs = np.ascontiguousarray(x, dtype=np.float64)
+    ys = np.ascontiguousarray(y, dtype=np.float64)
+    return float(erp_kernel(xs, ys, g))
+
+
+def erp_matrix(X: np.ndarray, Y: np.ndarray, g: float = 0.0) -> np.ndarray:
+    """Registry-facing ERP matrix function."""
+    Xa = np.ascontiguousarray(X, dtype=np.float64)
+    Ya = np.ascontiguousarray(Y, dtype=np.float64)
+    return erp_matrix_kernel(Xa, Ya, g)

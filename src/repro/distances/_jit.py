@@ -1,0 +1,56 @@
+"""Optional numba shim shared by every compiled kernel module.
+
+The compiled tier (:mod:`repro.distances._compiled`) is written once, in a
+numba-compilable subset of Python, and decorated through this shim:
+
+- with **numba installed**, :func:`njit` is ``numba.njit`` and
+  :func:`prange` is ``numba.prange``, so the kernels JIT-compile (lazily,
+  at first call, with an on-disk cache) and the pairwise kernels
+  parallelize across series pairs;
+- **without numba**, :func:`njit` is an identity decorator and
+  :func:`prange` is :class:`range`, so the very same functions run as
+  plain Python — slower, but byte-for-byte the same arithmetic. The
+  backend registry never *selects* this interpreted flavor (it falls back
+  to the tuned reference implementations instead); it exists so the
+  kernel logic stays importable and testable everywhere.
+
+Keeping the availability probe here, in one module, means the registry,
+the CLI status table and the tests all agree on what "numba present"
+means.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised only on numba-equipped environments
+    import numba as _numba
+    from numba import njit, prange
+
+    NUMBA_AVAILABLE = True
+    NUMBA_VERSION: str | None = getattr(_numba, "__version__", "unknown")
+except ImportError:  # numba not installed (or hidden by tests)
+    NUMBA_AVAILABLE = False
+    NUMBA_VERSION = None
+
+    prange = range
+
+    def njit(*args, **kwargs):
+        """Identity stand-in for ``numba.njit`` (supports both call styles)."""
+        if args and callable(args[0]) and not kwargs:
+            return args[0]
+
+        def decorate(func):
+            return func
+
+        return decorate
+
+
+#: Keyword arguments every compiled pair kernel is decorated with.
+#: ``cache=True`` persists compiled machine code next to the source so
+#: repeat processes skip the JIT; ``fastmath`` stays off so the compiled
+#: tier preserves IEEE semantics and can match the reference bitwise.
+JIT_KWARGS = {"cache": True}
+
+#: Keyword arguments for the pairwise (matrix) kernels: same as
+#: :data:`JIT_KWARGS` plus ``parallel=True`` so ``prange`` fans the
+#: independent (i, j) pairs out across cores.
+JIT_MATRIX_KWARGS = {"cache": True, "parallel": True}

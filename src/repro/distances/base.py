@@ -20,6 +20,7 @@ import numpy as np
 
 from .._validation import EPS, as_dataset, as_pair
 from ..exceptions import ParameterError, UnknownMeasureError
+from .backends import active_backend, measure_backends, resolve_backend
 
 PairFunc = Callable[..., float]
 MatrixFunc = Callable[..., np.ndarray]
@@ -143,20 +144,31 @@ class DistanceMeasure:
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
-    def __call__(self, x, y, **params: float) -> float:
-        """Dissimilarity between two series (validated, guarded)."""
+    def __call__(
+        self, x, y, *, backend: str | None = None, **params: float
+    ) -> float:
+        """Dissimilarity between two series (validated, guarded).
+
+        ``backend`` selects the implementation tier (``"auto"``,
+        ``"compiled"``, ``"reference"``; ``None`` defers to the ambient
+        policy — see :func:`repro.distances.use_backend`).
+        """
         xa, ya = as_pair(x, y, require_equal_length=self.equal_length_only)
         resolved = self.resolve_params(params)
         if self.requires_nonnegative:
             xa = np.maximum(xa, EPS)
             ya = np.maximum(ya, EPS)
-        return float(self.func(xa, ya, **resolved))
+        impl = resolve_backend(self, backend)
+        return float(impl.func(xa, ya, **resolved))
 
-    def pairwise(self, X, Y=None, **params: float) -> np.ndarray:
+    def pairwise(
+        self, X, Y=None, *, backend: str | None = None, **params: float
+    ) -> np.ndarray:
         """Dissimilarity matrix ``D[i, j] = d(X[i], Y[j])``.
 
         With ``Y=None`` computes the self-distance matrix of *X* (the
         paper's matrix ``W``); with test/train datasets it is matrix ``E``.
+        ``backend`` selects the implementation tier as in :meth:`__call__`.
         """
         Xa = as_dataset(X, "X")
         self_mode = Y is None
@@ -170,22 +182,25 @@ class DistanceMeasure:
         if self.requires_nonnegative:
             Xa = np.maximum(Xa, EPS)
             Ya = Xa if self_mode else np.maximum(Ya, EPS)
-        if self.matrix_func is not None:
+        impl = resolve_backend(self, backend)
+        if impl.matrix_func is not None:
             return np.asarray(
-                self.matrix_func(Xa, Ya, **resolved), dtype=np.float64
+                impl.matrix_func(Xa, Ya, **resolved), dtype=np.float64
             )
         n_x, n_y = Xa.shape[0], Ya.shape[0]
         out = np.empty((n_x, n_y), dtype=np.float64)
         if self_mode and self.symmetric:
             for i in range(n_x):
-                out[i, i] = self.func(Xa[i], Xa[i], **resolved)
+                out[i, i] = impl.func(Xa[i], Xa[i], **resolved)
                 for j in range(i + 1, n_y):
-                    out[i, j] = out[j, i] = self.func(Xa[i], Xa[j], **resolved)
+                    out[i, j] = out[j, i] = impl.func(
+                        Xa[i], Xa[j], **resolved
+                    )
         else:
             for i in range(n_x):
                 xi = Xa[i]
                 for j in range(n_y):
-                    out[i, j] = self.func(xi, Ya[j], **resolved)
+                    out[i, j] = impl.func(xi, Ya[j], **resolved)
         return out
 
     def with_params(self, **params: float) -> "BoundMeasure":
@@ -211,11 +226,11 @@ class BoundMeasure:
         suffix = ",".join(f"{k}={v:g}" for k, v in sorted(self.params.items()))
         return f"{self.measure.name}[{suffix}]"
 
-    def __call__(self, x, y) -> float:
-        return self.measure(x, y, **self.params)
+    def __call__(self, x, y, *, backend: str | None = None) -> float:
+        return self.measure(x, y, backend=backend, **self.params)
 
-    def pairwise(self, X, Y=None) -> np.ndarray:
-        return self.measure.pairwise(X, Y, **self.params)
+    def pairwise(self, X, Y=None, *, backend: str | None = None) -> np.ndarray:
+        return self.measure.pairwise(X, Y, backend=backend, **self.params)
 
 
 # ----------------------------------------------------------------------
@@ -290,8 +305,10 @@ def describe_measure(name: str | DistanceMeasure) -> dict:
     """Registry metadata of a measure as a plain dict.
 
     The public, serialization-friendly view of the registry — category,
-    survey family, complexity, aliases and the full Table 4 parameter
-    grids — for tooling that should not depend on the
+    survey family, complexity, aliases, the full Table 4 parameter
+    grids, and the implementation backends (registered tiers with their
+    availability, plus the tier ``"auto"`` would select right now) —
+    for tooling that should not depend on the
     :class:`DistanceMeasure` dataclass.
 
     >>> from repro.distances import describe_measure
@@ -311,6 +328,8 @@ def describe_measure(name: str | DistanceMeasure) -> dict:
         "requires_nonnegative": measure.requires_nonnegative,
         "equal_length_only": measure.equal_length_only,
         "vectorized": measure.matrix_func is not None,
+        "backends": measure_backends(measure.name),
+        "active_backend": active_backend(measure),
         "params": [
             {
                 "name": spec.name,
@@ -329,6 +348,7 @@ def distance(
     measure: str = "euclidean",
     *,
     normalization: str | None = None,
+    backend: str = "auto",
     **params: float,
 ) -> float:
     """Convenience one-shot distance between two series.
@@ -337,6 +357,13 @@ def distance(
     to the pair before comparison, through the same normalizer dispatch
     as :func:`repro.dissimilarity_matrix` (per-series methods normalize
     each side; AdaptiveScaling scales the pair jointly).
+
+    ``backend`` selects the implementation tier: ``"auto"`` (default)
+    prefers a compiled kernel when one is usable, ``"reference"`` forces
+    the numpy reference implementation, and ``"compiled"`` requires the
+    compiled tier — raising
+    :class:`~repro.exceptions.BackendUnavailableError` rather than
+    silently substituting a different implementation.
 
     >>> from repro.distances import distance
     >>> distance([0.0, 1.0, 0.0], [0.0, 1.0, 0.0])
@@ -347,13 +374,13 @@ def distance(
     """
     m = get_measure(measure)
     if normalization is None:
-        return m(x, y, **params)
+        return m(x, y, backend=backend, **params)
     from ..normalization import get_normalizer  # local: keeps layering acyclic
 
     a, b = get_normalizer(normalization).apply_pair(
         np.asarray(x, dtype=np.float64), np.asarray(y, dtype=np.float64)
     )
-    return m(a, b, **params)
+    return m(a, b, backend=backend, **params)
 
 
 def pairwise_distances(
@@ -362,14 +389,17 @@ def pairwise_distances(
     measure: str = "euclidean",
     *,
     normalization: str | None = None,
+    backend: str = "auto",
     **params: float,
 ) -> np.ndarray:
     """Convenience pairwise matrix for a named measure.
 
     Delegates to the same code path as :func:`repro.dissimilarity_matrix`
-    (so ``normalization=`` behaves identically everywhere and the call is
-    traced as a ``matrix.compute`` span).
+    (so ``normalization=`` and ``backend=`` behave identically everywhere
+    and the call is traced as a ``matrix.compute`` span).
     """
     from ..classification.matrices import dissimilarity_matrix  # local: avoids cycle
 
-    return dissimilarity_matrix(measure, X, Y, normalization, **params)
+    return dissimilarity_matrix(
+        measure, X, Y, normalization, backend=backend, **params
+    )

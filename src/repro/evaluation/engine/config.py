@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
+from ...distances.backends import BACKEND_POLICIES
 from ...exceptions import EvaluationError
 
 #: Valid ``executor`` values.
@@ -68,6 +69,14 @@ class SweepConfig:
     inject_fault:
         Deterministic fault-injection hook for tests (see
         :data:`FaultHook`); called at the start of every attempt.
+    backend:
+        Implementation-backend policy for every distance computed by the
+        sweep: ``"auto"`` (default) prefers compiled kernels where
+        usable, ``"reference"`` forces the numpy reference tier, and
+        ``"compiled"`` requires the compiled tier (cells fail with
+        :class:`~repro.exceptions.BackendUnavailableError` when it
+        cannot run). Applied ambiently around every attempt — in worker
+        processes too — via :func:`repro.distances.use_backend`.
     """
 
     executor: str = "serial"
@@ -79,8 +88,14 @@ class SweepConfig:
     resume: bool = False
     on_failure: str = "degrade"
     inject_fault: FaultHook | None = None
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
+        if self.backend not in BACKEND_POLICIES:
+            raise EvaluationError(
+                f"backend must be one of {BACKEND_POLICIES}, "
+                f"got {self.backend!r}"
+            )
         if self.executor not in EXECUTORS:
             raise EvaluationError(
                 f"executor must be one of {EXECUTORS}, got {self.executor!r}"

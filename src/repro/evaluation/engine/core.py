@@ -30,6 +30,7 @@ from typing import Sequence
 import numpy as np
 
 from ...datasets.base import Dataset
+from ...distances.backends import active_backend
 from ...exceptions import CellFailure
 from ...observability import get_bus
 from ..variants import MeasureVariant, VariantResult
@@ -204,6 +205,7 @@ def _run_serial(
                     variant=variant.display,
                     dataset=dataset.name,
                     family=variant.family,
+                    backend=active_backend(variant.measure, config.backend),
                 ) as span:
                     outcome = None
                     while True:
@@ -268,6 +270,7 @@ def _run_process(
         variant_seconds[cell.vi] = (
             variant_seconds.get(cell.vi, 0.0) + cell.total_seconds
         )
+        backend = active_backend(cell.variant.measure, config.backend)
         if outcome is not None:
             bus.emit_span(
                 "sweep.cell",
@@ -275,6 +278,7 @@ def _run_process(
                 variant=cell.variant.display,
                 dataset=cell.dataset_name,
                 family=cell.variant.family,
+                backend=backend,
                 accuracy=outcome.result.accuracy,
             )
         else:
@@ -284,6 +288,7 @@ def _run_process(
                 variant=cell.variant.display,
                 dataset=cell.dataset_name,
                 family=cell.variant.family,
+                backend=backend,
                 error=cell.last_error,
                 attempts=cell.attempts,
             )

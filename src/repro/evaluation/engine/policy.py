@@ -25,6 +25,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
+from ...distances.backends import use_backend
 from ...observability import get_bus
 from ..variants import MeasureVariant, VariantResult
 from .config import SweepConfig
@@ -97,6 +98,12 @@ def run_attempt(
     ``enforce_timeout`` arms the SIGALRM path (serial executor only;
     worker processes rely on the parent's kill-based enforcement, so a
     hang inside a worker never needs to be catchable).
+
+    The attempt body runs under ``config.backend`` as the ambient
+    implementation-backend policy, so every distance the variant
+    computes — W matrices, E matrices, LOOCV tuning — resolves through
+    the same tier without the variant knowing about backends. This holds
+    in worker processes too, because the workers run this very function.
     """
     bus = get_bus()
     span = bus.span(
@@ -110,7 +117,8 @@ def run_attempt(
             with alarm(config.cell_timeout if enforce_timeout else None):
                 if config.inject_fault is not None:
                     config.inject_fault(variant.display, dataset.name, attempt)
-                result = variant.evaluate(dataset)
+                with use_backend(config.backend):
+                    result = variant.evaluate(dataset)
         return AttemptOutcome(
             ok=True,
             result=result,

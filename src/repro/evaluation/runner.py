@@ -135,6 +135,7 @@ def run_sweep(
     checkpoint=None,
     resume: bool | None = None,
     on_failure: str | None = None,
+    backend: str | None = None,
     config: SweepConfig | None = None,
     progress: Callable[[str], None] | None = None,
     _inject_fault=None,
@@ -157,7 +158,10 @@ def run_sweep(
     - cells that exhaust their budget degrade to NaN entries plus a
       structured ``SweepResult.failures`` report instead of aborting
       (set ``on_failure="raise"`` to abort with
-      :class:`~repro.exceptions.CellFailure` instead).
+      :class:`~repro.exceptions.CellFailure` instead);
+    - ``backend`` selects the distance implementation tier for every
+      cell (``"auto"`` default, ``"compiled"``, ``"reference"``) — see
+      :func:`repro.distances.use_backend`.
 
     Knobs may be given loose (keyword-only) or pre-frozen as
     ``config=``:class:`~repro.evaluation.engine.SweepConfig` — not both.
@@ -191,6 +195,7 @@ def run_sweep(
         "checkpoint": checkpoint,
         "resume": resume,
         "on_failure": on_failure,
+        "backend": backend,
         "inject_fault": _inject_fault,
     }
     given = {k: v for k, v in loose.items() if v is not None}

@@ -99,6 +99,33 @@ class CellFailure(EvaluationError):
         )
 
 
+class BackendUnavailableError(ReproError, RuntimeError):
+    """An explicitly requested implementation backend cannot run.
+
+    Raised when ``backend="compiled"`` is requested for a measure whose
+    compiled tier is unusable — numba is not installed, JIT compilation
+    failed, or the measure has no compiled tier registered. Under the
+    default ``backend="auto"`` policy the same situations degrade to the
+    reference implementation (with a
+    :class:`repro.distances.backends.BackendFallbackWarning`) instead of
+    raising.
+
+    Attributes
+    ----------
+    measure:
+        Canonical name of the measure whose backend was requested.
+    reason:
+        Human-readable explanation of why the tier is unusable.
+    """
+
+    def __init__(self, measure: str, reason: str):
+        self.measure = measure
+        self.reason = reason
+        super().__init__(
+            f"compiled backend unavailable for {measure!r}: {reason}"
+        )
+
+
 class TraceError(ReproError):
     """A trace file could not be read or summarized."""
 

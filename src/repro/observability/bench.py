@@ -81,7 +81,10 @@ def build_workloads(quick: bool = False) -> dict[str, Callable[[], None]]:
     """The pinned per-family operations, name -> zero-arg callable.
 
     One entry per measure family the performance model distinguishes
-    (lock-step / sliding / elastic / kernel) plus the framework paths
+    (lock-step / sliding / elastic / kernel), the ``elastic_kernels``
+    sweep over all six backend-tiered DP measures (DTW, MSM, TWE, ERP,
+    GAK, KDTW — timing the compiled tier where numba is present), plus
+    the framework paths
     every sweep exercises (matrix cache, end-to-end sweep, and the
     journal-backed checkpointed sweep — tracking the durability
     overhead of ``--checkpoint``), and the online serving path (a
@@ -129,6 +132,18 @@ def build_workloads(quick: bool = False) -> dict[str, Callable[[], None]]:
     def kernel() -> None:
         dissimilarity_matrix("gak", kernel_x, kernel_y)
 
+    ek_x = _series(4 * scale, 40 * scale, offset=9)
+    ek_y = _series(4 * scale, 40 * scale, offset=10)
+    ek_measures = ("dtw", "msm", "twe", "erp", "gak", "kdtw")
+
+    def elastic_kernels() -> None:
+        # All six backend-tiered DP measures through the matrix path
+        # under backend="auto": times the compiled kernels where numba
+        # is present and the reference recurrences where it is not, so
+        # baselines gate whichever tier the environment actually runs.
+        for name in ek_measures:
+            dissimilarity_matrix(name, ek_x, ek_y)
+
     def cache_path() -> None:
         cache.clear()
         cache.test_matrix(cache_dataset, "euclidean")  # miss + write
@@ -169,6 +184,7 @@ def build_workloads(quick: bool = False) -> dict[str, Callable[[], None]]:
         "sliding": sliding,
         "elastic": elastic,
         "kernel": kernel,
+        "elastic_kernels": elastic_kernels,
         "cache": cache_path,
         "sweep": sweep,
         "checkpoint": checkpoint,

@@ -1,5 +1,6 @@
 """Paper-style text renderings of tables and figures."""
 
+from .backends import format_backend_table
 from .figures import (
     format_convergence_figure,
     format_rank_figure,
@@ -21,6 +22,7 @@ __all__ = [
     "format_census_table",
     "format_trace_summary",
     "format_critical_path",
+    "format_backend_table",
     "format_rank_figure",
     "format_runtime_figure",
     "format_convergence_figure",

@@ -1,0 +1,50 @@
+"""Text rendering of the per-measure backend tier status.
+
+Backs the ``repro backends`` subcommand with the same fixed-width table
+style as :func:`~repro.reporting.trace.format_trace_summary`: a title
+with an ``=`` rule, a header with a ``-`` rule, one row per measure
+carrying a compiled tier, and a trailing numba status line.
+"""
+
+from __future__ import annotations
+
+from ..distances.backends import compiled_measures, measure_backends, numba_status
+from ..distances.base import get_measure
+
+
+def format_backend_table(title: str = "Implementation backends") -> str:
+    """Per-measure backend availability as a fixed-width text table.
+
+    One row per measure with a registered compiled tier, showing the
+    tier ``"auto"`` resolves to, the compiled tier's state
+    (``warm`` = JIT-compiled in this process, ``cold`` = compiles on
+    first use, ``failed`` / ``unavailable`` = reference fallback) and
+    the reason when it cannot run.
+    """
+    available, version = numba_status()
+    lines = [title, "=" * len(title)]
+    names = compiled_measures()
+    label_width = max([len(n) for n in names] + [len("Measure"), 10])
+    header = (
+        f"{'Measure':<{label_width}}  {'Category':<9}  {'Active':<9}  "
+        f"{'Compiled':<11}  Reason"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in names:
+        tiers = measure_backends(name)
+        compiled = tiers["compiled"]
+        active = "compiled" if compiled["available"] else "reference"
+        lines.append(
+            f"{name:<{label_width}}  {get_measure(name).category:<9}  "
+            f"{active:<9}  {compiled['state']:<11}  {compiled['reason']}"
+        )
+    lines.append("-" * len(header))
+    if available:
+        lines.append(f"numba {version}: compiled tier available")
+    else:
+        lines.append(
+            "numba not installed: all measures use the reference tier "
+            "(pip install repro[compiled])"
+        )
+    return "\n".join(lines)

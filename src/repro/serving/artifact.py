@@ -35,6 +35,7 @@ from typing import Mapping
 import numpy as np
 
 from .._validation import as_dataset, as_labels
+from ..distances.backends import active_backend
 from ..distances.base import DistanceMeasure, get_measure
 from ..distances.sliding.cross_correlation import sliding_reference
 from ..evaluation.engine.keys import content_key
@@ -94,6 +95,13 @@ class ModelArtifact:
         ``sliding_norms`` or ``envelopes``); possibly empty.
     fingerprint:
         Content hash over the reference arrays and every config knob.
+    backend:
+        Implementation-backend tier that was active when the artifact
+        was fitted (``"reference"`` or ``"compiled"``). Recorded in the
+        manifest — but *not* in the fingerprint, because both tiers
+        compute the same function — so the query engine can warn when it
+        serves with a different tier than the artifact was validated
+        against.
     """
 
     measure: str
@@ -104,6 +112,7 @@ class ModelArtifact:
     precomputed: dict[str, np.ndarray] = field(default_factory=dict)
     fingerprint: str = ""
     created_unix: float = 0.0
+    backend: str = "reference"
 
     # ------------------------------------------------------------------
     # construction
@@ -162,6 +171,7 @@ class ModelArtifact:
             precomputed=precomputed,
             fingerprint=fingerprint,
             created_unix=round(time.time(), 3),
+            backend=active_backend(m),
         )
 
     @classmethod
@@ -223,6 +233,7 @@ class ModelArtifact:
             "n_train": self.n_train,
             "series_length": self.series_length,
             "n_classes": int(np.unique(self.train_y).size),
+            "backend": self.backend,
         }
 
     # ------------------------------------------------------------------
@@ -334,4 +345,5 @@ class ModelArtifact:
             precomputed=precomputed,
             fingerprint=fingerprint,
             created_unix=float(manifest.get("created_unix", 0.0)),
+            backend=manifest.get("backend", "reference"),
         )

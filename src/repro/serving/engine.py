@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -37,6 +38,7 @@ from typing import Sequence
 import numpy as np
 
 from .._validation import as_dataset
+from ..distances.backends import BackendMismatchWarning, resolve_backend
 from ..distances.base import get_measure
 from ..distances.sliding.cross_correlation import (
     SlidingReference,
@@ -111,6 +113,18 @@ class QueryEngine:
     use_cascade:
         Route banded DTW through the lower-bounding cascade (default).
         Disable to force the generic matrix path (the ablation knob).
+    backend:
+        Implementation-backend policy for the matrix route (``"auto"`` /
+        ``"compiled"`` / ``"reference"``). Resolved — and, for the
+        compiled tier, JIT-warmed — at construction, so no request ever
+        pays a mid-flight compile; ``backend="compiled"`` raises
+        :class:`~repro.exceptions.BackendUnavailableError` here rather
+        than on the first query. The sliding and cascade routes run
+        their specialized reference arithmetic regardless. When the
+        resolved tier differs from the one the artifact was fitted
+        (validated) under, the engine emits a
+        :class:`~repro.distances.backends.BackendMismatchWarning` and a
+        ``serve.backend.mismatch`` counter.
     """
 
     def __init__(
@@ -119,6 +133,7 @@ class QueryEngine:
         *,
         cache_size: int = DEFAULT_CACHE_SIZE,
         use_cascade: bool = True,
+        backend: str = "auto",
     ):
         if cache_size < 0:
             raise ServingError(f"cache_size must be >= 0, got {cache_size}")
@@ -139,6 +154,28 @@ class QueryEngine:
             self._reference = self._sliding_reference()
         elif self.route == "cascade":
             self._envelopes = artifact.precomputed.get("envelopes")
+        if self.route == "matrix":
+            self.backend = resolve_backend(self._measure, backend).name
+        else:
+            # Sliding/cascade routes run specialized reference arithmetic
+            # (precomputed FFTs, early-abandon DTW) with no compiled tier.
+            self.backend = "reference"
+        if self.backend != artifact.backend:
+            warnings.warn(
+                f"serving artifact {artifact.fingerprint or '<unsaved>'} "
+                f"with backend {self.backend!r} but it was fitted "
+                f"(validated) under {artifact.backend!r}; answers are "
+                "parity-tested across tiers yet not guaranteed bitwise "
+                "identical for kernel measures",
+                BackendMismatchWarning,
+                stacklevel=2,
+            )
+            get_bus().count(
+                "serve.backend.mismatch",
+                measure=artifact.measure,
+                artifact_backend=artifact.backend,
+                serving_backend=self.backend,
+            )
 
     def _pick_route(self, use_cascade: bool) -> str:
         name = self._measure.name
@@ -198,6 +235,7 @@ class QueryEngine:
             "serve.predict",
             measure=self.artifact.measure,
             route=self.route,
+            backend=self.backend,
             batch=Q.shape[0],
         ) as span:
             keys = [_query_key(np.ascontiguousarray(row)) for row in Q]
@@ -269,7 +307,10 @@ class QueryEngine:
             return self._cascade_nearest(Q)
         else:
             E = self._measure.pairwise(
-                Q, self.artifact.train_X, **self._params
+                Q,
+                self.artifact.train_X,
+                backend=self.backend,
+                **self._params,
             )
         idx = np.argmin(E, axis=1)
         return idx, E[np.arange(E.shape[0]), idx], 0, Q.shape[0]

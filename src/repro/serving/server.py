@@ -364,8 +364,14 @@ def serve_artifact(
     max_inflight: int = DEFAULT_MAX_INFLIGHT,
     retry_after: float = DEFAULT_RETRY_AFTER,
     cache_size: int | None = None,
+    backend: str = "auto",
 ) -> ReproServer:
-    """Load an artifact and build a ready-to-run :class:`ReproServer`."""
+    """Load an artifact and build a ready-to-run :class:`ReproServer`.
+
+    ``backend`` selects the distance implementation tier for the
+    engine's matrix route (see :class:`QueryEngine`); the compiled tier
+    is JIT-warmed here, before the server accepts its first request.
+    """
     from .artifact import ModelArtifact
     from .engine import DEFAULT_CACHE_SIZE
 
@@ -373,6 +379,7 @@ def serve_artifact(
     engine = QueryEngine(
         artifact,
         cache_size=DEFAULT_CACHE_SIZE if cache_size is None else cache_size,
+        backend=backend,
     )
     return ReproServer(
         engine,

@@ -293,8 +293,8 @@ class TestBench:
         assert record["schema"] == SCHEMA
         assert record["workload"] == "quick"
         assert set(record["families"]) == {
-            "lockstep", "sliding", "elastic", "kernel", "cache", "sweep",
-            "checkpoint", "serving",
+            "lockstep", "sliding", "elastic", "kernel", "elastic_kernels",
+            "cache", "sweep", "checkpoint", "serving",
         }
         for payload in record["families"].values():
             latency = payload["latency_seconds"]
@@ -362,8 +362,8 @@ class TestBench:
     def test_workloads_cover_families(self):
         workloads = build_workloads(quick=True)
         assert set(workloads) == {
-            "lockstep", "sliding", "elastic", "kernel", "cache", "sweep",
-            "checkpoint", "serving",
+            "lockstep", "sliding", "elastic", "kernel", "elastic_kernels",
+            "cache", "sweep", "checkpoint", "serving",
         }
 
     def test_cli_bench_run_and_compare(self, bench_record, tmp_path, capsys):
