@@ -1,0 +1,120 @@
+"""Telemetry overhead bench: traced+sinked serving vs the bare engine.
+
+Times a hot fully-cached ``QueryEngine.predict`` two ways — with no
+sinks attached (the quiet bus) and with the full serving telemetry
+stack armed (a per-request trace context, the server's metrics sink and
+the tail-based trace buffer) — and asserts the per-request overhead
+stays under a pinned absolute budget. This is the number that keeps
+"observability is effectively free on the hot path" true as the
+telemetry layer grows.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_telemetry.py [--out PATH]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.observability import MetricsSink, get_bus, trace_context
+from repro.observability.telemetry import TraceBuffer
+from repro.serving import ModelArtifact, QueryEngine
+
+N_REQUESTS = int(os.environ.get("REPRO_BENCH_TELEMETRY_REQUESTS", "300"))
+BATCH = 8
+
+# Per-request budget for the full telemetry stack on a cache-hit predict:
+# ContextVar set/reset, one serve.predict span fanned to two sinks (a
+# locked aggregate update + a locked trace-buffer append/finalize), and
+# the counter events for cache hits. Generous for a loaded CI box; a
+# regression that makes sinks quadratic or adds per-span allocation blows
+# through it immediately.
+TELEMETRY_BUDGET_SECONDS = 250e-6
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def main(out: str | Path = "BENCH_telemetry.json") -> dict:
+    archive = repro.default_archive(n_datasets=4, size_scale=0.4, seed=3)
+    dataset = archive.subset(1)[0]
+    engine = QueryEngine(
+        ModelArtifact.fit_dataset(
+            dataset, measure="nccc", normalization="zscore"
+        ),
+        cache_size=1024,
+    )
+    queries = np.random.default_rng(5).standard_normal(
+        (BATCH, dataset.train_X.shape[1])
+    )
+    engine.predict(queries)  # warm the LRU: every timed request is hits
+
+    bus = get_bus()
+    if bus.enabled:
+        raise RuntimeError("baseline must be measured with no sinks attached")
+
+    def bare() -> None:
+        for _ in range(N_REQUESTS):
+            engine.predict(queries)
+
+    def telemetered() -> None:
+        for _ in range(N_REQUESTS):
+            with trace_context():
+                engine.predict(queries)
+
+    bare()  # warm-up
+    bare_seconds = _timed(bare)
+
+    sink = MetricsSink(group_by=("route",))
+    traces = TraceBuffer(root_names=("serve.predict",))
+    bus.attach(sink)
+    bus.attach(traces)
+    try:
+        telemetered()  # warm-up with sinks armed
+        telemetry_seconds = _timed(telemetered)
+    finally:
+        bus.detach(sink)
+        bus.detach(traces)
+
+    per_request = max(0.0, telemetry_seconds - bare_seconds) / N_REQUESTS
+    retained = traces.stats()
+    assert retained["completed"] >= N_REQUESTS, (
+        f"trace buffer finalized {retained['completed']} traces for "
+        f"{N_REQUESTS} requests — retention is dropping complete traces"
+    )
+    assert per_request < TELEMETRY_BUDGET_SECONDS, (
+        f"telemetry overhead {per_request * 1e6:.1f}us/request exceeds "
+        f"budget {TELEMETRY_BUDGET_SECONDS * 1e6:.0f}us — tracing is no "
+        "longer cheap on the hot serving path"
+    )
+
+    record = {
+        "n_requests": N_REQUESTS,
+        "batch": BATCH,
+        "bare_seconds": round(bare_seconds, 4),
+        "telemetry_seconds": round(telemetry_seconds, 4),
+        "overhead_microseconds_per_request": round(per_request * 1e6, 3),
+        "budget_microseconds_per_request": round(
+            TELEMETRY_BUDGET_SECONDS * 1e6, 1
+        ),
+        "traces_completed": retained["completed"],
+    }
+    Path(out).write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(record, indent=2, sort_keys=True))
+    return record
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_telemetry.json")
+    sys.exit(0 if main(parser.parse_args().out) else 1)

@@ -21,7 +21,12 @@ Subcommands mirror what a practitioner reproducing the paper needs:
 - ``fit``       — freeze a measure + normalization + reference set into
   a serveable artifact directory (``.npz`` + manifest);
 - ``serve``     — answer online 1-NN ``/predict`` queries over a fitted
-  artifact from a stdlib HTTP server with load shedding.
+  artifact from a stdlib HTTP server with load shedding, request-scoped
+  tracing (``/debug/traces``), Prometheus ``/metrics`` and an optional
+  latency SLO (``--slo-p99-ms``) that flips ``/healthz`` readiness;
+- ``top``       — live terminal dashboard polling a running server's
+  ``/metrics`` and ``/debug/traces`` (qps, percentiles, shed rate,
+  cache hit rate, SLO state, slowest trace's critical path).
 
 The sweep-running subcommands (``evaluate``, ``compare``, ``experiment``)
 accept ``--trace PATH`` to capture an observability trace and
@@ -205,6 +210,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--datasets", type=int, default=10,
         help="how many slowest datasets to list",
     )
+    p_trace.add_argument(
+        "--slowest", type=int, default=3, metavar="N",
+        help="for serving traces: critical paths of the N slowest requests",
+    )
 
     p_bench = sub.add_parser(
         "bench", help="pinned benchmark workloads and regression gate"
@@ -298,7 +307,41 @@ def _build_parser() -> argparse.ArgumentParser:
         help="implementation tier for the serving matrix route "
         "(compiled kernels are JIT-warmed before the first request)",
     )
+    p_serve.add_argument(
+        "--slo-p99-ms", type=float, default=None, metavar="MS",
+        help="arm a rolling-window p99 latency objective on /predict; "
+        "a sustained breach flips /healthz to 503 until recovery",
+    )
+    p_serve.add_argument(
+        "--slo-window", type=float, default=60.0, metavar="S",
+        help="rolling SLO evaluation window in seconds",
+    )
+    p_serve.add_argument(
+        "--trace-keep", type=int, default=16, metavar="N",
+        help="request traces retained per store (N slowest + N most recent)",
+    )
+    p_serve.add_argument(
+        "--access-log", metavar="PATH", default=None,
+        help="append one JSON line per request (ts, method, path, status, "
+        "duration_ms, trace_id, shed) to PATH",
+    )
     _add_observability_args(p_serve)
+
+    p_top = sub.add_parser(
+        "top", help="live dashboard for a running `repro serve` instance"
+    )
+    p_top.add_argument(
+        "url", nargs="?", default="http://127.0.0.1:8765",
+        help="base URL of the server (default http://127.0.0.1:8765)",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="seconds between polls",
+    )
+    p_top.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (scriptable)",
+    )
     return parser
 
 
@@ -418,9 +461,24 @@ def cmd_catalog(_: argparse.Namespace) -> int:
 def cmd_trace(args: argparse.Namespace) -> int:
     """Summarize a trace file: per-measure tables plus the critical path."""
     from .observability import load_trace, summarize_events
-    from .reporting import format_critical_path, format_trace_summary
+    from .reporting import (
+        format_critical_path,
+        format_serve_summary,
+        format_trace_summary,
+    )
 
     events = load_trace(args.path)
+    serving = format_serve_summary(
+        events,
+        title=f"Serving summary: {args.path}",
+        slowest=args.slowest,
+    )
+    if serving:
+        # A serve trace has request roots, not a sweep span — the
+        # per-endpoint view (with per-request critical paths) replaces
+        # the sweep tables, which would be empty noise here.
+        print(serving)
+        return 0
     summary = summarize_events(events)
     print(
         format_trace_summary(
@@ -514,13 +572,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
         retry_after=args.retry_after,
         cache_size=args.cache_size,
         backend=args.backend,
+        slo_p99_ms=args.slo_p99_ms,
+        slo_window=args.slo_window,
+        trace_keep=args.trace_keep,
+        access_log=args.access_log,
     )
     info = server.engine.artifact.describe()
+    slo_note = (
+        f" slo p99<={args.slo_p99_ms:g}ms/{args.slo_window:g}s"
+        if args.slo_p99_ms is not None
+        else ""
+    )
     print(
         f"serving {info['measure']} artifact {info['fingerprint'][:12]} "
         f"({info['n_train']} x {info['series_length']}) on {server.url} "
         f"[backend {server.engine.backend}] "
-        f"(max inflight {server.gate.limit})",
+        f"(max inflight {server.gate.limit}{slo_note})",
         file=sys.stderr,
     )
     server.serve_forever(install_signal_handlers=True)
@@ -531,6 +598,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard against a running server's telemetry endpoints."""
+    from .observability.telemetry import run_top
+
+    if args.once:
+        return run_top(args.url, iterations=1, clear=False)
+    return run_top(args.url, interval=args.interval)
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
@@ -584,6 +660,7 @@ _COMMANDS = {
     "bench": cmd_bench,
     "fit": cmd_fit,
     "serve": cmd_serve,
+    "top": cmd_top,
 }
 
 

@@ -17,7 +17,12 @@ Five pieces:
   :func:`critical_path`) feeding the ``repro trace summarize`` report;
 - the ``repro bench`` regression gate (:mod:`repro.observability.bench`):
   pinned per-family workloads -> ``BENCH_sweep.json`` -> threshold
-  comparison against a baseline.
+  comparison against a baseline;
+- request-scoped telemetry (:mod:`repro.observability.telemetry`):
+  :func:`trace_context` propagates a trace id into every span emitted
+  under it, and the telemetry package adds tail-based trace retention,
+  Prometheus text exposition, SLO tracking, and the ``repro top``
+  dashboard for the serving path.
 
 Quickstart::
 
@@ -41,10 +46,17 @@ from pathlib import Path
 from typing import Iterator
 
 from .bus import COUNTER, SAMPLE, SPAN, Event, EventBus, Sink, get_bus
+from .context import (
+    current_trace_id,
+    new_trace_id,
+    trace_context,
+    valid_trace_id,
+)
 from .metrics import Aggregate, MetricsSink
 from .resources import ResourceSampler, ResourceStats, read_rss_bytes
 from .sinks import JsonlSink, ProgressSink, Recorder, replay_dicts
 from .summary import (
+    ServeRequestRow,
     SpanNode,
     TraceSummary,
     VariantTraceRow,
@@ -52,8 +64,10 @@ from .summary import (
     build_span_tree,
     critical_path,
     load_trace,
+    slowest_serve_requests,
     span_signature,
     summarize_events,
+    summarize_serve_events,
     summarize_trace,
 )
 
@@ -76,14 +90,21 @@ __all__ = [
     "replay_dicts",
     "TraceSummary",
     "VariantTraceRow",
+    "ServeRequestRow",
     "SpanNode",
     "build_span_tree",
     "critical_path",
     "attribute_samples",
     "load_trace",
     "summarize_events",
+    "summarize_serve_events",
+    "slowest_serve_requests",
     "summarize_trace",
     "span_signature",
+    "trace_context",
+    "current_trace_id",
+    "new_trace_id",
+    "valid_trace_id",
     "trace_to",
     "get_recorder",
 ]

@@ -87,10 +87,13 @@ def build_workloads(quick: bool = False) -> dict[str, Callable[[], None]]:
     the framework paths
     every sweep exercises (matrix cache, end-to-end sweep, and the
     journal-backed checkpointed sweep — tracking the durability
-    overhead of ``--checkpoint``), and the online serving path (a
+    overhead of ``--checkpoint``), the online serving path (a
     batched ``QueryEngine.predict`` over a fitted artifact, cache
-    disabled so the compute path is what's timed). Shapes shrink under
-    ``quick`` so the CI gate stays under a minute.
+    disabled so the compute path is what's timed), and the ``telemetry``
+    workload — the same predict fully cached with trace context, metrics
+    sink and trace retention armed, gating the per-request observability
+    overhead. Shapes shrink under ``quick`` so the CI gate stays under a
+    minute.
     """
     import itertools
 
@@ -167,6 +170,39 @@ def build_workloads(quick: bool = False) -> dict[str, Callable[[], None]]:
     def serving() -> None:
         serve_engine.predict(serve_queries)
 
+    # The serving path again, with the full telemetry stack armed: LRU
+    # cache warmed (every repetition is all hits), a trace context per
+    # predict, and metrics + trace-retention sinks attached — so the
+    # per-request observability overhead on the hottest path is itself a
+    # gated number.
+    from .context import trace_context
+    from .telemetry import TraceBuffer
+
+    telem_engine = QueryEngine(
+        ModelArtifact.fit_dataset(
+            serve_dataset, measure="nccc", normalization="zscore"
+        ),
+        cache_size=1024,
+    )
+    telem_queries = np.random.default_rng(_SEED + 12).standard_normal(
+        (8 * scale, serve_dataset.train_X.shape[1])
+    )
+    telem_engine.predict(telem_queries)  # warm the cache once
+
+    def telemetry() -> None:
+        telem_sink = MetricsSink(group_by=("route",))
+        telem_traces = TraceBuffer(root_names=("serve.predict",))
+        telem_bus = get_bus()
+        telem_bus.attach(telem_sink)
+        telem_bus.attach(telem_traces)
+        try:
+            for _ in range(16):
+                with trace_context():
+                    telem_engine.predict(telem_queries)
+        finally:
+            telem_bus.detach(telem_sink)
+            telem_bus.detach(telem_traces)
+
     checkpoint_root = Path(tempfile.mkdtemp(prefix="repro-bench-ckpt-"))
     checkpoint_ids = itertools.count()
 
@@ -189,6 +225,7 @@ def build_workloads(quick: bool = False) -> dict[str, Callable[[], None]]:
         "sweep": sweep,
         "checkpoint": checkpoint,
         "serving": serving,
+        "telemetry": telemetry,
     }
 
 

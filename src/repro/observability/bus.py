@@ -32,20 +32,45 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping, Protocol
 
+from .context import current_trace_id
+
 #: Event kinds emitted by the bus.
 SPAN = "span"
 COUNTER = "counter"
 SAMPLE = "sample"
 
-#: Process-wide span-id sequence. IDs are prefixed with the pid so spans
-#: recorded in forked worker processes stay unique after replay into the
-#: parent bus (a fork inherits the counter position but not the pid).
+#: Process-wide span-id sequence. IDs are prefixed with the pid *and* a
+#: random per-process nonce: a fork inherits the counter position but
+#: not the pid, and the nonce covers the remaining aliasing window — a
+#: kernel reusing a dead worker's pid mid-sweep (``run_sweep`` replaces
+#: crashed workers) would otherwise let two processes mint identical
+#: ids into one merged journal.
 _SPAN_SEQUENCE = itertools.count(1)
+
+#: ``(pid, prefix)`` of the process that last minted an id; recomputed
+#: whenever the observed pid changes (i.e. after a fork).
+_PROCESS_TAG: tuple[int, str] | None = None
+
+
+def _process_prefix() -> str:
+    """Per-process id prefix (``"<pid-hex>-<nonce-hex>"``), fork-aware.
+
+    A benign race after fork can mint ids under two different nonces
+    before one wins the global — uniqueness (the only guarantee) holds
+    either way.
+    """
+    global _PROCESS_TAG
+    pid = os.getpid()
+    tag = _PROCESS_TAG
+    if tag is None or tag[0] != pid:
+        nonce = int.from_bytes(os.urandom(4), "big")
+        tag = _PROCESS_TAG = (pid, f"{pid:x}-{nonce:08x}")
+    return tag[1]
 
 
 def next_span_id() -> str:
-    """A process-unique span id (``"<pid-hex>.<seq-hex>"``)."""
-    return f"{os.getpid():x}.{next(_SPAN_SEQUENCE):x}"
+    """A globally-unique span id (``"<pid-hex>-<nonce-hex>.<seq-hex>"``)."""
+    return f"{_process_prefix()}.{next(_SPAN_SEQUENCE):x}"
 
 
 @dataclass(frozen=True)
@@ -181,6 +206,9 @@ class _Span:
     def __enter__(self) -> "_Span":
         self.span_id = next_span_id()
         self.parent_id = self._bus._push_span(self.span_id)
+        trace_id = current_trace_id()
+        if trace_id is not None and "trace_id" not in self.attrs:
+            self.attrs["trace_id"] = trace_id
         self._start = time.perf_counter()
         return self
 
@@ -321,11 +349,15 @@ class EventBus:
         """Emit an already-timed span (for code that owns its own timer).
 
         The span is parented to the innermost span open on the calling
-        thread, exactly as a ``with bus.span(...)`` block would be.
+        thread — and stamped with the ambient trace id, when one is set —
+        exactly as a ``with bus.span(...)`` block would be.
         """
         if not self._sinks:
             return
         stack = self._span_stack()
+        trace_id = current_trace_id()
+        if trace_id is not None and "trace_id" not in attrs:
+            attrs["trace_id"] = trace_id
         self.emit(
             Event(
                 SPAN,

@@ -1,0 +1,70 @@
+"""Request-scoped trace context: one id tying a request's spans together.
+
+A *trace* is the set of spans caused by one logical request — for the
+serving path, ``serve.request`` -> ``serve.predict`` ->
+``matrix.compute``/backend spans. The bus already links spans into a
+tree via ``span_id``/``parent_id`` on each thread; the trace id is the
+cross-cutting label that lets a sink (or a human grepping a JSONL
+trace) pull one request's tree out of an interleaved multi-request
+stream, and lets a client correlate its own logs with the server's via
+the ``X-Repro-Trace-Id`` HTTP header.
+
+The context travels in a :class:`contextvars.ContextVar`, so it follows
+the request through nested calls on the handling thread without any API
+threading — library code never sees it; :class:`~repro.observability.bus.EventBus`
+stamps the ambient id into every span's ``trace_id`` attribute while a
+:func:`trace_context` block is active.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+#: Shape accepted for externally-supplied trace ids (HTTP header,
+#: replayed logs): hex/dash/dot, 4-64 chars. Anything else is replaced
+#: with a fresh id rather than propagated into logs and span attributes.
+TRACE_ID_PATTERN = re.compile(r"^[0-9a-fA-F][0-9a-fA-F.\-]{3,63}$")
+
+_TRACE_ID: ContextVar[str | None] = ContextVar("repro_trace_id", default=None)
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit random trace id (16 hex chars)."""
+    return os.urandom(8).hex()
+
+
+def current_trace_id() -> str | None:
+    """The ambient trace id, or ``None`` outside any :func:`trace_context`."""
+    return _TRACE_ID.get()
+
+
+def valid_trace_id(value: object) -> bool:
+    """Whether ``value`` is safe to adopt as an externally-supplied id."""
+    return isinstance(value, str) and bool(TRACE_ID_PATTERN.match(value))
+
+
+@contextmanager
+def trace_context(trace_id: str | None = None) -> Iterator[str]:
+    """Set the ambient trace id for the duration of a ``with`` block.
+
+    Every span entered inside the block (on this thread/context) carries
+    ``trace_id`` in its attributes. Pass an id to adopt one from a
+    client header; omit it to mint a fresh one. Contexts nest — the
+    inner block's id wins until it exits.
+
+    >>> from repro.observability import trace_context, current_trace_id
+    >>> with trace_context("abc123") as tid:
+    ...     assert current_trace_id() == tid == "abc123"
+    >>> current_trace_id() is None
+    True
+    """
+    tid = trace_id if trace_id is not None else new_trace_id()
+    token = _TRACE_ID.set(tid)
+    try:
+        yield tid
+    finally:
+        _TRACE_ID.reset(token)

@@ -250,6 +250,11 @@ class MetricsSink:
         self.group_by = tuple(group_by)
         self.names = None if names is None else frozenset(names)
         self._aggregates: dict[MetricKey, Aggregate] = {}
+        # Event kind per key (first seen wins) — spans aggregate
+        # durations while counters aggregate increments, and consumers
+        # rendering units (e.g. the Prometheus exposition) need to know
+        # which is which.
+        self._kinds: dict[MetricKey, str] = {}
         self._lock = threading.Lock()
 
     # -- sink protocol -------------------------------------------------
@@ -272,6 +277,7 @@ class MetricsSink:
                 agg = self._aggregates.get(key)
                 if agg is None:
                     agg = self._aggregates[key] = Aggregate()
+                    self._kinds[key] = event.kind
                 agg.record(observed)
         except Exception:
             return
@@ -327,11 +333,14 @@ class MetricsSink:
         per-worker sinks produces exactly the sink that would have seen
         the concatenated event stream.
         """
+        other_kinds = dict(other._kinds)
         for key, agg in other.aggregates().items():
             with self._lock:
                 mine = self._aggregates.get(key)
                 if mine is None:
                     mine = self._aggregates[key] = Aggregate()
+                    if key in other_kinds:
+                        self._kinds[key] = other_kinds[key]
                 mine.merge(agg)
         return self
 
@@ -339,12 +348,19 @@ class MetricsSink:
     def to_dicts(self) -> list[dict]:
         """All aggregates as JSON/pickle-ready records.
 
-        Each record is ``{"name": ..., "attrs": {...}, "aggregate":
-        Aggregate.to_dict()}`` — the exchange format workers ship to the
-        parent and ``BENCH_*.json`` files persist.
+        Each record is ``{"name": ..., "kind": ..., "attrs": {...},
+        "aggregate": Aggregate.to_dict()}`` — the exchange format
+        workers ship to the parent and ``BENCH_*.json`` files persist.
         """
+        with self._lock:
+            kinds = dict(self._kinds)
         return [
-            {"name": name, "attrs": dict(attrs), "aggregate": agg.to_dict()}
+            {
+                "name": name,
+                "kind": kinds.get((name, attrs), SPAN),
+                "attrs": dict(attrs),
+                "aggregate": agg.to_dict(),
+            }
             for (name, attrs), agg in self.aggregates().items()
         ]
 
@@ -365,6 +381,7 @@ class MetricsSink:
             existing = sink._aggregates.get(key)
             if existing is None:
                 sink._aggregates[key] = agg
+                sink._kinds[key] = record.get("kind", SPAN)
             else:
                 existing.merge(agg)
         return sink

@@ -237,6 +237,72 @@ def critical_path(events: Iterable[Event]) -> list[SpanNode]:
     return path
 
 
+@dataclass(frozen=True)
+class ServeRequestRow:
+    """Aggregated latency for one ``(path, status)`` group of requests."""
+
+    path: str
+    status: str
+    count: int
+    total_seconds: float
+    max_seconds: float
+
+    @property
+    def mean_seconds(self) -> float:
+        """Average request wall-clock in this group."""
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+def summarize_serve_events(
+    events: Iterable[Event],
+) -> tuple[ServeRequestRow, ...]:
+    """Group ``serve.request`` root spans by ``(path, status)``.
+
+    The serving counterpart of :func:`summarize_events`: a trace captured
+    from ``repro serve --trace`` has request roots instead of a ``sweep``
+    span, and the interesting breakdown is per-endpoint latency. Returns
+    rows sorted by total time descending; empty when the stream carries
+    no ``serve.request`` spans (a sweep trace).
+    """
+    groups: dict[tuple[str, str], list[float]] = {}
+    for event in events:
+        if event.kind != SPAN or event.name != "serve.request":
+            continue
+        key = (
+            str(event.attrs.get("path", "?")),
+            str(event.attrs.get("status", "?")),
+        )
+        groups.setdefault(key, []).append(event.duration_seconds or 0.0)
+    rows = tuple(
+        ServeRequestRow(
+            path=path,
+            status=status,
+            count=len(durations),
+            total_seconds=sum(durations),
+            max_seconds=max(durations),
+        )
+        for (path, status), durations in groups.items()
+    )
+    return tuple(sorted(rows, key=lambda r: -r.total_seconds))
+
+
+def slowest_serve_requests(
+    events: Iterable[Event], n: int = 3
+) -> list[SpanNode]:
+    """The ``n`` slowest ``serve.request`` span-tree roots in a stream.
+
+    Each returned :class:`SpanNode` is a full request tree, ready for
+    per-request critical-path rendering in ``repro trace summarize``.
+    """
+    roots = [
+        node
+        for node in build_span_tree(events)
+        if node.name == "serve.request"
+    ]
+    roots.sort(key=lambda node: -node.duration_seconds)
+    return roots[: max(0, int(n))]
+
+
 def attribute_samples(events: Iterable[Event]) -> dict[str, dict[str, dict]]:
     """Attribute resource samples to the spans they interrupted.
 

@@ -1,0 +1,45 @@
+"""Online telemetry: trace retention, Prometheus exposition, SLOs.
+
+Where :mod:`repro.observability` built the *offline* measurement
+substrate (event bus, metrics aggregates, span trees), this package
+makes the *serving* path observable in production terms:
+
+- :class:`TraceBuffer` — a bounded, thread-safe sink that retains the
+  N slowest and N most recent complete request span-trees, keyed by the
+  :func:`~repro.observability.context.trace_context` id every span
+  carries (tail-based retention: the interesting traces are the slow
+  ones, and "what just happened");
+- :func:`render_exposition` / :func:`lint_prometheus` — the
+  Prometheus text-format (``0.0.4``) rendering of a
+  :class:`~repro.observability.metrics.MetricsSink` plus process
+  counters and gauges, and a linter the CI smoke runs over it;
+- :class:`SloTracker` — a rolling-window p99 latency objective with
+  error-budget burn accounting that flips ``/healthz`` readiness and
+  emits ``serve.slo.breach`` events on sustained breach;
+- :func:`run_top` — the ``repro top`` live terminal view polling
+  ``/metrics`` + ``/debug/traces``.
+"""
+
+from __future__ import annotations
+
+from .prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    lint_prometheus,
+    render_exposition,
+)
+from .retention import CompletedTrace, TraceBuffer
+from .slo import SloSnapshot, SloTracker
+from .top import fetch_snapshot, render_top, run_top
+
+__all__ = [
+    "TraceBuffer",
+    "CompletedTrace",
+    "render_exposition",
+    "lint_prometheus",
+    "PROMETHEUS_CONTENT_TYPE",
+    "SloTracker",
+    "SloSnapshot",
+    "fetch_snapshot",
+    "render_top",
+    "run_top",
+]

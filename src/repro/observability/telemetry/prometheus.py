@@ -1,0 +1,298 @@
+"""Prometheus text-format (0.0.4) exposition of the metrics layer.
+
+Renders a :class:`~repro.observability.metrics.MetricsSink`'s aggregates
+plus process counters and point-in-time gauges into the plain-text
+format every Prometheus-compatible scraper understands, with zero new
+dependencies:
+
+- span aggregates become **summaries**: ``repro_serve_request_seconds``
+  with ``quantile="0.5|0.95|0.99"`` series plus ``_sum``/``_count``;
+- counter aggregates (and bus counter totals) become **counters**:
+  ``repro_serve_shed_total``;
+- sample aggregates become quantile summaries in their native unit;
+- caller-supplied gauges (in-flight depth, cache size, SLO state) are
+  emitted verbatim as **gauges**.
+
+Event names map to metric names by replacing every non-identifier
+character with ``_`` under a ``repro_`` prefix; grouping attributes
+become labels, restricted to a fixed allowlist
+(:data:`DEFAULT_LABEL_NAMES`) so high-cardinality attrs (trace ids,
+batch sizes) can never explode the series space. :func:`lint_prometheus`
+is the accompanying well-formedness check — label syntax, TYPE
+declarations, duplicate series — run by the test suite and the CI
+scrape smoke.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Mapping, Sequence
+
+from ..bus import COUNTER, SPAN
+from ..metrics import MetricsSink
+
+#: Content-Type of the text exposition format, sent on ``GET /metrics``
+#: when the client negotiates ``text/plain``.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Attribute names allowed through as labels. Everything else on an
+#: event (trace ids, batch sizes, error strings) is dropped from the
+#: exposition — labels are an index, not a payload.
+DEFAULT_LABEL_NAMES = (
+    "family",
+    "measure",
+    "variant",
+    "dataset",
+    "backend",
+    "status",
+    "path",
+    "route",
+    "method",
+    "shed",
+)
+
+#: Quantiles exposed per summary, matching the sink's aggregates.
+SUMMARY_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_INVALID_CHARS_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metric_name(event_name: str) -> str:
+    """Event name -> metric base name (``serve.request`` -> ``repro_serve_request``)."""
+    return "repro_" + _INVALID_CHARS_RE.sub("_", event_name)
+
+
+def _escape_label(value: Any) -> str:
+    """Escape a label value per the exposition format."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r"\"")
+    )
+
+
+def _format_value(value: float) -> str:
+    """A sample value in exposition syntax (repr floats, +Inf/NaN names)."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _labels(pairs: Sequence[tuple[str, Any]]) -> str:
+    """Rendered label block (``{a="x",b="y"}``), empty string when bare."""
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(value)}"' for name, value in pairs
+    )
+    return "{" + inner + "}"
+
+
+def _label_pairs(
+    attrs: Mapping[str, Any], label_names: Sequence[str]
+) -> tuple[tuple[str, Any], ...]:
+    return tuple(
+        sorted(
+            (name, attrs[name])
+            for name in label_names
+            if attrs.get(name) is not None
+        )
+    )
+
+
+def render_exposition(
+    sink: MetricsSink | None = None,
+    counters: Mapping[str, float] | None = None,
+    gauges: Mapping[str, float | tuple[float, Mapping[str, Any]]] | None = None,
+    *,
+    label_names: Sequence[str] = DEFAULT_LABEL_NAMES,
+) -> str:
+    """Render sink aggregates + counters + gauges as exposition text.
+
+    ``counters`` are bare process totals (e.g. from
+    :meth:`EventBus.counters`); a counter whose event name also appears
+    in the sink is skipped there, because the sink's labeled aggregates
+    already carry the same total — emitting both would duplicate the
+    series. ``gauges`` maps *full* metric names (already prefixed) to a
+    value or a ``(value, labels)`` pair.
+    """
+    lines: list[str] = []
+    sink_records = sink.to_dicts() if sink is not None else []
+    families: dict[str, list[dict]] = {}
+    for record in sink_records:
+        families.setdefault(record["name"], []).append(record)
+
+    for event_name in sorted(families):
+        records = families[event_name]
+        kind = records[0].get("kind", SPAN)
+        base = metric_name(event_name)
+        if kind == COUNTER:
+            name = base + "_total"
+            lines.append(f"# HELP {name} Total of {event_name} events.")
+            lines.append(f"# TYPE {name} counter")
+            for record in records:
+                pairs = _label_pairs(record.get("attrs", {}), label_names)
+                total = float(record["aggregate"]["sum"])
+                lines.append(f"{name}{_labels(pairs)} {_format_value(total)}")
+            continue
+        unit = "_seconds" if kind == SPAN else ""
+        name = base + unit
+        what = "duration" if kind == SPAN else "sample"
+        lines.append(
+            f"# HELP {name} {event_name} {what} distribution."
+        )
+        lines.append(f"# TYPE {name} summary")
+        for record in records:
+            pairs = _label_pairs(record.get("attrs", {}), label_names)
+            agg = record["aggregate"]
+            for quantile, field in SUMMARY_QUANTILES:
+                q_pairs = pairs + (("quantile", quantile),)
+                lines.append(
+                    f"{name}{_labels(q_pairs)} "
+                    f"{_format_value(float(agg[field]))}"
+                )
+            lines.append(
+                f"{name}_sum{_labels(pairs)} "
+                f"{_format_value(float(agg['sum']))}"
+            )
+            lines.append(
+                f"{name}_count{_labels(pairs)} "
+                f"{_format_value(float(agg['count']))}"
+            )
+
+    if counters:
+        for event_name in sorted(counters):
+            if event_name in families:
+                continue  # already exposed with labels from the sink
+            name = metric_name(event_name) + "_total"
+            lines.append(f"# HELP {name} Total of {event_name} events.")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_format_value(float(counters[event_name]))}")
+
+    if gauges:
+        for name in sorted(gauges):
+            spec = gauges[name]
+            if isinstance(spec, tuple):
+                value, attrs = spec
+                pairs = _label_pairs(attrs, label_names)
+            else:
+                value, pairs = spec, ()
+            lines.append(f"# HELP {name} Current value of {name}.")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name}{_labels(pairs)} {_format_value(float(value))}")
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ----------------------------------------------------------------------
+# linting
+# ----------------------------------------------------------------------
+
+_SAMPLE_LINE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<timestamp>-?\d+))?$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+def _family_of(sample_name: str) -> str:
+    """The declared family a sample line belongs to (strip _sum/_count)."""
+    for suffix in ("_sum", "_count", "_bucket"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def lint_prometheus(text: str) -> list[str]:
+    """Validate exposition text; returns a list of problems (empty = ok).
+
+    Checks the properties a scraper actually chokes on: malformed
+    sample/comment lines, invalid metric and label names, unparsable
+    label blocks, values that are not valid floats, samples of a family
+    whose ``TYPE`` was declared after first use, and duplicate series
+    (same name + identical label set).
+    """
+    problems: list[str] = []
+    typed: dict[str, str] = {}
+    seen_series: set[tuple[str, tuple[tuple[str, str], ...]]] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                problems.append(f"line {lineno}: malformed comment {line!r}")
+                continue
+            family = parts[2]
+            if not _METRIC_NAME_RE.match(family):
+                problems.append(
+                    f"line {lineno}: invalid metric name {family!r}"
+                )
+            if parts[1] == "TYPE":
+                if len(parts) < 4 or parts[3] not in (
+                    "counter", "gauge", "summary", "histogram", "untyped",
+                ):
+                    problems.append(
+                        f"line {lineno}: invalid TYPE declaration {line!r}"
+                    )
+                elif family in typed:
+                    problems.append(
+                        f"line {lineno}: duplicate TYPE for {family}"
+                    )
+                else:
+                    typed[family] = parts[3]
+            continue
+        match = _SAMPLE_LINE_RE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: malformed sample line {line!r}")
+            continue
+        name = match.group("name")
+        label_body = match.group("labels")
+        pairs: list[tuple[str, str]] = []
+        if label_body:
+            consumed = 0
+            for pair in _LABEL_PAIR_RE.finditer(label_body):
+                pairs.append((pair.group("name"), pair.group("value")))
+                consumed += len(pair.group(0))
+            rest = _LABEL_PAIR_RE.sub("", label_body).replace(",", "").strip()
+            if rest:
+                problems.append(
+                    f"line {lineno}: unparsable label block "
+                    f"{{{label_body}}}"
+                )
+            names = [p[0] for p in pairs]
+            if len(names) != len(set(names)):
+                problems.append(
+                    f"line {lineno}: repeated label name in {{{label_body}}}"
+                )
+        value = match.group("value")
+        try:
+            float(value)
+        except ValueError:
+            if value not in ("+Inf", "-Inf", "NaN"):
+                problems.append(
+                    f"line {lineno}: invalid sample value {value!r}"
+                )
+        family = _family_of(name)
+        if family not in typed and name not in typed:
+            problems.append(
+                f"line {lineno}: sample {name!r} before any TYPE declaration"
+            )
+        series = (name, tuple(sorted(pairs)))
+        if series in seen_series:
+            problems.append(
+                f"line {lineno}: duplicate series {name}"
+                f"{{{label_body or ''}}}"
+            )
+        seen_series.add(series)
+    return problems

@@ -1,0 +1,263 @@
+"""Tail-based retention of complete request span-trees.
+
+A production server cannot keep every trace — a busy instance emits
+thousands of spans per second — but the traces worth keeping are
+predictable: the *slowest* (where did the p99 go?) and the *most
+recent* (what is happening right now?). :class:`TraceBuffer` is a
+bounded, thread-safe sink implementing exactly that policy.
+
+Mechanics: every span carrying a ``trace_id`` attribute (stamped by the
+bus inside a :func:`~repro.observability.context.trace_context` block)
+is parked in a pending buffer under its trace id. When the trace's
+*root* span arrives — a name from ``root_names``, e.g.
+``serve.request``, which closes last in a synchronous request — the
+pending events graduate into a :class:`CompletedTrace` and enter two
+bounded stores: a recency ring (``keep_recent``) and a duration top-N
+(``keep_slowest``). Everything else is dropped; the drop counters are
+part of :meth:`TraceBuffer.stats` so the loss is visible, never silent.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from ..bus import SPAN, Event
+from ..summary import SpanNode, build_span_tree, critical_path
+
+#: Span names that terminate (and label) a trace.
+DEFAULT_ROOT_NAMES = ("serve.request",)
+
+#: Default size of each retention store (recent ring / slowest top-N).
+DEFAULT_KEEP = 16
+
+#: Bound on concurrently-pending (incomplete) traces. Beyond it the
+#: oldest pending trace is dropped — an orphaned trace (client
+#: disconnect mid-request, root span lost) must not leak memory forever.
+DEFAULT_MAX_PENDING = 512
+
+#: Bound on spans buffered per trace; a runaway request (one span per
+#: reference series, say) degrades to a truncated trace, not OOM.
+DEFAULT_MAX_EVENTS_PER_TRACE = 512
+
+
+def _node_dict(node: SpanNode) -> dict:
+    """Recursive JSON form of one span-tree node."""
+    return {
+        "name": node.name,
+        "duration_seconds": node.duration_seconds,
+        "self_seconds": node.self_seconds,
+        "attrs": {k: v for k, v in node.event.attrs.items() if k != "trace_id"},
+        "children": [_node_dict(child) for child in node.children],
+    }
+
+
+@dataclass(frozen=True)
+class CompletedTrace:
+    """One finished request: its root span plus every retained child.
+
+    ``events`` holds the spans in emission (completion) order; the root
+    is always last. ``completed_unix`` is the wall-clock time the trace
+    was finalized, for the ``/debug/traces`` listing.
+    """
+
+    trace_id: str
+    root: Event
+    events: tuple[Event, ...]
+    completed_unix: float
+
+    @property
+    def duration_seconds(self) -> float:
+        """Duration of the root span (the request's wall-clock)."""
+        return self.root.duration_seconds or 0.0
+
+    def summary(self) -> dict:
+        """One listing row: identity, shape, and headline latency."""
+        attrs = self.root.attrs
+        return {
+            "trace_id": self.trace_id,
+            "root": self.root.name,
+            "path": attrs.get("path"),
+            "status": attrs.get("status"),
+            "duration_ms": round(self.duration_seconds * 1e3, 3),
+            "spans": len(self.events),
+            "completed_unix": round(self.completed_unix, 3),
+        }
+
+    def tree(self) -> list[SpanNode]:
+        """The reconstructed span forest (normally one root)."""
+        return build_span_tree(self.events)
+
+    def to_dict(self) -> dict:
+        """Full JSON detail: summary + span tree + critical path."""
+        chain = critical_path(self.events)
+        return {
+            **self.summary(),
+            "tree": [_node_dict(node) for node in self.tree()],
+            "critical_path": [
+                {
+                    "name": node.name,
+                    "duration_ms": round(node.duration_seconds * 1e3, 3),
+                    "self_ms": round(node.self_seconds * 1e3, 3),
+                }
+                for node in chain
+            ],
+        }
+
+
+class TraceBuffer:
+    """Thread-safe sink retaining the N slowest + N most recent traces.
+
+    Attach to the bus next to the server's
+    :class:`~repro.observability.metrics.MetricsSink`; costs one lock
+    acquisition and a list append per traced span, and nothing at all
+    for spans without a ``trace_id`` (sweeps, benches).
+
+    >>> from repro.observability import EventBus, trace_context
+    >>> from repro.observability.telemetry import TraceBuffer
+    >>> bus, buffer = EventBus(), TraceBuffer()
+    >>> bus.attach(buffer)           # doctest: +ELLIPSIS
+    <...TraceBuffer object at ...>
+    >>> with trace_context() as tid:
+    ...     with bus.span("serve.request", path="/predict"):
+    ...         with bus.span("serve.predict"):
+    ...             pass
+    >>> buffer.get(tid).root.name
+    'serve.request'
+    """
+
+    def __init__(
+        self,
+        keep_recent: int = DEFAULT_KEEP,
+        keep_slowest: int = DEFAULT_KEEP,
+        *,
+        root_names: Iterable[str] = DEFAULT_ROOT_NAMES,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        max_events_per_trace: int = DEFAULT_MAX_EVENTS_PER_TRACE,
+    ):
+        if keep_recent < 1 or keep_slowest < 1:
+            raise ValueError("keep_recent and keep_slowest must be >= 1")
+        self.keep_recent = int(keep_recent)
+        self.keep_slowest = int(keep_slowest)
+        self.root_names = frozenset(root_names)
+        self.max_pending = int(max_pending)
+        self.max_events_per_trace = int(max_events_per_trace)
+        self._lock = threading.Lock()
+        self._pending: dict[str, list[Event]] = {}
+        self._recent: dict[str, CompletedTrace] = {}  # insertion-ordered
+        self._slow_heap: list[tuple[float, int, CompletedTrace]] = []
+        self._slow_by_id: dict[str, CompletedTrace] = {}
+        self._seq = itertools.count()
+        self._completed = 0
+        self._dropped_events = 0
+        self._dropped_pending = 0
+
+    # -- sink protocol -------------------------------------------------
+    def handle(self, event: Event) -> None:
+        """Buffer one traced span; finalize its trace on the root span.
+
+        Honors the sink promise: never raises, and ignores everything
+        without a ``trace_id`` span attribute.
+        """
+        try:
+            if event.kind != SPAN:
+                return
+            trace_id = event.attrs.get("trace_id")
+            if not isinstance(trace_id, str) or not trace_id:
+                return
+            with self._lock:
+                buf = self._pending.get(trace_id)
+                if buf is None:
+                    if len(self._pending) >= self.max_pending:
+                        # Evict the longest-pending trace: insertion
+                        # order of the dict is arrival order.
+                        stale = next(iter(self._pending))
+                        del self._pending[stale]
+                        self._dropped_pending += 1
+                    buf = self._pending[trace_id] = []
+                is_root = event.name in self.root_names
+                # The root always lands (it labels the trace); a full
+                # buffer only truncates the interior spans.
+                if len(buf) >= self.max_events_per_trace and not is_root:
+                    self._dropped_events += 1
+                else:
+                    buf.append(event)
+                if is_root:
+                    del self._pending[trace_id]
+                    self._finalize_locked(trace_id, event, tuple(buf))
+        except Exception:
+            return
+
+    def _finalize_locked(
+        self, trace_id: str, root: Event, events: tuple[Event, ...]
+    ) -> None:
+        trace = CompletedTrace(trace_id, root, events, time.time())
+        self._completed += 1
+        # Recency ring: re-inserting moves the id to the newest slot.
+        self._recent.pop(trace_id, None)
+        self._recent[trace_id] = trace
+        while len(self._recent) > self.keep_recent:
+            oldest = next(iter(self._recent))
+            del self._recent[oldest]
+        # Duration top-N: a min-heap of the slowest seen so far.
+        entry = (trace.duration_seconds, next(self._seq), trace)
+        if len(self._slow_heap) < self.keep_slowest:
+            heapq.heappush(self._slow_heap, entry)
+            self._slow_by_id[trace_id] = trace
+        elif entry[0] > self._slow_heap[0][0]:
+            _, _, evicted = heapq.heapreplace(self._slow_heap, entry)
+            if self._slow_by_id.get(evicted.trace_id) is evicted:
+                del self._slow_by_id[evicted.trace_id]
+            self._slow_by_id[trace_id] = trace
+
+    # -- queries -------------------------------------------------------
+    def get(self, trace_id: str) -> CompletedTrace | None:
+        """A retained trace by id (recent or slowest), else ``None``."""
+        with self._lock:
+            return self._recent.get(trace_id) or self._slow_by_id.get(
+                trace_id
+            )
+
+    def traces(
+        self, order: str = "slowest", limit: int | None = None
+    ) -> list[CompletedTrace]:
+        """Retained traces, ``"slowest"``-first or ``"recent"``-first."""
+        if order not in ("slowest", "recent"):
+            raise ValueError(f"order must be 'slowest' or 'recent', got {order!r}")
+        with self._lock:
+            if order == "recent":
+                out = list(reversed(self._recent.values()))
+            else:
+                out = [
+                    trace
+                    for _, _, trace in sorted(
+                        self._slow_heap, key=lambda e: (-e[0], e[1])
+                    )
+                ]
+        return out if limit is None else out[: max(0, int(limit))]
+
+    def stats(self) -> dict[str, Any]:
+        """Retention accounting, including what was dropped."""
+        with self._lock:
+            return {
+                "completed": self._completed,
+                "retained_recent": len(self._recent),
+                "retained_slowest": len(self._slow_heap),
+                "pending": len(self._pending),
+                "dropped_events": self._dropped_events,
+                "dropped_pending_traces": self._dropped_pending,
+                "keep_recent": self.keep_recent,
+                "keep_slowest": self.keep_slowest,
+            }
+
+    def clear(self) -> None:
+        """Drop every retained and pending trace (counters retained)."""
+        with self._lock:
+            self._pending.clear()
+            self._recent.clear()
+            self._slow_heap.clear()
+            self._slow_by_id.clear()

@@ -1,0 +1,198 @@
+"""Rolling-window latency SLO with error-budget burn accounting.
+
+The serving path's contract is a latency objective — "p99 of ``/predict``
+under N milliseconds" — not a mean. :class:`SloTracker` keeps a rolling
+window of request latencies, evaluates the windowed p99 against the
+target after every observation, and tracks the *error budget*: with a
+p99 objective, 1% of requests are allowed over target; the burn rate is
+the observed over-target fraction divided by that allowance (burn 1.0 =
+spending the budget exactly as fast as it accrues, >1 = on course to
+blow the objective).
+
+Breach is a *state*, not an event storm: the tracker emits one
+``serve.slo.breach`` counter event on the healthy->breaching transition
+(and ``serve.slo.recover`` on the way back), and exposes
+:attr:`SloTracker.breaching` for ``/healthz`` to flip readiness — the
+principled signal load balancers and the future sharded fleet drain
+traffic on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from ..bus import get_bus
+
+#: Default rolling-window length, seconds.
+DEFAULT_WINDOW_SECONDS = 60.0
+
+#: Observations required in the window before the objective is judged —
+#: a single slow cold-start request must not flip readiness.
+DEFAULT_MIN_REQUESTS = 10
+
+#: Fraction of requests a p99 objective allows over target.
+DEFAULT_BUDGET_FRACTION = 0.01
+
+#: Hard cap on retained observations (a window at very high qps).
+DEFAULT_MAX_SAMPLES = 8192
+
+
+@dataclass(frozen=True)
+class SloSnapshot:
+    """Point-in-time view of the objective, JSON-ready via :meth:`to_dict`."""
+
+    target_p99_seconds: float
+    window_seconds: float
+    requests: int
+    p99_seconds: float
+    over_target: int
+    burn_rate: float
+    breaching: bool
+    breaches: int
+
+    def to_dict(self) -> dict:
+        return {
+            "target_p99_ms": round(self.target_p99_seconds * 1e3, 3),
+            "window_seconds": self.window_seconds,
+            "requests": self.requests,
+            "p99_ms": round(self.p99_seconds * 1e3, 3),
+            "over_target": self.over_target,
+            "burn_rate": round(self.burn_rate, 3),
+            "breaching": self.breaching,
+            "breaches": self.breaches,
+        }
+
+
+class SloTracker:
+    """Thread-safe rolling-window p99 objective over request latencies.
+
+    Parameters
+    ----------
+    p99_target_ms:
+        The objective: windowed p99 must stay at or under this.
+    window_seconds:
+        Rolling-window length; observations age out of judgment.
+    min_requests:
+        Observations required in the window before breach can trigger.
+    budget_fraction:
+        Allowed over-target fraction (0.01 for a p99 objective).
+    max_samples:
+        Bound on retained observations; oldest beyond it age out early.
+    clock:
+        Injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        p99_target_ms: float,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        *,
+        min_requests: int = DEFAULT_MIN_REQUESTS,
+        budget_fraction: float = DEFAULT_BUDGET_FRACTION,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if p99_target_ms <= 0:
+            raise ValueError(
+                f"p99_target_ms must be > 0, got {p99_target_ms}"
+            )
+        if window_seconds <= 0:
+            raise ValueError(
+                f"window_seconds must be > 0, got {window_seconds}"
+            )
+        self.target_seconds = float(p99_target_ms) / 1e3
+        self.window_seconds = float(window_seconds)
+        self.min_requests = max(1, int(min_requests))
+        self.budget_fraction = float(budget_fraction)
+        self._clock = clock
+        self._samples: deque[tuple[float, float]] = deque(
+            maxlen=int(max_samples)
+        )
+        self._lock = threading.Lock()
+        self._breaching = False
+        self._breaches = 0
+
+    # -- recording -----------------------------------------------------
+    def observe(self, duration_seconds: float) -> None:
+        """Record one request latency and re-judge the objective.
+
+        Emits ``serve.slo.breach`` / ``serve.slo.recover`` counter
+        events on state transitions (outside the tracker's lock).
+        """
+        now = self._clock()
+        transition: str | None = None
+        with self._lock:
+            self._samples.append((now, float(duration_seconds)))
+            self._prune_locked(now)
+            breaching = self._judge_locked()
+            if breaching and not self._breaching:
+                self._breaches += 1
+                transition = "serve.slo.breach"
+            elif not breaching and self._breaching:
+                transition = "serve.slo.recover"
+            self._breaching = breaching
+        if transition is not None:
+            get_bus().count(
+                transition,
+                target_ms=round(self.target_seconds * 1e3, 3),
+                window_seconds=self.window_seconds,
+            )
+
+    def _prune_locked(self, now: float) -> None:
+        horizon = now - self.window_seconds
+        samples = self._samples
+        while samples and samples[0][0] < horizon:
+            samples.popleft()
+
+    def _windowed_locked(self) -> tuple[int, float, int]:
+        """``(n, exact windowed p99, over-target count)``."""
+        durations = sorted(d for _, d in self._samples)
+        n = len(durations)
+        if n == 0:
+            return 0, 0.0, 0
+        # Exact upper order statistic: the smallest value with at least
+        # 99% of observations at or below it.
+        index = max(0, -(-99 * n // 100) - 1)
+        over = sum(1 for d in durations if d > self.target_seconds)
+        return n, durations[index], over
+
+    def _judge_locked(self) -> bool:
+        n, p99, _ = self._windowed_locked()
+        return n >= self.min_requests and p99 > self.target_seconds
+
+    # -- queries -------------------------------------------------------
+    @property
+    def breaching(self) -> bool:
+        """Whether the objective is currently breached (readiness flip)."""
+        with self._lock:
+            self._prune_locked(self._clock())
+            # Re-judge on read: requests aging out of the window can
+            # clear a breach with no new observation arriving.
+            breaching = self._judge_locked()
+            if breaching != self._breaching:
+                self._breaching = breaching
+            return breaching
+
+    def snapshot(self) -> SloSnapshot:
+        """Current windowed state for ``/healthz`` and ``/metrics``."""
+        with self._lock:
+            self._prune_locked(self._clock())
+            n, p99, over = self._windowed_locked()
+            breaching = n >= self.min_requests and p99 > self.target_seconds
+            self._breaching = breaching
+            allowed = self.budget_fraction * n
+            burn = (over / allowed) if allowed > 0 else 0.0
+            return SloSnapshot(
+                target_p99_seconds=self.target_seconds,
+                window_seconds=self.window_seconds,
+                requests=n,
+                p99_seconds=p99,
+                over_target=over,
+                burn_rate=burn,
+                breaching=breaching,
+                breaches=self._breaches,
+            )

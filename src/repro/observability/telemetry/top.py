@@ -1,0 +1,216 @@
+"""``repro top`` — a live terminal view of one serving instance.
+
+Polls ``GET /metrics`` (JSON form) and ``GET /debug/traces`` on an
+interval and renders a compact dashboard: qps and shed rate from
+counter deltas between polls, latency percentiles from the server's
+lifetime aggregates, cache hit rate, SLO state, and the critical path
+of the slowest retained trace. Pure stdlib (urllib + ANSI clear), so it
+runs anywhere the server does.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import IO, Any, Mapping
+
+from ..metrics import Aggregate
+
+#: Screen-clear escape prefix used between refreshes.
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _fetch_json(url: str, timeout: float) -> Any:
+    request = urllib.request.Request(
+        url, headers={"Accept": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def fetch_snapshot(base_url: str, timeout: float = 5.0) -> dict:
+    """One poll: ``/metrics`` + the slowest retained trace's detail.
+
+    Returns ``{"time", "metrics", "slowest"}`` where ``slowest`` is the
+    ``/debug/traces/<id>`` payload of the currently slowest trace (or
+    ``None`` when nothing is retained yet).
+    """
+    base = base_url.rstrip("/")
+    metrics = _fetch_json(base + "/metrics?format=json", timeout)
+    slowest = None
+    try:
+        listing = _fetch_json(
+            base + "/debug/traces?order=slowest&limit=1", timeout
+        )
+        traces = listing.get("traces", [])
+        if traces:
+            slowest = _fetch_json(
+                base + "/debug/traces/" + traces[0]["trace_id"], timeout
+            )
+    except (urllib.error.URLError, OSError, ValueError, KeyError):
+        slowest = None  # a server without the debug endpoints still tops
+    return {"time": time.monotonic(), "metrics": metrics, "slowest": slowest}
+
+
+def _merged_aggregate(
+    records: list[dict], name: str, **attr_filter: Any
+) -> Aggregate:
+    """Losslessly merge all sink records for ``name`` matching the filter."""
+    merged = Aggregate()
+    for record in records:
+        if record.get("name") != name:
+            continue
+        attrs = record.get("attrs", {})
+        if any(attrs.get(k) != v for k, v in attr_filter.items()):
+            continue
+        merged.merge(Aggregate.from_dict(record["aggregate"]))
+    return merged
+
+
+def _rate(
+    current: Mapping, previous: Mapping | None, extract, elapsed: float
+) -> float | None:
+    """Per-second delta of ``extract(snapshot)``; None without history."""
+    if previous is None or elapsed <= 0:
+        return None
+    try:
+        return max(0.0, (extract(current) - extract(previous))) / elapsed
+    except (KeyError, TypeError):
+        return None
+
+
+def _seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.2f} s"
+    return f"{value * 1e3:.1f} ms"
+
+
+def render_top(
+    current: dict, previous: dict | None = None, *, url: str = ""
+) -> str:
+    """Render one dashboard frame from (up to) two consecutive polls."""
+    metrics = current["metrics"]
+    records = metrics.get("metrics", [])
+    counters = metrics.get("counters", {})
+    elapsed = (
+        current["time"] - previous["time"] if previous is not None else 0.0
+    )
+
+    requests = _merged_aggregate(records, "serve.request", path="/predict")
+    all_requests = _merged_aggregate(records, "serve.request")
+    qps = _rate(
+        current,
+        previous,
+        lambda s: _merged_aggregate(
+            s["metrics"].get("metrics", []), "serve.request", path="/predict"
+        ).count,
+        elapsed,
+    )
+    shed_rate = _rate(
+        current,
+        previous,
+        lambda s: float(s["metrics"].get("counters", {}).get("serve.shed", 0)),
+        elapsed,
+    )
+
+    cache = metrics.get("cache", {})
+    lookups = cache.get("hits", 0) + cache.get("misses", 0)
+    hit_pct = 100.0 * cache.get("hits", 0) / lookups if lookups else 0.0
+
+    lines = [
+        f"repro top — {url}".rstrip(" —"),
+        "",
+        (
+            f"requests  {all_requests.count:>8} total   "
+            + (f"{qps:8.1f} qps" if qps is not None else "     ... qps")
+            + "   "
+            + (
+                f"{shed_rate:6.1f} shed/s"
+                if shed_rate is not None
+                else "   ... shed/s"
+            )
+            + f"   inflight {metrics.get('inflight', 0)}"
+        ),
+        (
+            f"/predict  p50 {_seconds(requests.p50):>9}   "
+            f"p95 {_seconds(requests.p95):>9}   "
+            f"p99 {_seconds(requests.p99):>9}   "
+            f"({requests.count} lifetime)"
+        ),
+        (
+            f"cache     {cache.get('hits', 0)} hits ({hit_pct:.1f}%)   "
+            f"size {cache.get('size', 0)}/{cache.get('capacity', 0)}   "
+            f"evictions {cache.get('evictions', 0)}"
+        ),
+    ]
+    shed_total = counters.get("serve.shed", 0)
+    if shed_total:
+        lines.append(f"shed      {shed_total:g} total")
+
+    slo = metrics.get("slo")
+    if slo:
+        state = "BREACHING" if slo.get("breaching") else "ok"
+        lines.append(
+            f"slo       p99 target {slo.get('target_p99_ms', 0):g} ms   "
+            f"windowed p99 {slo.get('p99_ms', 0):g} ms   "
+            f"burn {slo.get('burn_rate', 0):g}x   "
+            f"breaches {slo.get('breaches', 0)}   {state}"
+        )
+
+    slowest = current.get("slowest")
+    if slowest:
+        chain = " -> ".join(
+            f"{hop['name']} {hop['duration_ms']:g}ms"
+            for hop in slowest.get("critical_path", [])
+        )
+        lines.append("")
+        lines.append(
+            f"slowest trace {slowest.get('trace_id', '?')} "
+            f"({slowest.get('duration_ms', 0):g} ms, "
+            f"status {slowest.get('status')})"
+        )
+        if chain:
+            lines.append(f"  {chain}")
+    return "\n".join(lines)
+
+
+def run_top(
+    url: str,
+    *,
+    interval: float = 2.0,
+    iterations: int | None = None,
+    stream: IO[str] | None = None,
+    clear: bool = True,
+    timeout: float = 5.0,
+) -> int:
+    """Poll-and-render loop; returns a process exit code.
+
+    ``iterations=None`` runs until interrupted (Ctrl-C exits cleanly);
+    ``iterations=1`` with ``clear=False`` is the scriptable ``--once``
+    mode. Connection failures print an error and return 1.
+    """
+    out = stream if stream is not None else sys.stdout
+    previous: dict | None = None
+    count = 0
+    try:
+        while iterations is None or count < iterations:
+            try:
+                current = fetch_snapshot(url, timeout=timeout)
+            except (urllib.error.URLError, OSError, ValueError) as exc:
+                print(f"repro top: cannot poll {url}: {exc}", file=sys.stderr)
+                return 1
+            frame = render_top(current, previous, url=url)
+            if clear:
+                out.write(_CLEAR)
+            out.write(frame + "\n")
+            out.flush()
+            previous = current
+            count += 1
+            if iterations is None or count < iterations:
+                time.sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -13,7 +13,11 @@ from .markdown import (
 )
 from .sparkline import sparkline, sparkline_pair
 from .tables import format_census_table, format_comparison_table
-from .trace import format_critical_path, format_trace_summary
+from .trace import (
+    format_critical_path,
+    format_serve_summary,
+    format_trace_summary,
+)
 
 __all__ = [
     "sparkline",
@@ -21,6 +25,7 @@ __all__ = [
     "format_comparison_table",
     "format_census_table",
     "format_trace_summary",
+    "format_serve_summary",
     "format_critical_path",
     "format_backend_table",
     "format_rank_figure",

@@ -9,7 +9,13 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from ..observability.bus import Event
-from ..observability.summary import SpanNode, TraceSummary, critical_path
+from ..observability.summary import (
+    SpanNode,
+    TraceSummary,
+    critical_path,
+    slowest_serve_requests,
+    summarize_serve_events,
+)
 
 
 def _seconds(value: float) -> str:
@@ -53,6 +59,66 @@ def format_critical_path(
             f"{share}  (self {_seconds(node.self_seconds)})"
         )
         parent_seconds = node.duration_seconds
+    return "\n".join(lines)
+
+
+def format_serve_summary(
+    events: Iterable[Event],
+    title: str = "Serving summary",
+    slowest: int = 3,
+) -> str:
+    """Per-endpoint latency breakdown of a ``repro serve`` trace.
+
+    Groups ``serve.request`` root spans by ``(path, status)`` and, below
+    the table, renders the critical path of the ``slowest`` individual
+    requests — each one a full request tree from its ``serve.request``
+    root. Returns ``""`` when the stream has no serving spans, so
+    ``repro trace summarize`` can probe-and-fall-back to the sweep view.
+    """
+    events = list(events)
+    rows = summarize_serve_events(events)
+    if not rows:
+        return ""
+    lines = [title, "=" * len(title)]
+    path_width = max([len(row.path) for row in rows] + [len("Path"), 12])
+    header = (
+        f"{'Path':<{path_width}}  {'Status':>6}  {'Count':>6}  "
+        f"{'Total':>10}  {'Mean':>10}  {'Max':>10}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            f"{row.path:<{path_width}}  {row.status:>6}  {row.count:>6}  "
+            f"{_seconds(row.total_seconds):>10}  "
+            f"{_seconds(row.mean_seconds):>10}  "
+            f"{_seconds(row.max_seconds):>10}"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'all requests':<{path_width}}  {'':>6}  "
+        f"{sum(r.count for r in rows):>6}  "
+        f"{_seconds(sum(r.total_seconds for r in rows)):>10}"
+    )
+    for rank, root in enumerate(slowest_serve_requests(events, slowest), 1):
+        # Descend the request's own heaviest chain, not the trace-wide one.
+        chain: list[SpanNode] = []
+        node: SpanNode | None = root
+        while node is not None:
+            chain.append(node)
+            node = (
+                max(node.children, key=lambda n: n.duration_seconds)
+                if node.children
+                else None
+            )
+        trace_id = root.event.attrs.get("trace_id", "?")
+        heading = (
+            f"Slowest request #{rank} — "
+            f"{root.event.attrs.get('path', '?')} "
+            f"({_seconds(root.duration_seconds)}, trace {trace_id})"
+        )
+        lines.append("")
+        lines.append(format_critical_path(chain, title=heading))
     return "\n".join(lines)
 
 

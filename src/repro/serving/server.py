@@ -1,16 +1,22 @@
 """Stdlib HTTP front-end for the query engine, with backpressure.
 
 ``repro serve --artifact DIR --port N`` exposes a fitted
-:class:`~repro.serving.ModelArtifact` behind three endpoints:
+:class:`~repro.serving.ModelArtifact` behind these endpoints:
 
 - ``POST /predict`` — a JSON batch (``{"queries": [[...], ...]}``) or a
   base64-encoded ``.npy`` payload (``{"queries_npy_b64": "..."}``);
   responds with per-query labels, reference indices, distances and the
   batch's cache-hit count;
 - ``GET /healthz`` — liveness plus the artifact's manifest summary;
+  flips to ``503``/``degraded`` while the latency SLO is breached;
 - ``GET /metrics`` — the server's :class:`~repro.observability.MetricsSink`
-  aggregates (count/mean/p50/p95/p99 per span) and the process counters,
-  as JSON.
+  aggregates and process counters. Content-negotiated: JSON by default
+  (the original format, preserved), Prometheus text exposition 0.0.4
+  when the client sends ``Accept: text/plain`` or ``?format=prometheus``;
+- ``GET /debug/traces`` — summaries of the retained request traces
+  (``?order=slowest|recent&limit=N``) plus retention accounting;
+- ``GET /debug/traces/<id>`` — one trace's full span tree and critical
+  path.
 
 **Backpressure.** Every worker thread a request would occupy counts
 against a bounded admission gate; once ``max_inflight`` ``/predict``
@@ -20,10 +26,19 @@ queueing without bound. Shedding is deliberate load-loss, never
 wrong answers: admitted requests always run to completion, and the
 gate is released only after the response is written.
 
-**Observability.** Each request is wrapped in a ``serve.request`` span
-(attrs: path, status, shed) and predictions additionally emit the
-engine's ``serve.predict`` span and ``serve.cache.hit/miss`` counters —
-all captured by the server-owned metrics sink that ``/metrics`` renders.
+**Observability.** Every request runs inside a
+:func:`~repro.observability.trace_context`: the trace id is taken from
+the client's ``X-Repro-Trace-Id`` header when valid, minted otherwise,
+echoed back on every response, and stamped by the bus into each span
+emitted on the handler thread — so ``serve.request`` ->
+``serve.predict`` -> ``matrix.compute`` form one retrievable tree per
+request in the server's :class:`TraceBuffer`. An optional structured
+access log writes one JSON line per request carrying the same trace id.
+
+**SLO.** ``slo_p99_ms`` arms a rolling-window p99 objective over
+non-shed ``/predict`` latencies (:class:`SloTracker`): a sustained
+breach emits ``serve.slo.breach``, burns error budget visibly in
+``/metrics``, and turns ``/healthz`` unready until the window recovers.
 
 **Graceful shutdown.** ``serve_forever(install_signal_handlers=True)``
 converts SIGTERM/SIGINT into a graceful stop: the accept loop exits, and
@@ -38,13 +53,28 @@ import io
 import json
 import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Any
+from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
 from ..exceptions import ReproError, ServingError
-from ..observability import MetricsSink, get_bus
+from ..observability import (
+    MetricsSink,
+    get_bus,
+    new_trace_id,
+    trace_context,
+    valid_trace_id,
+)
+from ..observability.telemetry import (
+    PROMETHEUS_CONTENT_TYPE,
+    SloTracker,
+    TraceBuffer,
+    render_exposition,
+)
 from .engine import QueryEngine
 
 #: Default bound on concurrent ``/predict`` requests.
@@ -56,6 +86,15 @@ DEFAULT_RETRY_AFTER = 1.0
 #: Largest request body accepted, in bytes (a batch of ~4k queries of
 #: length 512 as JSON). Bigger bodies are rejected with 413.
 MAX_BODY_BYTES = 64 << 20
+
+#: Header carrying the request's trace id, both directions.
+TRACE_HEADER = "X-Repro-Trace-Id"
+
+#: Default per-store trace retention (recent ring and slowest top-N).
+DEFAULT_TRACE_KEEP = 16
+
+#: Default SLO evaluation window, seconds.
+DEFAULT_SLO_WINDOW = 60.0
 
 
 class AdmissionGate:
@@ -128,7 +167,8 @@ class _Handler(BaseHTTPRequestHandler):
     # -- plumbing ------------------------------------------------------
     def log_message(self, format: str, *args: Any) -> None:
         """Silence the default per-request stderr chatter; the event bus
-        is the supported way to observe the server."""
+        (and the optional structured access log) is the supported way to
+        observe the server."""
 
     def _respond(
         self,
@@ -137,44 +177,107 @@ class _Handler(BaseHTTPRequestHandler):
         extra_headers: dict[str, str] | None = None,
     ) -> None:
         body = json.dumps(payload).encode()
+        self._respond_bytes(status, body, "application/json", extra_headers)
+
+    def _respond_bytes(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        # Stage, don't send: the bytes go on the wire only after the
+        # request's root span has closed and its access-log line is
+        # written (see _dispatch), so a client that reacts to the
+        # response immediately — polling /debug/traces or tailing the
+        # log — always observes its own request's telemetry.
+        self._staged = (status, body, content_type, dict(extra_headers or {}))
+
+    def _send_staged(self) -> None:
+        status, body, content_type, extra_headers = self._staged
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
-        for name, value in (extra_headers or {}).items():
+        self.send_header(TRACE_HEADER, self._trace_id)
+        for name, value in extra_headers.items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    # -- routes --------------------------------------------------------
+    # -- dispatch ------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        server: ReproServer = self.server.repro  # type: ignore[attr-defined]
-        path = self.path.split("?", 1)[0]
-        with get_bus().span("serve.request", path=path) as span:
-            if path == "/healthz":
-                status, payload = 200, {
-                    "status": "ok",
-                    "inflight": server.gate.depth,
-                    "artifact": server.engine.artifact.describe(),
-                }
-            elif path == "/metrics":
-                status, payload = 200, server.render_metrics()
-            else:
-                status, payload = 404, {"error": f"unknown path {path!r}"}
-            span.set(status=status)
-            self._respond(status, payload)
+        self._dispatch("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        """Common request wrapper: trace context, root span, access log.
+
+        The trace id comes from the client's ``X-Repro-Trace-Id`` header
+        when syntactically valid (distributed callers correlate their
+        own traces through us) and is minted otherwise; either way it is
+        echoed on the response and stamped into every span the handler
+        thread emits, which is what links ``serve.request`` to the
+        engine's ``serve.predict`` and the measure's ``matrix.compute``
+        in one tree.
+        """
         server: ReproServer = self.server.repro  # type: ignore[attr-defined]
-        path = self.path.split("?", 1)[0]
-        bus = get_bus()
-        with bus.span("serve.request", path=path) as span:
+        parts = urlsplit(self.path)
+        path, query = parts.path, parse_qs(parts.query)
+        incoming = self.headers.get(TRACE_HEADER, "")
+        trace_id = incoming if valid_trace_id(incoming) else new_trace_id()
+        self._trace_id = trace_id
+        self._staged = (500, b"{}", "application/json", {})
+        self._gate_held = False
+        started = time.monotonic()
+        shed = False
+        try:
+            with trace_context(trace_id):
+                with get_bus().span(
+                    "serve.request", path=path, method=method
+                ) as span:
+                    status, shed = self._route(
+                        server, method, path, query, span
+                    )
+                    span.set(status=status)
+            duration = time.monotonic() - started
+            if server.slo is not None and path == "/predict" and not shed:
+                # Shed requests answer in microseconds by design; folding
+                # them into the latency objective would mask a breach.
+                server.slo.observe(duration)
+            server.log_access(
+                method=method,
+                path=path,
+                status=status,
+                duration_ms=round(duration * 1e3, 3),
+                trace_id=trace_id,
+                shed=shed,
+            )
+            self._send_staged()
+        finally:
+            # The admission slot is released only after the response is
+            # on the wire — the gate bounds occupied worker threads, not
+            # just occupied compute.
+            if self._gate_held:
+                server.gate.leave()
+
+    def _route(
+        self,
+        server: "ReproServer",
+        method: str,
+        path: str,
+        query: dict[str, list[str]],
+        span: Any,
+    ) -> tuple[int, bool]:
+        """Route one request; returns ``(status, shed)``."""
+        if method == "POST":
             if path != "/predict":
-                span.set(status=404)
                 self._respond(404, {"error": f"unknown path {path!r}"})
-                return
+                return 404, False
             if not server.gate.try_enter():
-                bus.count("serve.shed")
-                span.set(status=503, shed=True)
+                get_bus().count("serve.shed")
+                span.set(shed=True)
                 self._respond(
                     503,
                     {
@@ -184,13 +287,98 @@ class _Handler(BaseHTTPRequestHandler):
                     },
                     {"Retry-After": f"{server.retry_after:g}"},
                 )
-                return
-            try:
-                status, payload = self._predict(server)
-            finally:
-                server.gate.leave()
-            span.set(status=status)
+                return 503, True
+            self._gate_held = True
+            status, payload = self._predict(server)
             self._respond(status, payload)
+            return status, False
+
+        if path == "/healthz":
+            return self._healthz(server), False
+        if path == "/metrics":
+            return self._metrics(server, query), False
+        if path == "/debug/traces":
+            return self._trace_listing(server, query), False
+        if path.startswith("/debug/traces/"):
+            return self._trace_detail(server, path), False
+        self._respond(404, {"error": f"unknown path {path!r}"})
+        return 404, False
+
+    # -- GET routes ----------------------------------------------------
+    def _healthz(self, server: "ReproServer") -> int:
+        payload = {
+            "status": "ok",
+            "inflight": server.gate.depth,
+            "artifact": server.engine.artifact.describe(),
+        }
+        status = 200
+        if server.slo is not None:
+            snapshot = server.slo.snapshot()
+            payload["slo"] = snapshot.to_dict()
+            if snapshot.breaching:
+                # Readiness flip: a load balancer polling /healthz stops
+                # routing here until the window recovers.
+                status, payload["status"] = 503, "degraded"
+        self._respond(status, payload)
+        return status
+
+    def _wants_prometheus(self, query: dict[str, list[str]]) -> bool:
+        fmt = query.get("format", [""])[0].lower()
+        if fmt in ("prometheus", "prom", "text"):
+            return True
+        if fmt == "json":
+            return False
+        accept = self.headers.get("Accept", "")
+        return "text/plain" in accept and "application/json" not in accept
+
+    def _metrics(
+        self, server: "ReproServer", query: dict[str, list[str]]
+    ) -> int:
+        if self._wants_prometheus(query):
+            self._respond_bytes(
+                200,
+                server.render_prometheus().encode(),
+                PROMETHEUS_CONTENT_TYPE,
+            )
+        else:
+            self._respond(200, server.render_metrics())
+        return 200
+
+    def _trace_listing(
+        self, server: "ReproServer", query: dict[str, list[str]]
+    ) -> int:
+        order = query.get("order", ["slowest"])[0]
+        if order not in ("slowest", "recent"):
+            self._respond(
+                400, {"error": f"order must be 'slowest' or 'recent', got {order!r}"}
+            )
+            return 400
+        try:
+            limit = int(query.get("limit", ["0"])[0]) or None
+        except ValueError:
+            self._respond(400, {"error": "limit must be an integer"})
+            return 400
+        payload = {
+            "order": order,
+            "traces": [
+                trace.summary()
+                for trace in server.traces.traces(order=order, limit=limit)
+            ],
+            "stats": server.traces.stats(),
+        }
+        self._respond(200, payload)
+        return 200
+
+    def _trace_detail(self, server: "ReproServer", path: str) -> int:
+        trace_id = path[len("/debug/traces/"):]
+        trace = server.traces.get(trace_id)
+        if trace is None:
+            self._respond(
+                404, {"error": f"no retained trace {trace_id!r}"}
+            )
+            return 404
+        self._respond(200, trace.to_dict())
+        return 200
 
     def _predict(self, server: "ReproServer") -> tuple[int, dict]:
         """Parse, predict, and shape the ``/predict`` response."""
@@ -236,7 +424,8 @@ class _ThreadingServer(ThreadingHTTPServer):
 
 
 class ReproServer:
-    """Owns the HTTP server, the engine, the gate and the metrics sink.
+    """Owns the HTTP server, engine, gate, metrics sink, trace buffer
+    and (optionally) the SLO tracker and structured access log.
 
     Usable three ways: ``serve_forever()`` in a foreground process (the
     CLI), ``start_background()`` for tests and the load harness, or as a
@@ -251,11 +440,28 @@ class ReproServer:
         *,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         retry_after: float = DEFAULT_RETRY_AFTER,
+        slo_p99_ms: float | None = None,
+        slo_window: float = DEFAULT_SLO_WINDOW,
+        trace_keep: int = DEFAULT_TRACE_KEEP,
+        access_log: str | Path | None = None,
     ):
         self.engine = engine
         self.gate = AdmissionGate(max_inflight)
         self.retry_after = float(retry_after)
         self.sink = MetricsSink(group_by=("path", "status", "route", "measure"))
+        self.traces = TraceBuffer(
+            keep_recent=trace_keep, keep_slowest=trace_keep
+        )
+        self.slo = (
+            None
+            if slo_p99_ms is None
+            else SloTracker(slo_p99_ms, slo_window)
+        )
+        self._access_log_path = (
+            None if access_log is None else Path(access_log)
+        )
+        self._access_log_fh: Any = None
+        self._access_log_lock = threading.Lock()
         self._httpd = _ThreadingServer((host, port), _Handler)
         self._httpd.repro = self  # type: ignore[attr-defined]
         self._sink_attached = False
@@ -275,13 +481,38 @@ class ReproServer:
 
     def _attach_sink(self) -> None:
         if not self._sink_attached:
-            get_bus().attach(self.sink)
+            bus = get_bus()
+            bus.attach(self.sink)
+            bus.attach(self.traces)
             self._sink_attached = True
+        if self._access_log_path is not None and self._access_log_fh is None:
+            self._access_log_fh = self._access_log_path.open(
+                "a", encoding="utf-8"
+            )
 
     def _detach_sink(self) -> None:
         if self._sink_attached:
-            get_bus().detach(self.sink)
+            bus = get_bus()
+            bus.detach(self.sink)
+            bus.detach(self.traces)
             self._sink_attached = False
+        if self._access_log_fh is not None:
+            with self._access_log_lock:
+                self._access_log_fh.close()
+                self._access_log_fh = None
+
+    def log_access(self, **fields: Any) -> None:
+        """Append one JSON access-log line (no-op without a log path)."""
+        fh = self._access_log_fh
+        if fh is None:
+            return
+        line = json.dumps({"ts": round(time.time(), 3), **fields})
+        try:
+            with self._access_log_lock:
+                fh.write(line + "\n")
+                fh.flush()
+        except ValueError:
+            pass  # closed during shutdown race; the request still served
 
     def serve_forever(self, *, install_signal_handlers: bool = False) -> None:
         """Run the accept loop in the calling thread until shutdown.
@@ -342,18 +573,47 @@ class ReproServer:
 
     # -- metrics -------------------------------------------------------
     def render_metrics(self) -> dict:
-        """The ``/metrics`` payload: sink aggregates + process counters."""
+        """The JSON ``/metrics`` payload: aggregates + counters + state."""
         counters = {
             name: value
             for name, value in sorted(get_bus().counters().items())
             if name.startswith("serve.")
         }
-        return {
+        payload = {
             "counters": counters,
             "inflight": self.gate.depth,
             "cache": self.engine.cache_stats().to_dict(),
             "metrics": self.sink.to_dicts(),
+            "traces": self.traces.stats(),
         }
+        if self.slo is not None:
+            payload["slo"] = self.slo.snapshot().to_dict()
+        return payload
+
+    def render_prometheus(self) -> str:
+        """The ``/metrics`` payload in Prometheus text format 0.0.4."""
+        counters = {
+            name: value
+            for name, value in get_bus().counters().items()
+            if name.startswith("serve.")
+        }
+        cache = self.engine.cache_stats().to_dict()
+        gauges: dict[str, float] = {
+            "repro_serve_inflight": float(self.gate.depth),
+            "repro_serve_cache_size": float(cache.get("size", 0)),
+            "repro_serve_cache_capacity": float(cache.get("capacity", 0)),
+        }
+        if self.slo is not None:
+            snapshot = self.slo.snapshot()
+            gauges["repro_serve_slo_breaching"] = float(snapshot.breaching)
+            gauges["repro_serve_slo_windowed_p99_seconds"] = (
+                snapshot.p99_seconds
+            )
+            gauges["repro_serve_slo_target_p99_seconds"] = (
+                snapshot.target_p99_seconds
+            )
+            gauges["repro_serve_slo_burn_rate"] = snapshot.burn_rate
+        return render_exposition(self.sink, counters, gauges)
 
 
 def serve_artifact(
@@ -365,6 +625,10 @@ def serve_artifact(
     retry_after: float = DEFAULT_RETRY_AFTER,
     cache_size: int | None = None,
     backend: str = "auto",
+    slo_p99_ms: float | None = None,
+    slo_window: float = DEFAULT_SLO_WINDOW,
+    trace_keep: int = DEFAULT_TRACE_KEEP,
+    access_log: str | Path | None = None,
 ) -> ReproServer:
     """Load an artifact and build a ready-to-run :class:`ReproServer`.
 
@@ -387,4 +651,8 @@ def serve_artifact(
         port,
         max_inflight=max_inflight,
         retry_after=retry_after,
+        slo_p99_ms=slo_p99_ms,
+        slo_window=slo_window,
+        trace_keep=trace_keep,
+        access_log=access_log,
     )

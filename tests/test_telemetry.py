@@ -1,0 +1,837 @@
+"""Tests for request-scoped telemetry (repro.observability.telemetry).
+
+Covers the layers the serving path's observability is built from:
+
+- **trace context**: ContextVar propagation, nesting, thread isolation,
+  and the bus stamping the ambient id into span attributes;
+- **span ids**: the pid+nonce prefix that keeps ids collision-free
+  across process-pool workers even under pid reuse;
+- **TraceBuffer**: finalize-on-root semantics, recent/slowest retention,
+  bounded pending and per-trace buffers, JSON detail shape;
+- **Prometheus exposition**: kind-aware rendering (summary vs counter),
+  bus-counter dedup, and the linter both passing real output and
+  catching crafted malformations;
+- **SLO tracking**: windowed p99 judgment under a fake clock, breach /
+  recover transitions, error-budget burn;
+- **server integration**: header propagation, ``/debug/traces``,
+  content-negotiated ``/metrics``, readiness flips, the JSON access
+  log, concurrent-client trace isolation, and the ``repro top`` / serve
+  trace summarize CLI surfaces.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+import repro.observability.bus as bus_mod
+from repro.datasets import default_archive
+from repro.observability import (
+    EventBus,
+    JsonlSink,
+    MetricsSink,
+    current_trace_id,
+    get_bus,
+    new_trace_id,
+    trace_context,
+    valid_trace_id,
+)
+from repro.observability.telemetry import (
+    PROMETHEUS_CONTENT_TYPE,
+    SloTracker,
+    TraceBuffer,
+    lint_prometheus,
+    render_exposition,
+    render_top,
+    run_top,
+)
+from repro.serving import ModelArtifact, QueryEngine, ReproServer
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return default_archive(n_datasets=4, size_scale=0.4, seed=3).subset(1)[0]
+
+
+@pytest.fixture(scope="module")
+def nccc_artifact(dataset):
+    return ModelArtifact.fit_dataset(
+        dataset, measure="nccc", normalization="zscore"
+    )
+
+
+def get_json(url: str, headers: dict | None = None, timeout: float = 10.0):
+    req = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+def post_json(
+    url: str,
+    payload: dict,
+    headers: dict | None = None,
+    timeout: float = 10.0,
+):
+    req = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+# ----------------------------------------------------------------------
+# trace context
+# ----------------------------------------------------------------------
+
+
+class TestTraceContext:
+    def test_ambient_id_set_and_restored(self):
+        assert current_trace_id() is None
+        with trace_context() as tid:
+            assert current_trace_id() == tid
+            assert valid_trace_id(tid)
+        assert current_trace_id() is None
+
+    def test_adopts_supplied_id_and_nests(self):
+        with trace_context("abcd1234") as outer:
+            assert outer == "abcd1234"
+            with trace_context("feed5678") as inner:
+                assert current_trace_id() == inner == "feed5678"
+            assert current_trace_id() == "abcd1234"
+
+    def test_fresh_ids_are_unique(self):
+        assert len({new_trace_id() for _ in range(256)}) == 256
+
+    def test_validation_rejects_junk(self):
+        assert valid_trace_id("deadbeef")
+        assert valid_trace_id("1f-2e.3d" + "a" * 20)
+        for junk in ("", "ab", "x" * 65, 'ab"cd1234', "zzzz9999", None, 42):
+            assert not valid_trace_id(junk)
+
+    def test_thread_isolation(self):
+        seen: dict[str, str | None] = {}
+        barrier = threading.Barrier(2)
+
+        def worker(name: str, tid: str | None) -> None:
+            if tid is None:
+                barrier.wait()
+                seen[name] = current_trace_id()
+                barrier.wait()
+            else:
+                with trace_context(tid):
+                    barrier.wait()
+                    seen[name] = current_trace_id()
+                    barrier.wait()
+
+        threads = [
+            threading.Thread(target=worker, args=("traced", "cafe0001")),
+            threading.Thread(target=worker, args=("bare", None)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert seen == {"traced": "cafe0001", "bare": None}
+
+    def test_bus_stamps_trace_id_into_spans(self):
+        from repro.observability import Recorder
+
+        bus = EventBus()
+        recorder = Recorder()
+        bus.attach(recorder)
+        with trace_context("beef0123") as tid:
+            with bus.span("serve.request", path="/x"):
+                with bus.span("serve.predict"):
+                    pass
+        with bus.span("untraced"):
+            pass
+        captured = recorder.events
+        traced = [e for e in captured if e.attrs.get("trace_id") == tid]
+        assert {e.name for e in traced} == {"serve.request", "serve.predict"}
+        (bare,) = [e for e in captured if e.name == "untraced"]
+        assert "trace_id" not in bare.attrs
+
+
+class TestSpanIds:
+    def test_id_carries_pid_and_nonce(self):
+        import os
+
+        span_id = bus_mod.next_span_id()
+        prefix, _, seq = span_id.rpartition(".")
+        pid_hex, _, nonce_hex = prefix.partition("-")
+        assert int(pid_hex, 16) == os.getpid()
+        assert len(nonce_hex) == 8 and int(nonce_hex, 16) >= 0
+        assert int(seq, 16) > 0
+
+    def test_pid_reuse_gets_fresh_nonce(self, monkeypatch):
+        """Two processes that happen to share a pid (pool worker
+        replacement under pid recycling) must still mint distinct ids."""
+        first = bus_mod.next_span_id().rpartition(".")[0]
+        # Simulate the fork: same pid observed, but the process tag is
+        # reset as it would be in a fresh interpreter.
+        monkeypatch.setattr(bus_mod, "_PROCESS_TAG", None)
+        second = bus_mod.next_span_id().rpartition(".")[0]
+        assert first.partition("-")[0] == second.partition("-")[0]  # pid
+        assert first != second  # nonce differs
+
+    def test_fork_awareness_renews_prefix(self, monkeypatch):
+        before = bus_mod.next_span_id().rpartition(".")[0]
+        monkeypatch.setattr(bus_mod.os, "getpid", lambda: 999_999)
+        after = bus_mod.next_span_id().rpartition(".")[0]
+        assert after.partition("-")[0] == f"{999_999:x}"
+        assert before != after
+
+
+# ----------------------------------------------------------------------
+# TraceBuffer
+# ----------------------------------------------------------------------
+
+
+def _trace(bus: EventBus, tid: str, sleep: float = 0.0) -> None:
+    import time as _time
+
+    with trace_context(tid):
+        with bus.span("serve.request", path="/predict"):
+            with bus.span("serve.predict", backend="reference"):
+                if sleep:
+                    _time.sleep(sleep)
+
+
+class TestTraceBuffer:
+    def test_finalizes_on_root_and_builds_tree(self):
+        bus, buf = EventBus(), TraceBuffer()
+        bus.attach(buf)
+        _trace(bus, "aaaa0001")
+        trace = buf.get("aaaa0001")
+        assert trace is not None
+        assert trace.root.name == "serve.request"
+        assert trace.summary()["path"] == "/predict"
+        detail = trace.to_dict()
+        (root_node,) = detail["tree"]
+        assert root_node["name"] == "serve.request"
+        assert root_node["children"][0]["name"] == "serve.predict"
+        assert root_node["children"][0]["attrs"]["backend"] == "reference"
+        assert "trace_id" not in root_node["attrs"]
+        names = [hop["name"] for hop in detail["critical_path"]]
+        assert names == ["serve.request", "serve.predict"]
+        assert json.loads(json.dumps(detail)) == detail  # JSON-clean
+
+    def test_incomplete_trace_is_not_retrievable(self):
+        bus, buf = EventBus(), TraceBuffer()
+        bus.attach(buf)
+        with trace_context("bbbb0001"):
+            with bus.span("serve.predict"):  # no root ever closes
+                pass
+        assert buf.get("bbbb0001") is None
+        assert buf.stats()["pending"] == 1
+
+    def test_untraced_and_non_span_events_ignored(self):
+        bus, buf = EventBus(), TraceBuffer()
+        bus.attach(buf)
+        with bus.span("serve.request", path="/x"):
+            pass
+        bus.count("serve.shed")
+        stats = buf.stats()
+        assert stats["completed"] == 0 and stats["pending"] == 0
+
+    def test_recent_ring_evicts_oldest(self):
+        bus = EventBus()
+        buf = TraceBuffer(keep_recent=2, keep_slowest=2)
+        bus.attach(buf)
+        for i in range(4):
+            # Later traces are slower, so the old fast ones are evicted
+            # from the slowest store too, not just the recency ring.
+            _trace(bus, f"cccc000{i}", sleep=0.002 * i)
+        recent = [t.trace_id for t in buf.traces(order="recent")]
+        assert recent == ["cccc0003", "cccc0002"]
+        assert buf.get("cccc0000") is None
+
+    def test_slowest_keeps_duration_top_n(self):
+        bus = EventBus()
+        buf = TraceBuffer(keep_recent=1, keep_slowest=2)
+        bus.attach(buf)
+        _trace(bus, "dddd0001", sleep=0.03)
+        _trace(bus, "dddd0002", sleep=0.0)
+        _trace(bus, "dddd0003", sleep=0.02)
+        _trace(bus, "dddd0004", sleep=0.0)
+        slowest = [t.trace_id for t in buf.traces(order="slowest")]
+        assert slowest == ["dddd0001", "dddd0003"]
+        # The slow trace stays retrievable even after falling out of the
+        # recency ring — that's the tail-based point.
+        assert buf.get("dddd0001") is not None
+
+    def test_pending_bound_drops_oldest_trace(self):
+        bus = EventBus()
+        buf = TraceBuffer(max_pending=2)
+        bus.attach(buf)
+        for i in range(3):
+            with trace_context(f"eeee000{i}"):
+                with bus.span("serve.predict"):
+                    pass
+        stats = buf.stats()
+        assert stats["pending"] == 2
+        assert stats["dropped_pending_traces"] == 1
+
+    def test_event_cap_truncates_but_keeps_root(self):
+        bus = EventBus()
+        buf = TraceBuffer(max_events_per_trace=3)
+        bus.attach(buf)
+        with trace_context("ffff0001"):
+            with bus.span("serve.request", path="/predict"):
+                for _ in range(10):
+                    with bus.span("matrix.compute"):
+                        pass
+        trace = buf.get("ffff0001")
+        assert trace is not None
+        assert trace.events[-1].name == "serve.request"
+        assert len(trace.events) == 4  # 3 buffered + the root
+        assert buf.stats()["dropped_events"] == 7
+
+    def test_traces_rejects_unknown_order(self):
+        with pytest.raises(ValueError):
+            TraceBuffer().traces(order="fastest")
+
+    def test_limit_and_clear(self):
+        bus, buf = EventBus(), TraceBuffer()
+        bus.attach(buf)
+        for i in range(5):
+            _trace(bus, f"abab000{i}")
+        assert len(buf.traces(order="recent", limit=2)) == 2
+        buf.clear()
+        assert buf.traces() == []
+        assert buf.stats()["completed"] == 5  # counters survive clear
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+# ----------------------------------------------------------------------
+
+
+class TestPrometheus:
+    def _sink(self) -> MetricsSink:
+        bus = EventBus()
+        sink = MetricsSink(group_by=("path", "status", "route", "measure"))
+        bus.attach(sink)
+        for status in (200, 404):
+            with bus.span("serve.request", path="/predict", status=status):
+                pass
+        bus.count("serve.cache.hit")
+        bus.count("serve.cache.hit")
+        return sink
+
+    def test_renders_lintable_output(self):
+        sink = self._sink()
+        text = render_exposition(
+            sink,
+            {"serve.shed": 3, "serve.cache.hit": 2},
+            {"repro_serve_inflight": 1.0},
+        )
+        assert lint_prometheus(text) == [], lint_prometheus(text)
+        assert text.endswith("\n")
+
+    def test_span_becomes_summary_counter_becomes_total(self):
+        sink = self._sink()
+        text = render_exposition(sink, {"serve.shed": 3})
+        assert "# TYPE repro_serve_request_seconds summary" in text
+        assert 'quantile="0.99"' in text
+        assert "repro_serve_request_seconds_count" in text
+        assert "# TYPE repro_serve_shed_total counter" in text
+        assert "repro_serve_shed_total 3.0" in text
+        # Sink-recorded counter events render as labeled counters, and
+        # the matching bus total is deduplicated.
+        assert "# TYPE repro_serve_cache_hit_total counter" in text
+        assert text.count("repro_serve_cache_hit_total") >= 2  # HELP+TYPE+sample
+
+    def test_label_allowlist_drops_high_cardinality_attrs(self):
+        bus = EventBus()
+        sink = MetricsSink(group_by=("path", "batch"))
+        bus.attach(sink)
+        with bus.span("serve.request", path="/predict", batch=17):
+            pass
+        text = render_exposition(sink)
+        assert 'path="/predict"' in text
+        assert "batch" not in text
+
+    def test_label_values_are_escaped(self):
+        bus = EventBus()
+        sink = MetricsSink(group_by=("path",))
+        bus.attach(sink)
+        with bus.span("serve.request", path='/we"ird\npath'):
+            pass
+        text = render_exposition(sink)
+        assert lint_prometheus(text) == []
+        assert r"we\"ird\npath" in text
+
+    def test_gauges_with_labels(self):
+        text = render_exposition(
+            gauges={"repro_up": (1.0, {"backend": "compiled"})}
+        )
+        assert 'repro_up{backend="compiled"} 1.0' in text
+        assert lint_prometheus(text) == []
+
+    def test_lint_catches_crafted_problems(self):
+        bad = "\n".join(
+            [
+                "# TYPE m counter",
+                "# TYPE m counter",  # duplicate TYPE
+                "m 1.0",
+                "m 2.0",  # duplicate series
+                'm{l="x",l="y"} 1',  # repeated label
+                "m{=bad} 1",  # unparsable labels
+                "m nope",  # invalid value
+                "orphan 1.0",  # sample before TYPE
+                "# WAT m",  # malformed comment
+                "9bad 1.0",  # invalid metric name -> malformed line
+            ]
+        )
+        problems = lint_prometheus(bad)
+        for needle in (
+            "duplicate TYPE",
+            "duplicate series",
+            "repeated label",
+            "unparsable label",
+            "invalid sample value",
+            "before any TYPE",
+            "malformed comment",
+            "malformed sample line",
+        ):
+            assert any(needle in p for p in problems), (needle, problems)
+
+    def test_metrics_sink_kind_survives_roundtrip(self):
+        sink = self._sink()
+        records = sink.to_dicts()
+        kinds = {r["name"]: r["kind"] for r in records}
+        assert kinds["serve.request"] == "span"
+        assert kinds["serve.cache.hit"] == "counter"
+        restored = MetricsSink.from_dicts(records)
+        assert {r["name"]: r["kind"] for r in restored.to_dicts()} == kinds
+
+
+# ----------------------------------------------------------------------
+# SLO tracking
+# ----------------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestSloTracker:
+    def test_no_breach_below_min_requests(self):
+        clock = FakeClock()
+        slo = SloTracker(10.0, 60.0, min_requests=10, clock=clock)
+        for _ in range(9):
+            slo.observe(5.0)  # wildly over a 10ms target
+        assert not slo.breaching
+
+    def test_breach_and_burn_accounting(self):
+        clock = FakeClock()
+        slo = SloTracker(10.0, 60.0, min_requests=10, clock=clock)
+        for _ in range(20):
+            slo.observe(0.05)
+        snap = slo.snapshot()
+        assert snap.breaching and slo.breaching
+        assert snap.breaches == 1
+        assert snap.requests == 20 and snap.over_target == 20
+        assert snap.burn_rate == pytest.approx(100.0)  # 100% over, 1% budget
+        assert snap.to_dict()["target_p99_ms"] == 10.0
+
+    def test_recovery_by_aging_out(self):
+        clock = FakeClock()
+        slo = SloTracker(10.0, window_seconds=30.0, clock=clock)
+        for _ in range(12):
+            slo.observe(0.05)
+        assert slo.breaching
+        clock.now += 31.0  # the bad window ages out entirely
+        assert not slo.breaching
+        assert slo.snapshot().requests == 0
+
+    def test_transition_counters_emitted(self):
+        clock = FakeClock()
+        before = dict(get_bus().counters())
+        slo = SloTracker(10.0, window_seconds=30.0, clock=clock)
+        for _ in range(12):
+            slo.observe(0.05)
+        clock.now += 31.0
+        for _ in range(12):
+            slo.observe(0.001)
+        after = get_bus().counters()
+        assert (
+            after.get("serve.slo.breach", 0)
+            - before.get("serve.slo.breach", 0)
+        ) == 1
+        assert (
+            after.get("serve.slo.recover", 0)
+            - before.get("serve.slo.recover", 0)
+        ) == 1
+
+    def test_p99_is_exact_order_statistic(self):
+        clock = FakeClock()
+        slo = SloTracker(1000.0, clock=clock)
+        for ms in range(1, 101):  # 1..100 ms
+            slo.observe(ms / 1e3)
+        assert slo.snapshot().p99_seconds == pytest.approx(0.099)
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            SloTracker(0.0)
+        with pytest.raises(ValueError):
+            SloTracker(10.0, window_seconds=-1.0)
+
+
+# ----------------------------------------------------------------------
+# server integration
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def live_server(nccc_artifact, tmp_path):
+    engine = QueryEngine(nccc_artifact)
+    server = ReproServer(
+        engine,
+        port=0,
+        max_inflight=8,
+        trace_keep=64,
+        access_log=tmp_path / "access.jsonl",
+    )
+    server.start_background()
+    yield server, engine, tmp_path / "access.jsonl"
+    if server._thread is not None:
+        server.shutdown()
+
+
+class TestServerTelemetry:
+    def test_trace_header_minted_and_echoed(self, dataset, live_server):
+        server, _, _ = live_server
+        status, _, headers = post_json(
+            server.url + "/predict", {"queries": dataset.test_X[:2].tolist()}
+        )
+        assert status == 200
+        minted = headers["X-Repro-Trace-Id"]
+        assert valid_trace_id(minted)
+
+        supplied = "feedc0de12345678"
+        status, _, headers = post_json(
+            server.url + "/predict",
+            {"queries": dataset.test_X[:2].tolist()},
+            headers={"X-Repro-Trace-Id": supplied},
+        )
+        assert headers["X-Repro-Trace-Id"] == supplied
+
+        status, _, headers = get_json(
+            server.url + "/healthz",
+            headers={"X-Repro-Trace-Id": "not valid!!"},
+        )
+        assert headers["X-Repro-Trace-Id"] != "not valid!!"
+        assert valid_trace_id(headers["X-Repro-Trace-Id"])
+
+    def test_predict_trace_retrievable_with_backend_attr(
+        self, dataset, live_server
+    ):
+        server, engine, _ = live_server
+        status, _, headers = post_json(
+            server.url + "/predict", {"queries": dataset.test_X[:3].tolist()}
+        )
+        assert status == 200
+        tid = headers["X-Repro-Trace-Id"]
+        status, detail, _ = get_json(server.url + f"/debug/traces/{tid}")
+        assert status == 200
+        assert detail["trace_id"] == tid
+        assert detail["path"] == "/predict" and detail["status"] == 200
+        (root,) = detail["tree"]
+        predict = next(
+            c for c in root["children"] if c["name"] == "serve.predict"
+        )
+        assert predict["attrs"]["backend"] == engine.backend
+        assert detail["critical_path"][0]["name"] == "serve.request"
+
+    def test_trace_listing_orders_and_stats(self, dataset, live_server):
+        server, _, _ = live_server
+        for _ in range(3):
+            post_json(
+                server.url + "/predict",
+                {"queries": dataset.test_X[:2].tolist()},
+            )
+        status, listing, _ = get_json(
+            server.url + "/debug/traces?order=recent&limit=2"
+        )
+        assert status == 200
+        assert len(listing["traces"]) == 2
+        assert listing["stats"]["completed"] >= 3
+        status, _, _ = get_json(server.url + "/debug/traces?order=fastest")
+        assert status == 400
+        status, _, _ = get_json(server.url + "/debug/traces/deadbeef")
+        assert status == 404
+
+    def test_metrics_content_negotiation(self, dataset, live_server):
+        server, _, _ = live_server
+        post_json(
+            server.url + "/predict", {"queries": dataset.test_X[:2].tolist()}
+        )
+        # Default (and ?format=json) stays the legacy JSON document.
+        status, body, headers = get_json(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        assert {"counters", "inflight", "cache", "metrics", "traces"} <= set(
+            body
+        )
+        # Accept: text/plain negotiates the Prometheus exposition.
+        req = urllib.request.Request(
+            server.url + "/metrics", headers={"Accept": "text/plain"}
+        )
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            assert resp.headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+            text = resp.read().decode()
+        assert lint_prometheus(text) == [], lint_prometheus(text)
+        assert "repro_serve_request_seconds" in text
+        assert "repro_serve_inflight" in text
+        # ?format=prometheus works without an Accept header.
+        with urllib.request.urlopen(
+            server.url + "/metrics?format=prometheus", timeout=10
+        ) as resp:
+            assert resp.headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+
+    def test_access_log_lines_carry_trace_ids(self, dataset, live_server):
+        server, _, log_path = live_server
+        status, _, headers = post_json(
+            server.url + "/predict", {"queries": dataset.test_X[:2].tolist()}
+        )
+        tid = headers["X-Repro-Trace-Id"]
+        get_json(server.url + "/healthz")
+        lines = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+            if line
+        ]
+        assert all(
+            {"ts", "method", "path", "status", "duration_ms", "trace_id"}
+            <= set(entry)
+            for entry in lines
+        )
+        (predict_line,) = [
+            entry for entry in lines if entry["path"] == "/predict"
+        ]
+        assert predict_line["trace_id"] == tid
+        assert predict_line["status"] == 200
+        assert not predict_line["shed"]
+
+    def test_concurrent_clients_get_isolated_traces(
+        self, dataset, live_server
+    ):
+        """Satellite: 8 threads hammer /predict; every response's trace
+        id maps to exactly one retained trace whose tree contains the
+        serve.predict span with the right backend, and no two responses
+        share a trace id."""
+        server, engine, _ = live_server
+        n_threads, per_thread = 8, 4
+
+        def client(_: int) -> list[str]:
+            ids = []
+            for _ in range(per_thread):
+                status, _, headers = post_json(
+                    server.url + "/predict",
+                    {"queries": dataset.test_X[:2].tolist()},
+                )
+                assert status == 200
+                ids.append(headers["X-Repro-Trace-Id"])
+            return ids
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            all_ids = [
+                tid
+                for ids in pool.map(client, range(n_threads))
+                for tid in ids
+            ]
+        assert len(all_ids) == n_threads * per_thread
+        assert len(set(all_ids)) == len(all_ids)  # no shared trace ids
+        for tid in all_ids:
+            status, detail, _ = get_json(server.url + f"/debug/traces/{tid}")
+            assert status == 200, tid
+            assert detail["trace_id"] == tid
+            (root,) = detail["tree"]
+            predicts = [
+                c for c in root["children"] if c["name"] == "serve.predict"
+            ]
+            assert len(predicts) == 1
+            assert predicts[0]["attrs"]["backend"] == engine.backend
+
+
+class TestSloReadiness:
+    def test_sustained_breach_flips_healthz(self, dataset, nccc_artifact):
+        engine = QueryEngine(nccc_artifact)
+        server = ReproServer(
+            engine, port=0, slo_p99_ms=1e-4, slo_window=120.0
+        )
+        server.start_background()
+        try:
+            status, body, _ = get_json(server.url + "/healthz")
+            assert status == 200 and body["status"] == "ok"
+            assert "slo" in body and not body["slo"]["breaching"]
+            for _ in range(12):  # past min_requests, all over 0.1us target
+                post_json(
+                    server.url + "/predict",
+                    {"queries": dataset.test_X[:2].tolist()},
+                )
+            status, body, _ = get_json(server.url + "/healthz")
+            assert status == 503
+            assert body["status"] == "degraded"
+            assert body["slo"]["breaching"]
+            assert body["slo"]["breaches"] >= 1
+            status, metrics, _ = get_json(server.url + "/metrics")
+            assert metrics["slo"]["breaching"]
+            assert metrics["counters"].get("serve.slo.breach", 0) >= 1
+            with urllib.request.urlopen(
+                server.url + "/metrics?format=prometheus", timeout=10
+            ) as resp:
+                text = resp.read().decode()
+            assert "repro_serve_slo_breaching 1.0" in text
+            assert lint_prometheus(text) == []
+        finally:
+            server.shutdown()
+
+
+# ----------------------------------------------------------------------
+# CLI surfaces
+# ----------------------------------------------------------------------
+
+
+class TestCliSurfaces:
+    def test_trace_summarize_serve_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bus = get_bus()
+        path = tmp_path / "serve.jsonl"
+        sink = JsonlSink(path)
+        bus.attach(sink)
+        try:
+            for i, (p, st) in enumerate(
+                [("/predict", 200)] * 3 + [("/healthz", 200)]
+            ):
+                with trace_context(f"cdcd000{i}"):
+                    with bus.span("serve.request", path=p, status=st):
+                        if p == "/predict":
+                            with bus.span("serve.predict", route="sliding"):
+                                pass
+        finally:
+            bus.detach(sink)
+            sink.close()
+        assert main(["trace", "summarize", str(path), "--slowest", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Serving summary" in out
+        assert "/predict" in out and "/healthz" in out
+        assert out.count("Slowest request #") == 2
+        assert "serve.predict" in out
+
+    def test_trace_summarize_sweep_trace_unchanged(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.evaluation import MeasureVariant, run_sweep
+
+        archive = default_archive(n_datasets=4, size_scale=0.3, seed=11)
+        path = tmp_path / "sweep.jsonl"
+        bus = get_bus()
+        sink = JsonlSink(path)
+        bus.attach(sink)
+        try:
+            run_sweep(
+                [MeasureVariant("euclidean", label="ED")], archive.subset(1)
+            )
+        finally:
+            bus.detach(sink)
+            sink.close()
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Trace summary" in out and "ED" in out
+
+    def test_top_once_renders_dashboard(self, dataset, nccc_artifact):
+        engine = QueryEngine(nccc_artifact)
+        server = ReproServer(engine, port=0, slo_p99_ms=50.0)
+        server.start_background()
+        try:
+            for _ in range(2):
+                post_json(
+                    server.url + "/predict",
+                    {"queries": dataset.test_X[:2].tolist()},
+                )
+            stream = io.StringIO()
+            code = run_top(
+                server.url, iterations=1, clear=False, stream=stream
+            )
+            assert code == 0
+            frame = stream.getvalue()
+            assert "/predict" in frame and "p99" in frame
+            assert "slo" in frame
+            assert "slowest trace" in frame
+        finally:
+            server.shutdown()
+
+    def test_top_unreachable_server_fails_cleanly(self):
+        stream = io.StringIO()
+        code = run_top(
+            "http://127.0.0.1:9",  # discard port: nothing listens
+            iterations=1,
+            clear=False,
+            stream=stream,
+            timeout=0.5,
+        )
+        assert code == 1
+
+    def test_render_top_computes_rates_between_polls(self):
+        def poll(t: float, count: int, shed: float) -> dict:
+            agg = {
+                "count": count,
+                "sum": 0.1,
+                "min": 0.01,
+                "max": 0.02,
+                "p50": 0.01,
+                "p95": 0.02,
+                "p99": 0.02,
+                "buckets": {},
+            }
+            return {
+                "time": t,
+                "metrics": {
+                    "counters": {"serve.shed": shed},
+                    "inflight": 0,
+                    "cache": {
+                        "hits": 5,
+                        "misses": 5,
+                        "size": 5,
+                        "capacity": 16,
+                        "evictions": 0,
+                    },
+                    "metrics": [
+                        {
+                            "name": "serve.request",
+                            "kind": "span",
+                            "attrs": {"path": "/predict", "status": "200"},
+                            "aggregate": agg,
+                        }
+                    ],
+                },
+                "slowest": None,
+            }
+
+        frame = render_top(
+            poll(10.0, 40, 4.0), poll(0.0, 20, 0.0), url="http://x"
+        )
+        assert "2.0 qps" in frame
+        assert "0.4 shed/s" in frame
+        assert "50.0%" in frame
