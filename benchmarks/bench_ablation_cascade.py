@@ -48,7 +48,7 @@ def test_ablation_cascade_pruning(benchmark, save_result):
         start = time.perf_counter()
         answers, all_stats = [], []
         for q in queries:
-            idx, _, stats = cascade_nn_search(q, corpus, 10.0)
+            idx, _, stats = cascade_nn_search(q, corpus, delta=10.0)
             answers.append(idx)
             all_stats.append(stats)
         t_cascade = time.perf_counter() - start

@@ -279,6 +279,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="implementation tier to fit (and record in the manifest as "
         "the tier the artifact was validated against)",
     )
+    p_fit.add_argument(
+        "--index", action="append", default=[], metavar="KIND[:K=V,...]",
+        help="reference index to build into the artifact (repeatable), "
+        "e.g. 'dft_lb', 'paa_lb:segments=16' or 'grail_ann:dimensions=32'; "
+        "exact kinds serve mode=exact, ANN kinds serve mode=approx",
+    )
 
     p_serve = sub.add_parser(
         "serve", help="serve online 1-NN queries over a fitted artifact"
@@ -518,6 +524,36 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return code
 
 
+def _parse_index_spec(text: str) -> dict:
+    """Parse an ``--index`` value: ``kind`` or ``kind:key=val,key=val``.
+
+    Numeric values become int where possible, float otherwise, so specs
+    like ``paa_lb:segments=16`` and ``grail_ann:min_recall=0.95`` both
+    round-trip into the keyword arguments the index builders expect.
+    """
+    kind, sep, rest = text.partition(":")
+    spec: dict = {"kind": kind.strip()}
+    if not spec["kind"]:
+        raise ValueError(f"--index expects KIND[:K=V,...], got {text!r}")
+    if sep and not rest:
+        raise ValueError(f"--index has a trailing ':' and no options: {text!r}")
+    for item in filter(None, rest.split(",")):
+        name, eq, value = item.partition("=")
+        if not eq or not name:
+            raise ValueError(
+                f"--index option must be K=V, got {item!r} in {text!r}"
+            )
+        try:
+            parsed: object = int(value)
+        except ValueError:
+            try:
+                parsed = float(value)
+            except ValueError:
+                parsed = value
+        spec[name.strip()] = parsed
+    return spec
+
+
 def cmd_fit(args: argparse.Namespace) -> int:
     """Freeze a measure + reference set into a serveable artifact."""
     from .serving import ModelArtifact
@@ -529,6 +565,11 @@ def cmd_fit(args: argparse.Namespace) -> int:
             print(f"--param expects NAME=VALUE, got {override!r}", file=sys.stderr)
             return 2
         params[name] = float(value)
+    try:
+        index_specs = [_parse_index_spec(text) for text in args.index]
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     datasets = _load_datasets(args.datasets, args.scale)
     if not 0 <= args.dataset_index < len(datasets):
         print(
@@ -546,6 +587,7 @@ def cmd_fit(args: argparse.Namespace) -> int:
             measure=args.measure,
             normalization=args.normalization,
             params=params,
+            index=index_specs or None,
         )
     artifact.save(args.out)
     info = artifact.describe()
@@ -555,6 +597,11 @@ def cmd_fit(args: argparse.Namespace) -> int:
         f"{info['series_length']}, {info['n_classes']} classes "
         f"[backend {info['backend']}]"
     )
+    for spec in info["indexes"]:
+        detail = ", ".join(
+            f"{k}={v}" for k, v in spec.items() if k != "kind"
+        )
+        print(f"index {spec['kind']}" + (f" ({detail})" if detail else ""))
     print(f"fingerprint {info['fingerprint']}")
     print(f"wrote {args.out}")
     return 0

@@ -147,3 +147,13 @@ class ServingError(ReproError):
     :class:`repro.serving.QueryEngine` and malformed requests rejected by
     the HTTP layer before they reach the engine.
     """
+
+
+class IndexBuildError(ReproError, ValueError):
+    """A reference index could not be built, restored, or applied.
+
+    Raised by :mod:`repro.index` for unknown index kinds, specs that do
+    not admit the artifact's measure (e.g. an iSAX tree over DTW), bad
+    build parameters, and approximate indexes whose measured recall
+    falls below a requested ``min_recall`` gate.
+    """

@@ -1,0 +1,349 @@
+r"""The ``ReferenceIndex`` protocol: sub-linear search over a frozen set.
+
+Serving answered queries by brute force until now — every query paid one
+full distance computation per reference series. The paper's M1/M2
+discussion is precisely about why that is unnecessary: the indexing
+literature (Agrawal et al. [2], Faloutsos et al. [51], Keogh et al.
+[73], iSAX [25, 135]) built representations whose distances *lower
+bound* the true distance, so most candidates can be discarded from the
+representation alone. This module defines the contract those indexes
+implement and the registry the serving artifact resolves specs against.
+
+Two index classes exist:
+
+- **exact** indexes (``exact = True``) — a cheap per-candidate lower
+  bound plus an exact refine stage. Answers are bitwise-identical to an
+  exhaustive scan: a candidate is skipped only when its (safety-deflated)
+  lower bound strictly exceeds the current ``k``-th best distance, which
+  an admissible bound guarantees cannot discard a true neighbor;
+- **approximate** indexes (``exact = False``) — embedding-space search
+  with a true-distance re-rank, gated by a recall measurement at build
+  time.
+
+Every index serializes to ``(spec, arrays)``: the spec is a small
+JSON-able dict folded into the artifact fingerprint, and the arrays ride
+in the artifact's ``arrays.npz`` under per-array digests — so a frozen
+index is tamper-checked exactly like the reference set itself.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import IndexBuildError
+
+#: Relative safety margin applied to every lower bound before it is
+#: compared against the running k-th best distance. Admissibility is a
+#: mathematical property of the bounds; the margin absorbs the ~1e-15
+#: floating-point noise of FFTs and fused reductions so "LB <= distance"
+#: survives rounding, keeping pruning exact in float64 arithmetic.
+LB_SAFETY = 1e-9
+
+#: How many surviving candidates the exact refine stage computes per
+#: vectorized batch. Chunking keeps the numpy kernels hot while still
+#: re-checking the stop condition often enough to prune late candidates.
+REFINE_CHUNK = 64
+
+
+@dataclass(frozen=True)
+class IndexSearchStats:
+    """Work accounting for one index search (summed over a query batch).
+
+    ``candidates`` counts every (query, reference) pair the search could
+    have computed; ``refined`` counts the pairs whose true distance it
+    actually computed. The difference is what the index saved.
+    """
+
+    candidates: int
+    refined: int
+
+    @property
+    def pruned(self) -> int:
+        """Pairs eliminated from the representation alone."""
+        return self.candidates - self.refined
+
+    @property
+    def pruning_rate(self) -> float:
+        """Fraction of pairs that skipped the full distance."""
+        if self.candidates == 0:
+            return 0.0
+        return 1.0 - self.refined / self.candidates
+
+    def to_dict(self) -> dict:
+        """JSON-able rendering (what ``/predict`` schema 2 reports)."""
+        return {
+            "candidates": self.candidates,
+            "refined": self.refined,
+            "pruned": self.pruned,
+            "pruning_rate": round(self.pruning_rate, 6),
+        }
+
+    def merge(self, other: "IndexSearchStats") -> "IndexSearchStats":
+        """Combine accounting across queries or shards."""
+        return IndexSearchStats(
+            candidates=self.candidates + other.candidates,
+            refined=self.refined + other.refined,
+        )
+
+
+class TopK:
+    """Running ``k``-smallest ``(distance, index)`` selection.
+
+    Tie-breaking matches a stable ``argsort`` over the full distance
+    vector: among equal distances the *lowest* reference index wins,
+    which is what keeps index answers bitwise-identical to the
+    brute-force scan (and to paper Algorithm 1's strict ``<`` scan at
+    ``k = 1``).
+    """
+
+    def __init__(self, k: int):
+        self.k = int(k)
+        # Max-heap via negation; (-d, -idx) pops the largest distance,
+        # and among equal distances the largest index — so the survivors
+        # are always the lexicographically smallest (d, idx) pairs.
+        self._heap: list[tuple[float, float]] = []
+
+    def offer(self, distance: float, index: int) -> None:
+        """Consider one candidate."""
+        item = (-float(distance), -int(index))
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, item)
+        elif item > self._heap[0]:
+            heapq.heapreplace(self._heap, item)
+
+    @property
+    def threshold(self) -> float:
+        """Current k-th best distance (``inf`` until ``k`` are held)."""
+        if len(self._heap) < self.k:
+            return np.inf
+        return -self._heap[0][0]
+
+    def result(self) -> tuple[np.ndarray, np.ndarray]:
+        """Final ``(indices, distances)`` sorted by ``(distance, index)``."""
+        pairs = sorted((-d, -i) for d, i in self._heap)
+        indices = np.array([int(i) for _, i in pairs], dtype=np.intp)
+        distances = np.array([d for d, _ in pairs], dtype=np.float64)
+        return indices, distances
+
+
+class ReferenceIndex(ABC):
+    """Frozen search structure over one reference set.
+
+    Subclasses declare their registry ``kind``, whether their answers
+    are ``exact``, and which measures they ``support`` (``None`` means
+    any measure with a ``pairwise`` kernel). Instances are built once at
+    fit time (:meth:`build`), serialized into the artifact
+    (:meth:`spec` + :meth:`arrays`), and revived at load time
+    (:meth:`restore`) against the verified reference arrays.
+    """
+
+    #: Registry name (``dft_lb``, ``paa_lb``, ``isax``, ``grail_ann``...).
+    kind: str = ""
+    #: Whether answers are bitwise-identical to the exhaustive scan.
+    exact: bool = True
+    #: Measure names the index admits, or ``None`` for any measure.
+    supports: frozenset[str] | None = frozenset()
+
+    def __init__(self, X: np.ndarray, measure: str, params: Mapping[str, float]):
+        self._X = np.ascontiguousarray(X, dtype=np.float64)
+        self.measure = str(measure)
+        self.params = dict(params)
+
+    # ------------------------------------------------------------------
+    # construction / serialization
+    # ------------------------------------------------------------------
+    @classmethod
+    def check_supported(cls, measure: str) -> None:
+        """Raise :class:`IndexBuildError` for an unsupported measure."""
+        if cls.supports is not None and measure not in cls.supports:
+            raise IndexBuildError(
+                f"index kind {cls.kind!r} does not support measure "
+                f"{measure!r} (supported: {sorted(cls.supports)})"
+            )
+
+    @classmethod
+    @abstractmethod
+    def build(
+        cls,
+        X: np.ndarray,
+        *,
+        measure: str,
+        params: Mapping[str, float],
+        **spec_params,
+    ) -> "ReferenceIndex":
+        """Construct the index over reference set ``X`` at fit time."""
+
+    @abstractmethod
+    def spec(self) -> dict:
+        """JSON-able configuration, including ``kind``.
+
+        The spec participates in the artifact fingerprint, so it must be
+        deterministic for a given build.
+        """
+
+    @abstractmethod
+    def arrays(self) -> dict[str, np.ndarray]:
+        """Derived arrays to persist (digest-verified like all arrays)."""
+
+    @classmethod
+    @abstractmethod
+    def restore(
+        cls,
+        spec: Mapping[str, object],
+        arrays: Mapping[str, np.ndarray],
+        X: np.ndarray,
+        *,
+        measure: str,
+        params: Mapping[str, float],
+    ) -> "ReferenceIndex":
+        """Revive a frozen index from its spec + verified arrays."""
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def search(
+        self, Q: np.ndarray, k: int, *, prune: bool = True
+    ) -> tuple[np.ndarray, np.ndarray, IndexSearchStats]:
+        """Top-``k`` neighbors of each normalized query row.
+
+        Returns ``(indices, distances, stats)`` with both arrays shaped
+        ``(len(Q), k)``. ``prune=False`` runs the identical refine
+        arithmetic over *every* candidate — the engine's ``mode="brute"``
+        baseline the exactness tests compare against, differing from
+        ``prune=True`` only in which candidates get skipped.
+        """
+
+    @property
+    def n(self) -> int:
+        """Number of indexed reference series."""
+        return int(self._X.shape[0])
+
+    @property
+    def series_length(self) -> int:
+        """Length of every indexed series."""
+        return int(self._X.shape[1])
+
+    def describe(self) -> dict:
+        """Human-readable summary (manifest / ``/healthz``)."""
+        return {"kind": self.kind, "exact": self.exact, **self.spec()}
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, type[ReferenceIndex]] = {}
+
+
+def register_index(cls: type[ReferenceIndex]) -> type[ReferenceIndex]:
+    """Class decorator adding an index type to the registry."""
+    if not cls.kind:
+        raise ValueError(f"{cls.__name__} must declare a registry kind")
+    _REGISTRY[cls.kind] = cls
+    return cls
+
+
+def get_index_type(kind: str) -> type[ReferenceIndex]:
+    """Resolve a registry kind to its index class."""
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        raise IndexBuildError(
+            f"unknown index kind {kind!r} (available: {list_index_kinds()})"
+        ) from None
+
+
+def list_index_kinds() -> list[str]:
+    """Canonical names of every registered index type."""
+    return sorted(_REGISTRY)
+
+
+def normalize_index_spec(spec: str | Mapping[str, object]) -> dict:
+    """Canonicalize one user-facing index spec to a plain dict.
+
+    Accepts a bare kind name (``"dft_lb"``) or a mapping with a
+    ``kind`` key plus build parameters.
+    """
+    if isinstance(spec, str):
+        out: dict = {"kind": spec}
+    elif isinstance(spec, Mapping):
+        out = {str(k): v for k, v in spec.items()}
+    else:
+        raise IndexBuildError(
+            f"index spec must be a kind name or a mapping, got {type(spec).__name__}"
+        )
+    if "kind" not in out:
+        raise IndexBuildError(f"index spec {out!r} is missing its 'kind'")
+    get_index_type(str(out["kind"]))  # validate early
+    return out
+
+
+def normalize_index_specs(
+    index: str | Mapping[str, object] | Sequence | None,
+) -> tuple[dict, ...]:
+    """Canonicalize the ``index=`` argument of :meth:`ModelArtifact.fit`.
+
+    ``None`` means no index; a single spec (name or mapping) means one;
+    a sequence means several (e.g. one exact kind plus one approximate).
+    """
+    if index is None:
+        return ()
+    if isinstance(index, (str, Mapping)):
+        return (normalize_index_spec(index),)
+    specs = tuple(normalize_index_spec(item) for item in index)
+    kinds = [s["kind"] for s in specs]
+    if len(set(kinds)) != len(kinds):
+        raise IndexBuildError(f"duplicate index kinds in spec: {kinds}")
+    return specs
+
+
+def build_index(
+    spec: str | Mapping[str, object],
+    X: np.ndarray,
+    *,
+    measure: str,
+    params: Mapping[str, float],
+) -> ReferenceIndex:
+    """Build one index over ``X`` from a user-facing spec."""
+    normalized = normalize_index_spec(spec)
+    kind = str(normalized.pop("kind"))
+    cls = get_index_type(kind)
+    cls.check_supported(measure)
+    try:
+        return cls.build(X, measure=measure, params=params, **normalized)
+    except TypeError as exc:
+        raise IndexBuildError(
+            f"invalid parameters for index kind {kind!r}: {exc}"
+        ) from exc
+
+
+def restore_index(
+    spec: Mapping[str, object],
+    arrays: Mapping[str, np.ndarray],
+    X: np.ndarray,
+    *,
+    measure: str,
+    params: Mapping[str, float],
+) -> ReferenceIndex:
+    """Revive a frozen index from a manifest spec + verified arrays."""
+    kind = str(spec.get("kind", ""))
+    cls = get_index_type(kind)
+    return cls.restore(spec, arrays, X, measure=measure, params=params)
+
+
+def indexable_kinds(measure: str) -> list[str]:
+    """Exact index kinds that admit ``measure`` (catalog's column).
+
+    Approximate (embedding) kinds support every measure and are listed
+    separately by the catalog, so only exact kinds appear here.
+    """
+    return [
+        kind
+        for kind, cls in sorted(_REGISTRY.items())
+        if cls.exact and (cls.supports is None or measure in cls.supports)
+    ]

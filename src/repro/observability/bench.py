@@ -92,8 +92,10 @@ def build_workloads(quick: bool = False) -> dict[str, Callable[[], None]]:
     disabled so the compute path is what's timed), and the ``telemetry``
     workload — the same predict fully cached with trace context, metrics
     sink and trace retention armed, gating the per-request observability
-    overhead. Shapes shrink under ``quick`` so the CI gate stays under a
-    minute.
+    overhead — and the ``index`` workload (top-k ``QueryEngine.search``
+    through a fitted DFT lower-bound index on clustered references,
+    gating the sub-linear query path). Shapes shrink under ``quick`` so
+    the CI gate stays under a minute.
     """
     import itertools
 
@@ -170,6 +172,37 @@ def build_workloads(quick: bool = False) -> dict[str, Callable[[], None]]:
     def serving() -> None:
         serve_engine.predict(serve_queries)
 
+    # The sub-linear query path: top-k search through a fitted DFT
+    # lower-bound index over clustered references (iid noise would
+    # concentrate distances and make pruning trivially zero, so the
+    # workload pins a multi-prototype batch where the filter has work
+    # to do). Gates the index build + pruned-search cost end to end.
+    index_rng = np.random.default_rng(_SEED + 16)
+    index_m = 64 * scale
+    index_t = np.linspace(0, 2 * np.pi, index_m)
+    index_protos = [np.sin((j % 4 + 1) * index_t) for j in range(8)]
+    index_refs = np.vstack(
+        [
+            p + index_rng.normal(0, 0.25, index_m)
+            for p in index_protos
+            for _ in range(16 * scale)
+        ]
+    )
+    index_labels = np.repeat(np.arange(8), 16 * scale)
+    index_engine = QueryEngine(
+        ModelArtifact.fit(
+            index_refs, index_labels, measure="euclidean",
+            normalization="zscore", index="dft_lb",
+        ),
+        cache_size=0,
+    )
+    index_queries = index_refs[:: 8 * scale] + index_rng.normal(
+        0, 0.05, (index_refs[:: 8 * scale].shape[0], index_m)
+    )
+
+    def index() -> None:
+        index_engine.search(index_queries, k=3, mode="exact")
+
     # The serving path again, with the full telemetry stack armed: LRU
     # cache warmed (every repetition is all hits), a trace context per
     # predict, and metrics + trace-retention sinks attached — so the
@@ -225,6 +258,7 @@ def build_workloads(quick: bool = False) -> dict[str, Callable[[], None]]:
         "sweep": sweep,
         "checkpoint": checkpoint,
         "serving": serving,
+        "index": index,
         "telemetry": telemetry,
     }
 

@@ -1,11 +1,14 @@
-"""Subsequence similarity search: MASS and the matrix profile.
+"""Similarity search: MASS, the matrix profile, and the top-k facade.
 
 The fast-subsequence-search substrate the paper's Section 6 connects to
 cross-correlation (reference [103]) plus the matrix profile ([157, 158])
-for motif and anomaly discovery::
+for motif and anomaly discovery, unified behind one keyword-only entry
+point::
 
-    from repro.search import mass, best_match, matrix_profile
+    from repro.search import nearest_neighbors, mass, matrix_profile
 
+    res = nearest_neighbors(queries, refs, measure="dtw", k=3,
+                            params={"delta": 10.0})
     profile = mass(query, long_series)      # z-normalized ED profile
     mp = matrix_profile(long_series, window=50)
     a, b, d = mp.motif()
@@ -16,7 +19,9 @@ from .cascade import (
     candidate_envelopes,
     cascade_nn_search,
     dtw_early_abandon,
+    query_envelope,
 )
+from .facade import NeighborResult, nearest_neighbors
 from .mass import (
     best_match,
     mass,
@@ -27,6 +32,8 @@ from .mass import (
 from .matrix_profile import MatrixProfile, matrix_profile
 
 __all__ = [
+    "nearest_neighbors",
+    "NeighborResult",
     "mass",
     "best_match",
     "top_k_matches",
@@ -36,6 +43,7 @@ __all__ = [
     "MatrixProfile",
     "cascade_nn_search",
     "candidate_envelopes",
+    "query_envelope",
     "dtw_early_abandon",
     "CascadeStats",
 ]

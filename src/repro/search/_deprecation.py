@@ -1,0 +1,33 @@
+"""Deprecation shims for the search package's keyword-only migration.
+
+The top-k API redesign made the tuning arguments of the search entry
+points (``cascade_nn_search``, ``candidate_envelopes``,
+``top_k_matches``) keyword-only. Legacy positional spellings still work
+for one release through :func:`positional_shim`, which maps them onto
+keywords and emits a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def positional_shim(name: str, keywords: tuple[str, ...], args: tuple) -> dict:
+    """Map legacy positional arguments onto keywords with a deprecation.
+
+    Raises :class:`TypeError` when more positionals are supplied than the
+    function ever accepted, mirroring the native error for a true
+    keyword-only signature.
+    """
+    if len(args) > len(keywords):
+        raise TypeError(
+            f"{name}() takes at most {len(keywords)} optional positional "
+            f"argument(s) ({', '.join(keywords)}), got {len(args)}"
+        )
+    warnings.warn(
+        f"passing {', '.join(keywords[: len(args)])} positionally to "
+        f"{name}() is deprecated; use keyword argument(s) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return dict(zip(keywords, args))

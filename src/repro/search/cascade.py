@@ -31,6 +31,7 @@ import numpy as np
 from .._validation import as_dataset, as_series
 from ..distances.elastic._dp import INF, as_float_list, band_width
 from ..distances.elastic.lower_bounds import envelope, lb_keogh, lb_kim
+from ._deprecation import positional_shim
 
 
 def dtw_early_abandon(
@@ -93,7 +94,21 @@ class CascadeStats:
         return 1.0 - self.full_computations / self.total
 
 
-def candidate_envelopes(candidates, delta: float = 10.0) -> np.ndarray:
+def query_envelope(query, *, delta: float = 10.0) -> np.ndarray:
+    """LB_Keogh envelope of a single query, shape ``(2, m)``.
+
+    ``out[0]`` / ``out[1]`` are the upper / lower envelope. Compute this
+    once and pass it to :func:`cascade_nn_search` via ``query_envelope=``
+    when the same query is searched against several reference shards —
+    the envelope depends only on the query and the band, so sharded
+    searches should not rebuild it per shard.
+    """
+    query = as_series(query, "query")
+    upper, lower = envelope(query, delta)
+    return np.stack([upper, lower])
+
+
+def candidate_envelopes(candidates, *args, delta: float = 10.0) -> np.ndarray:
     """Stacked LB_Keogh envelopes of every candidate, shape ``(n, 2, m)``.
 
     ``out[i, 0]`` / ``out[i, 1]`` are the upper / lower envelope of
@@ -101,7 +116,12 @@ def candidate_envelopes(candidates, delta: float = 10.0) -> np.ndarray:
     depend only on the candidates and the band) and passing them to
     :func:`cascade_nn_search` amortizes the O(n·m·w) envelope cost across
     every query — the pattern the serving artifact uses.
+
+    ``delta`` is keyword-only; the legacy positional spelling still works
+    but emits a :class:`DeprecationWarning`.
     """
+    if args:
+        delta = positional_shim("candidate_envelopes", ("delta",), args)["delta"]
     candidates = as_dataset(candidates, "candidates")
     out = np.empty((candidates.shape[0], 2, candidates.shape[1]))
     for i, cand in enumerate(candidates):
@@ -112,7 +132,12 @@ def candidate_envelopes(candidates, delta: float = 10.0) -> np.ndarray:
 
 
 def cascade_nn_search(
-    query, candidates, delta: float = 10.0, envelopes: np.ndarray | None = None
+    query,
+    candidates,
+    *args,
+    delta: float = 10.0,
+    envelopes: np.ndarray | None = None,
+    query_envelope: np.ndarray | None = None,
 ) -> tuple[int, float, CascadeStats]:
     """Exact 1-NN under banded DTW with the LB_Kim -> LB_Keogh ->
     early-abandon cascade.
@@ -126,7 +151,22 @@ def cascade_nn_search(
     (still a valid lower bound of the symmetric DTW) instead of building
     the query envelope per call — so repeated searches against a fixed
     reference set pay the envelope cost once, not per query.
+
+    ``query_envelope`` is an optional precomputed ``(2, m)`` envelope of
+    the *query* (see :func:`query_envelope`), used when ``envelopes`` is
+    not given. Sharded searches — the same query against several slices
+    of a reference set — pass it so the query envelope is built once, not
+    once per shard. Results are identical either way.
+
+    ``delta`` and ``envelopes`` are keyword-only; the legacy positional
+    spellings still work but emit a :class:`DeprecationWarning`.
     """
+    if args:
+        shimmed = positional_shim(
+            "cascade_nn_search", ("delta", "envelopes"), args
+        )
+        delta = shimmed.get("delta", delta)
+        envelopes = shimmed.get("envelopes", envelopes)
     query = as_series(query, "query")
     candidates = as_dataset(candidates, "candidates")
     if envelopes is not None:
@@ -148,7 +188,16 @@ def cascade_nn_search(
             ]
         )
     else:
-        query_env = envelope(query, delta)
+        if query_envelope is not None:
+            query_envelope = np.asarray(query_envelope, dtype=np.float64)
+            if query_envelope.shape != (2, query.shape[0]):
+                raise ValueError(
+                    f"query_envelope must have shape (2, {query.shape[0]}), "
+                    f"got {query_envelope.shape}"
+                )
+            query_env = (query_envelope[0], query_envelope[1])
+        else:
+            query_env = envelope(query, delta)
         # Visit candidates by ascending LB_Keogh for an early tight best.
         keogh_bounds = np.array(
             [

@@ -24,6 +24,7 @@ from scipy.fft import irfft, next_fast_len, rfft
 
 from .._validation import EPS, as_series
 from ..exceptions import ValidationError
+from ._deprecation import positional_shim
 
 
 def sliding_dot_product(query: np.ndarray, series: np.ndarray) -> np.ndarray:
@@ -99,6 +100,7 @@ def best_match(query: np.ndarray, series: np.ndarray) -> tuple[int, float]:
 def top_k_matches(
     query: np.ndarray,
     series: np.ndarray,
+    *args,
     k: int = 3,
     exclusion: int | None = None,
 ) -> list[tuple[int, float]]:
@@ -106,7 +108,14 @@ def top_k_matches(
 
     ``exclusion`` is the no-repeat radius around each hit (defaults to
     half the query length, the usual trivial-match guard).
+
+    ``k`` and ``exclusion`` are keyword-only; the legacy positional
+    spellings still work but emit a :class:`DeprecationWarning`.
     """
+    if args:
+        shimmed = positional_shim("top_k_matches", ("k", "exclusion"), args)
+        k = shimmed.get("k", k)
+        exclusion = shimmed.get("exclusion", exclusion)
     query = as_series(query, "query")
     profile = mass(query, series).copy()
     radius = exclusion if exclusion is not None else max(1, query.shape[0] // 2)

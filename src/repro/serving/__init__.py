@@ -6,8 +6,10 @@ answer live traffic, in three layers:
 
 - :class:`ModelArtifact` (:mod:`repro.serving.artifact`) — fit once,
   save/load as a content-hash-verified ``.npz`` + JSON manifest;
-- :class:`QueryEngine` (:mod:`repro.serving.engine`) — batched 1-NN with
-  per-family fast paths and a bounded LRU query cache;
+- :class:`QueryEngine` (:mod:`repro.serving.engine`) — batched top-k
+  search (``search(queries, k=..., mode="exact"|"approx"|"brute")``)
+  with per-family fast paths, optional sub-linear reference indexes
+  (:mod:`repro.index`) and a bounded LRU query cache;
 - :class:`ReproServer` (:mod:`repro.serving.server`) — a stdlib
   ``ThreadingHTTPServer`` with load shedding (503 + ``Retry-After``),
   ``/healthz``, ``/metrics`` and graceful SIGTERM drains, run via
@@ -17,15 +19,16 @@ Quickstart::
 
     from repro.serving import ModelArtifact, QueryEngine
 
-    artifact = ModelArtifact.fit(train_X, train_y, measure="nccc",
-                                 normalization="zscore")
+    artifact = ModelArtifact.fit(train_X, train_y, measure="euclidean",
+                                 normalization="zscore", index="dft_lb")
     artifact.save("artifact/")
     engine = QueryEngine(ModelArtifact.load("artifact/"))
     labels = engine.predict(queries)        # == offline one_nn_predict
+    top3 = engine.search(queries, k=3)      # sub-linear, still exact
 """
 
 from .artifact import ARTIFACT_SCHEMA, ModelArtifact
-from .engine import CacheStats, Prediction, QueryEngine
+from .engine import SEARCH_MODES, CacheStats, Prediction, QueryEngine
 from .server import (
     DEFAULT_MAX_INFLIGHT,
     AdmissionGate,
@@ -39,6 +42,7 @@ __all__ = [
     "QueryEngine",
     "Prediction",
     "CacheStats",
+    "SEARCH_MODES",
     "ReproServer",
     "AdmissionGate",
     "serve_artifact",

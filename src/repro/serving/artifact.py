@@ -40,6 +40,7 @@ from ..distances.base import DistanceMeasure, get_measure
 from ..distances.sliding.cross_correlation import sliding_reference
 from ..evaluation.engine.keys import content_key
 from ..exceptions import ArtifactError
+from ..index import build_index, normalize_index_specs, restore_index
 from ..normalization import get_normalizer
 from ..search.cascade import candidate_envelopes
 
@@ -102,6 +103,15 @@ class ModelArtifact:
         compute the same function — so the query engine can warn when it
         serves with a different tier than the artifact was validated
         against.
+    index_specs:
+        Frozen JSON-able specs of every fitted reference index, in build
+        order (the exact configuration each index reported after build —
+        clamped parameters, measured recall, etc.). Folded into the
+        fingerprint when non-empty; legacy index-free artifacts keep
+        their original fingerprints.
+    indexes:
+        The live :class:`~repro.index.ReferenceIndex` objects matching
+        ``index_specs`` (revived at load time from verified arrays).
     """
 
     measure: str
@@ -113,6 +123,8 @@ class ModelArtifact:
     fingerprint: str = ""
     created_unix: float = 0.0
     backend: str = "reference"
+    index_specs: tuple = ()
+    indexes: tuple = ()
 
     # ------------------------------------------------------------------
     # construction
@@ -126,6 +138,7 @@ class ModelArtifact:
         measure: str | DistanceMeasure = "nccc",
         normalization: str | None = None,
         params: Mapping[str, float] | None = None,
+        index=None,
     ) -> "ModelArtifact":
         """Freeze a reference set for online 1-NN serving.
 
@@ -133,6 +146,15 @@ class ModelArtifact:
         pairwise AdaptiveScaling cannot be frozen into a reference set
         and is rejected), resolves the measure's parameters, and runs the
         measure-specific precomputations.
+
+        ``index`` optionally requests one or more reference indexes for
+        the sub-linear query path: a kind name (``"dft_lb"``), a mapping
+        with a ``kind`` key plus build parameters, or a sequence of
+        either (e.g. one exact filter plus one approximate embedding
+        index). Indexes are built over the *normalized* reference set and
+        frozen into the artifact — their specs join the fingerprint, so
+        an artifact with an index is a different logical model than the
+        same data without one.
         """
         m = get_measure(measure)
         resolved = m.resolve_params(dict(params or {}))
@@ -158,10 +180,19 @@ class ModelArtifact:
             precomputed["sliding_norms"] = reference.norms
         elif m.name == "dtw":
             precomputed["envelopes"] = candidate_envelopes(
-                X, resolved["delta"]
+                X, delta=resolved["delta"]
             )
 
-        fingerprint = cls._fingerprint(m.name, norm_name, resolved, X, y)
+        requested = normalize_index_specs(index)
+        indexes = tuple(
+            build_index(spec, X, measure=m.name, params=resolved)
+            for spec in requested
+        )
+        index_specs = tuple(ix.spec() for ix in indexes)
+
+        fingerprint = cls._fingerprint(
+            m.name, norm_name, resolved, X, y, index_specs
+        )
         return cls(
             measure=m.name,
             normalization=norm_name,
@@ -172,6 +203,8 @@ class ModelArtifact:
             fingerprint=fingerprint,
             created_unix=round(time.time(), 3),
             backend=active_backend(m),
+            index_specs=index_specs,
+            indexes=indexes,
         )
 
     @classmethod
@@ -186,22 +219,27 @@ class ModelArtifact:
         params: Mapping[str, float],
         train_X: np.ndarray,
         train_y: np.ndarray,
+        index_specs: tuple = (),
     ) -> str:
         """Logical identity: config + reference values (not derived data).
 
         Precomputed arrays are deterministic functions of these inputs,
         so they are excluded — refitting from the same data always
-        reproduces the same fingerprint.
+        reproduces the same fingerprint. Index *specs* are included (only
+        when present, so legacy index-free fingerprints are unchanged):
+        the stored index arrays are again deterministic given the specs,
+        but the specs themselves change which answers the engine's
+        ``mode="approx"`` path can produce.
         """
-        return content_key(
-            {
-                "schema": ARTIFACT_SCHEMA,
-                "measure": measure,
-                "normalization": normalization,
-                "params": {k: float(v) for k, v in sorted(params.items())},
-            },
-            [train_X, train_y],
-        )
+        payload: dict = {
+            "schema": ARTIFACT_SCHEMA,
+            "measure": measure,
+            "normalization": normalization,
+            "params": {k: float(v) for k, v in sorted(params.items())},
+        }
+        if index_specs:
+            payload["indexes"] = [dict(spec) for spec in index_specs]
+        return content_key(payload, [train_X, train_y])
 
     # ------------------------------------------------------------------
     # introspection
@@ -234,6 +272,7 @@ class ModelArtifact:
             "series_length": self.series_length,
             "n_classes": int(np.unique(self.train_y).size),
             "backend": self.backend,
+            "indexes": [dict(spec) for spec in self.index_specs],
         }
 
     # ------------------------------------------------------------------
@@ -254,11 +293,19 @@ class ModelArtifact:
             "train_y": self.train_y,
             **self.precomputed,
         }
+        # Index arrays are namespaced per index position so two indexes
+        # can both store e.g. a "frames" array without colliding.
+        index_arrays: list[str] = []
+        for i, ix in enumerate(self.indexes):
+            for name, arr in ix.arrays().items():
+                arrays[f"index{i}_{name}"] = arr
+                index_arrays.append(f"index{i}_{name}")
         np.savez(directory / ARRAYS_NAME, **arrays)
         manifest = {
             **self.describe(),
             "created_unix": self.created_unix,
             "precomputed": sorted(self.precomputed),
+            "index_arrays": sorted(index_arrays),
             "array_digests": {
                 name: _array_digest(arr) for name, arr in arrays.items()
             },
@@ -306,7 +353,12 @@ class ModelArtifact:
                 f"{arrays_path}: unreadable array bundle ({exc})"
             ) from exc
         digests = manifest.get("array_digests", {})
-        expected_names = {"train_X", "train_y", *manifest.get("precomputed", [])}
+        expected_names = {
+            "train_X",
+            "train_y",
+            *manifest.get("precomputed", []),
+            *manifest.get("index_arrays", []),
+        }
         if set(arrays) != expected_names or set(digests) != expected_names:
             raise ArtifactError(
                 f"{directory}: array inventory mismatch "
@@ -319,12 +371,14 @@ class ModelArtifact:
                     f"{name!r} (content does not match its manifest digest)"
                 )
         params = {k: float(v) for k, v in manifest["params"].items()}
+        index_specs = tuple(manifest.get("indexes", []))
         fingerprint = cls._fingerprint(
             manifest["measure"],
             manifest["normalization"],
             params,
             arrays["train_X"],
             arrays["train_y"],
+            index_specs,
         )
         if fingerprint != manifest["fingerprint"]:
             raise ArtifactError(
@@ -334,11 +388,29 @@ class ModelArtifact:
         precomputed = {
             name: arrays[name] for name in manifest.get("precomputed", [])
         }
+        train_X = np.ascontiguousarray(arrays["train_X"], dtype=np.float64)
+        indexes = []
+        for i, spec in enumerate(index_specs):
+            prefix = f"index{i}_"
+            own = {
+                name[len(prefix) :]: arrays[name]
+                for name in arrays
+                if name.startswith(prefix)
+            }
+            indexes.append(
+                restore_index(
+                    spec,
+                    own,
+                    train_X,
+                    measure=manifest["measure"],
+                    params=params,
+                )
+            )
         return cls(
             measure=manifest["measure"],
             normalization=manifest["normalization"],
             params=params,
-            train_X=np.ascontiguousarray(arrays["train_X"], dtype=np.float64),
+            train_X=train_X,
             train_y=as_labels(
                 arrays["train_y"], arrays["train_X"].shape[0], "train_y"
             ),
@@ -346,4 +418,6 @@ class ModelArtifact:
             fingerprint=fingerprint,
             created_unix=float(manifest.get("created_unix", 0.0)),
             backend=manifest.get("backend", "reference"),
+            index_specs=index_specs,
+            indexes=tuple(indexes),
         )

@@ -18,12 +18,30 @@ measure family makes fastest:
   cascade (:func:`repro.search.cascade_nn_search`) with the artifact's
   precomputed candidate envelopes.
 
+When the artifact carries fitted reference indexes (``ModelArtifact.fit
+(..., index=...)``), :meth:`QueryEngine.search` adds a sub-linear tier
+on top of those routes:
+
+- ``mode="exact"`` — the artifact's exact lower-bound index (``dft_lb``,
+  ``paa_lb``, ``isax``) prunes candidates whose admissible bound already
+  loses to the running k-th best; answers are bitwise-identical to the
+  exhaustive scan;
+- ``mode="approx"`` — the artifact's embedding ANN index (``grail_ann``,
+  ``spiral_ann``) shortlists in embedding space and re-ranks with the
+  true measure (recall measured at fit time, frozen in the spec);
+- ``mode="brute"`` — pruning disabled: the same refine arithmetic over
+  every candidate (the baseline exactness is tested against), or the
+  classic full-scan routes when no index exists.
+
+``predict`` is a thin ``k=1, mode="exact"`` wrapper over ``search``.
+
 Results flow through a bounded, thread-safe LRU cache keyed by the raw
-query bytes; repeated queries (dashboards, retries, hot keys) skip the
-distance computation entirely. All cache bookkeeping happens under one
-lock while the distance math runs outside it, so concurrent ``predict``
-calls scale across threads and remain bitwise-deterministic (the
-computation is pure; a racing duplicate computes the same values).
+query bytes plus ``(k, mode, index)``; repeated queries (dashboards,
+retries, hot keys) skip the distance computation entirely. All cache
+bookkeeping happens under one lock while the distance math runs outside
+it, so concurrent ``predict`` calls scale across threads and remain
+bitwise-deterministic (the computation is pure; a racing duplicate
+computes the same values).
 """
 
 from __future__ import annotations
@@ -58,21 +76,50 @@ from scipy.fft import next_fast_len
 DEFAULT_CACHE_SIZE = 1024
 
 
+#: Valid ``mode=`` values of :meth:`QueryEngine.search`.
+SEARCH_MODES = ("exact", "approx", "brute")
+
+
 @dataclass(frozen=True)
 class Prediction:
-    """Outcome of one ``predict`` batch.
+    """Outcome of one ``search``/``predict`` batch.
 
-    ``labels[i]`` / ``indices[i]`` / ``distances[i]`` describe the
-    nearest reference series of query ``i``; ``cache_hits`` counts how
-    many of the batch's queries were answered from the LRU cache.
+    ``neighbor_indices`` and ``neighbor_distances`` are shaped ``(n, k)``
+    with row ``i`` holding query ``i``'s neighbors in ascending
+    ``(distance, reference index)`` order; ``labels[i]`` is the label of
+    the top neighbor (1-NN classification). ``cache_hits`` counts how
+    many of the batch's queries were answered from the LRU cache;
+    ``pruned`` / ``full_computations`` account the candidate pairs the
+    chosen route skipped / actually computed.
+
+    The :attr:`indices` / :attr:`distances` properties are the
+    **k = 1 back-compat squeeze**: for ``k == 1`` they return the
+    historical ``(n,)`` vectors (what every pre-index caller consumed);
+    for ``k > 1`` they return the full ``(n, k)`` arrays unchanged.
     """
 
     labels: np.ndarray
-    indices: np.ndarray
-    distances: np.ndarray
+    neighbor_indices: np.ndarray
+    neighbor_distances: np.ndarray
+    k: int = 1
+    mode: str = "exact"
     cache_hits: int = 0
     pruned: int = 0
     full_computations: int = 0
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Neighbor indices — ``(n,)`` when ``k == 1``, else ``(n, k)``."""
+        if self.k == 1:
+            return self.neighbor_indices[:, 0]
+        return self.neighbor_indices
+
+    @property
+    def distances(self) -> np.ndarray:
+        """Neighbor distances — ``(n,)`` when ``k == 1``, else ``(n, k)``."""
+        if self.k == 1:
+            return self.neighbor_distances[:, 0]
+        return self.neighbor_distances
 
 
 @dataclass
@@ -145,10 +192,20 @@ class QueryEngine:
             if artifact.normalization is None
             else get_normalizer(artifact.normalization)
         )
-        self._cache: OrderedDict[bytes, tuple[int, float]] = OrderedDict()
+        # Cache entries are (indices, distances) row vectors of length k,
+        # keyed by (query sha, k, route token) — exact and brute answers
+        # are bitwise-identical but tracked separately so counters stay
+        # interpretable.
+        self._cache: OrderedDict[
+            tuple[bytes, int, str], tuple[np.ndarray, np.ndarray]
+        ] = OrderedDict()
         self._cache_size = int(cache_size)
         self._lock = threading.Lock()
         self._stats = CacheStats(capacity=self._cache_size)
+        self._exact_indexes = tuple(ix for ix in artifact.indexes if ix.exact)
+        self._approx_indexes = tuple(
+            ix for ix in artifact.indexes if not ix.exact
+        )
         self.route = self._pick_route(use_cascade)
         if self.route == "sliding":
             self._reference = self._sliding_reference()
@@ -214,15 +271,48 @@ class QueryEngine:
     # prediction
     # ------------------------------------------------------------------
     def predict(self, queries) -> np.ndarray:
-        """1-NN labels of a query batch (the common fast path)."""
-        return self.predict_detailed(queries).labels
+        """1-NN labels of a query batch (thin ``search(k=1)`` wrapper)."""
+        return self.search(queries).labels
 
     def predict_detailed(self, queries) -> Prediction:
-        """Full per-query detail: labels, indices, distances, cache hits.
+        """Full 1-NN detail — equivalent to ``search(queries)``.
 
-        Accepts a single series or an ``(r, m)`` batch; queries are
-        normalized with the artifact's method before comparison, exactly
-        as the reference set was at fit time.
+        Retained for pre-index callers; new code should call
+        :meth:`search` directly (it exposes ``k`` and ``mode``).
+        """
+        return self.search(queries)
+
+    def search(
+        self,
+        queries,
+        *,
+        k: int = 1,
+        mode: str = "exact",
+        index: str | None = None,
+    ) -> Prediction:
+        """Top-``k`` nearest references of each query in a batch.
+
+        Parameters
+        ----------
+        queries:
+            A single series or an ``(r, m)`` batch; normalized with the
+            artifact's method before comparison, exactly as the
+            reference set was at fit time.
+        k:
+            Neighbors to return per query, ``1 <= k <= n_train``.
+        mode:
+            ``"exact"`` — sub-linear search through the artifact's exact
+            lower-bound index when one is fitted (answers provably
+            bitwise-identical to the exhaustive scan), else the classic
+            full-scan routes. ``"approx"`` — the artifact's embedding
+            ANN index (requires one; recall is whatever its spec
+            recorded at fit). ``"brute"`` — exhaustive baseline: the
+            exact index's refine arithmetic with pruning disabled, or
+            the full-scan routes when no index exists.
+        index:
+            Pin a specific fitted index by kind name (``"dft_lb"``,
+            ``"grail_ann"``...); default picks the first fitted index
+            compatible with ``mode``.
         """
         Q = as_dataset(queries, "queries")
         if Q.shape[1] != self.artifact.series_length:
@@ -230,16 +320,31 @@ class QueryEngine:
                 f"query length {Q.shape[1]} != artifact series length "
                 f"{self.artifact.series_length}"
             )
+        k = int(k)
+        if not 1 <= k <= self.artifact.n_train:
+            raise ServingError(
+                f"k must be in [1, {self.artifact.n_train}], got {k}"
+            )
+        if mode not in SEARCH_MODES:
+            raise ServingError(
+                f"mode must be one of {SEARCH_MODES}, got {mode!r}"
+            )
+        chosen, prune = self._resolve_index(mode, index)
+        token = f"{mode}:{chosen.kind if chosen is not None else 'scan'}"
         bus = get_bus()
         with bus.span(
             "serve.predict",
             measure=self.artifact.measure,
-            route=self.route,
+            route=self.route if chosen is None else f"index:{chosen.kind}",
             backend=self.backend,
             batch=Q.shape[0],
+            mode=mode,
+            k=k,
         ) as span:
-            keys = [_query_key(np.ascontiguousarray(row)) for row in Q]
-            hits: dict[int, tuple[int, float]] = {}
+            keys = [
+                (_query_key(np.ascontiguousarray(row)), k, token) for row in Q
+            ]
+            hits: dict[int, tuple[np.ndarray, np.ndarray]] = {}
             miss_rows: list[int] = []
             with self._lock:
                 for i, key in enumerate(keys):
@@ -257,8 +362,8 @@ class QueryEngine:
                 bus.count("serve.cache.miss", len(miss_rows))
 
             pruned = full = 0
-            indices = np.empty(Q.shape[0], dtype=np.intp)
-            distances = np.empty(Q.shape[0], dtype=np.float64)
+            indices = np.empty((Q.shape[0], k), dtype=np.intp)
+            distances = np.empty((Q.shape[0], k), dtype=np.float64)
             for i, (idx, dist) in hits.items():
                 indices[i] = idx
                 distances[i] = dist
@@ -266,7 +371,31 @@ class QueryEngine:
                 sub = Q[miss_rows]
                 if self._normalizer is not None:
                     sub = self._normalizer.apply_dataset(sub)
-                sub_idx, sub_dist, pruned, full = self._nearest(sub)
+                if chosen is not None:
+                    sub_idx, sub_dist, stats = chosen.search(
+                        sub, k, prune=prune
+                    )
+                    pruned, full = stats.pruned, stats.refined
+                    bus.count(
+                        "serve.index.candidates",
+                        stats.candidates,
+                        kind=chosen.kind,
+                        mode=mode,
+                    )
+                    bus.count(
+                        "serve.index.refined",
+                        stats.refined,
+                        kind=chosen.kind,
+                        mode=mode,
+                    )
+                    bus.count(
+                        "serve.index.pruned",
+                        stats.pruned,
+                        kind=chosen.kind,
+                        mode=mode,
+                    )
+                else:
+                    sub_idx, sub_dist, pruned, full = self._scan_topk(sub, k)
                 for offset, i in enumerate(miss_rows):
                     indices[i] = sub_idx[offset]
                     distances[i] = sub_dist[offset]
@@ -274,46 +403,96 @@ class QueryEngine:
                     with self._lock:
                         for offset, i in enumerate(miss_rows):
                             self._cache[keys[i]] = (
-                                int(sub_idx[offset]),
-                                float(sub_dist[offset]),
+                                sub_idx[offset].copy(),
+                                sub_dist[offset].copy(),
                             )
                             self._cache.move_to_end(keys[i])
                         while len(self._cache) > self._cache_size:
                             self._cache.popitem(last=False)
                             self._stats.evictions += 1
                         self._stats.size = len(self._cache)
-            labels = self.artifact.train_y[indices]
-            span.set(cache_hits=len(hits))
+            labels = self.artifact.train_y[indices[:, 0]]
+            span.set(cache_hits=len(hits), pruned=pruned)
             return Prediction(
                 labels=labels,
-                indices=indices,
-                distances=distances,
+                neighbor_indices=indices,
+                neighbor_distances=distances,
+                k=k,
+                mode=mode,
                 cache_hits=len(hits),
                 pruned=pruned,
                 full_computations=full,
             )
 
-    def _nearest(
-        self, Q: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, int, int]:
-        """Nearest reference index/distance per normalized query row.
+    def _resolve_index(self, mode: str, index: str | None):
+        """Pick the index (or ``None`` for a full scan) serving ``mode``.
 
-        Returns ``(indices, distances, pruned, full_computations)``; the
-        last two are nonzero only on the cascade route.
+        Returns ``(index_or_None, prune_flag)``.
         """
+        if index is not None:
+            chosen = next(
+                (ix for ix in self.artifact.indexes if ix.kind == index), None
+            )
+            if chosen is None:
+                fitted = [ix.kind for ix in self.artifact.indexes]
+                raise ServingError(
+                    f"artifact has no fitted index {index!r} "
+                    f"(fitted: {fitted or 'none'})"
+                )
+            if mode == "approx" and chosen.exact:
+                raise ServingError(
+                    f"index {index!r} is exact; mode='approx' needs an "
+                    "embedding ANN index (grail_ann / spiral_ann)"
+                )
+            if mode in ("exact", "brute") and not chosen.exact:
+                raise ServingError(
+                    f"index {index!r} is approximate and cannot serve "
+                    f"mode={mode!r}; fit an exact index (dft_lb / paa_lb "
+                    "/ isax) or use mode='approx'"
+                )
+            return chosen, mode != "brute"
+        if mode == "approx":
+            if not self._approx_indexes:
+                raise ServingError(
+                    "mode='approx' requires an approximate index; fit the "
+                    "artifact with index='grail_ann' (or 'spiral_ann')"
+                )
+            return self._approx_indexes[0], True
+        if self._exact_indexes:
+            return self._exact_indexes[0], mode != "brute"
+        return None, True  # no index: exact == brute == full scan
+
+    def _scan_topk(
+        self, Q: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray, int, int]:
+        """Exhaustive top-``k`` per normalized query row (no index).
+
+        Returns ``(indices, distances, pruned, full_computations)`` with
+        the arrays shaped ``(len(Q), k)``; ``pruned`` is nonzero only on
+        the 1-NN cascade route.
+        """
+        if self.route == "cascade" and k == 1:
+            idx, dist, pruned, full = self._cascade_nearest(Q)
+            return idx[:, None], dist[:, None], pruned, full
         if self.route == "sliding":
             E = self._sliding_matrix(Q)
-        elif self.route == "cascade":
-            return self._cascade_nearest(Q)
         else:
+            # k > 1 on the cascade route also lands here: the cascade
+            # tracks a single best-so-far, so top-k goes through the
+            # generic pairwise matrix (still exact, just not pruned).
             E = self._measure.pairwise(
                 Q,
                 self.artifact.train_X,
                 backend=self.backend,
                 **self._params,
             )
-        idx = np.argmin(E, axis=1)
-        return idx, E[np.arange(E.shape[0]), idx], 0, Q.shape[0]
+        order = np.argsort(E, axis=1, kind="stable")[:, :k]
+        return (
+            order,
+            np.take_along_axis(E, order, axis=1),
+            0,
+            Q.shape[0] * self.artifact.n_train,
+        )
 
     def _sliding_matrix(self, Q: np.ndarray) -> np.ndarray:
         """Dissimilarity matrix via the precomputed reference FFTs.
@@ -345,7 +524,7 @@ class QueryEngine:
             idx, dist, stats = cascade_nn_search(
                 row,
                 self.artifact.train_X,
-                delta,
+                delta=delta,
                 envelopes=self._envelopes,
             )
             indices[i] = idx

@@ -4,9 +4,13 @@
 :class:`~repro.serving.ModelArtifact` behind these endpoints:
 
 - ``POST /predict`` — a JSON batch (``{"queries": [[...], ...]}``) or a
-  base64-encoded ``.npy`` payload (``{"queries_npy_b64": "..."}``);
-  responds with per-query labels, reference indices, distances and the
-  batch's cache-hit count;
+  base64-encoded ``.npy`` payload (``{"queries_npy_b64": "..."}``),
+  optionally with ``k`` (neighbors per query), ``mode``
+  (``exact``/``approx``/``brute``) and ``index`` (pin a fitted index by
+  kind). Responds in the legacy flat schema-1 shape unless the request
+  names any of those knobs (or asks ``"schema": 2``), in which case the
+  versioned schema-2 shape carries ``(batch, k)`` neighbor arrays plus
+  index prune counters;
 - ``GET /healthz`` — liveness plus the artifact's manifest summary;
   flips to ``503``/``degraded`` while the latency SLO is breached;
 - ``GET /metrics`` — the server's :class:`~repro.observability.MetricsSink`
@@ -156,6 +160,40 @@ def _parse_queries(payload: Any) -> np.ndarray:
         "request body needs a 'queries' (nested JSON list) or "
         "'queries_npy_b64' (base64 .npy) field"
     )
+
+
+def _parse_search_options(payload: dict) -> tuple[int, str, str | None, int]:
+    """Extract ``(k, mode, index, response schema)`` from a request body.
+
+    The response schema defaults to 1 (the legacy flat shape) for bodies
+    that name none of the search knobs, and to 2 as soon as ``k``,
+    ``mode`` or ``index`` appears — a legacy client never sees a new
+    shape, a new client never has to ask twice. ``"schema": 1`` may be
+    requested explicitly, but only for 1-NN (the flat shape cannot carry
+    a second neighbor).
+    """
+    wants_new = any(key in payload for key in ("k", "mode", "index"))
+    try:
+        k = int(payload.get("k", 1))
+    except (TypeError, ValueError) as exc:
+        raise ServingError(f"'k' must be an integer: {exc}") from exc
+    mode = payload.get("mode", "exact")
+    if not isinstance(mode, str):
+        raise ServingError(f"'mode' must be a string, got {type(mode).__name__}")
+    index = payload.get("index")
+    if index is not None and not isinstance(index, str):
+        raise ServingError(
+            f"'index' must be an index kind name, got {type(index).__name__}"
+        )
+    schema = payload.get("schema", 2 if wants_new else 1)
+    if schema not in (1, 2):
+        raise ServingError(f"'schema' must be 1 or 2, got {schema!r}")
+    if schema == 1 and k != 1:
+        raise ServingError(
+            "the legacy schema-1 response shape is 1-NN only; request "
+            '"schema": 2 for k > 1'
+        )
+    return k, mode, index, int(schema)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -381,7 +419,17 @@ class _Handler(BaseHTTPRequestHandler):
         return 200
 
     def _predict(self, server: "ReproServer") -> tuple[int, dict]:
-        """Parse, predict, and shape the ``/predict`` response."""
+        """Parse, search, and shape the ``/predict`` response.
+
+        Two response schemas are spoken. **Schema 1** (the legacy shape)
+        is emitted when the request names neither ``schema`` nor any of
+        the new knobs: flat ``labels``/``indices``/``distances`` vectors,
+        1-NN only — byte-compatible with pre-index clients. **Schema 2**
+        is emitted when the request carries ``"schema": 2`` or any of
+        ``k`` / ``mode`` / ``index``: ``neighbor_indices`` and
+        ``neighbor_distances`` are ``(batch, k)`` nested lists and the
+        response echoes ``k``, ``mode`` and the index work counters.
+        """
         try:
             length = int(self.headers.get("Content-Length", 0))
             if length <= 0:
@@ -396,12 +444,26 @@ class _Handler(BaseHTTPRequestHandler):
             except ValueError as exc:
                 raise ServingError(f"body is not valid JSON: {exc}") from exc
             queries = _parse_queries(payload)
-            result = server.engine.predict_detailed(queries)
+            k, mode, index, schema = _parse_search_options(payload)
+            result = server.engine.search(queries, k=k, mode=mode, index=index)
+            if schema == 1:
+                return 200, {
+                    "labels": result.labels.tolist(),
+                    "indices": result.indices.tolist(),
+                    "distances": result.distances.tolist(),
+                    "cache_hits": result.cache_hits,
+                    "batch": int(result.labels.shape[0]),
+                }
             return 200, {
+                "schema": 2,
                 "labels": result.labels.tolist(),
-                "indices": result.indices.tolist(),
-                "distances": result.distances.tolist(),
+                "neighbor_indices": result.neighbor_indices.tolist(),
+                "neighbor_distances": result.neighbor_distances.tolist(),
+                "k": result.k,
+                "mode": result.mode,
                 "cache_hits": result.cache_hits,
+                "pruned": result.pruned,
+                "full_computations": result.full_computations,
                 "batch": int(result.labels.shape[0]),
             }
         except ReproError as exc:

@@ -41,7 +41,7 @@ class TestCascadeSearch:
     @pytest.mark.parametrize("delta", [0.0, 10.0, 100.0])
     def test_matches_exhaustive(self, corpus, rng, delta):
         query = corpus[0] + rng.normal(0, 0.1, size=48)
-        idx, dist, stats = cascade_nn_search(query, corpus, delta)
+        idx, dist, stats = cascade_nn_search(query, corpus, delta=delta)
         exhaustive = [dtw(query, c, delta) for c in corpus]
         assert idx == int(np.argmin(exhaustive))
         assert dist == pytest.approx(min(exhaustive))
@@ -49,7 +49,7 @@ class TestCascadeSearch:
 
     def test_stats_partition_candidates(self, corpus, rng):
         query = corpus[0] + rng.normal(0, 0.1, size=48)
-        _, _, stats = cascade_nn_search(query, corpus, 10.0)
+        _, _, stats = cascade_nn_search(query, corpus, delta=10.0)
         assert (
             stats.pruned_by_kim
             + stats.pruned_by_keogh
@@ -60,7 +60,7 @@ class TestCascadeSearch:
 
     def test_cascade_prunes_diverse_corpus(self, corpus, rng):
         query = corpus[0] + rng.normal(0, 0.1, size=48)
-        _, _, stats = cascade_nn_search(query, corpus, 10.0)
+        _, _, stats = cascade_nn_search(query, corpus, delta=10.0)
         # The 12 offset-by-5i rows are trivially far: most must be pruned
         # or abandoned before a full DTW.
         assert stats.pruning_rate > 0.3

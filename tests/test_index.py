@@ -1,0 +1,507 @@
+"""Tests for the sub-linear query path (repro.index + engine modes).
+
+The index layer is exactness-critical in two different ways:
+
+- **admissibility** — every exact index's lower bound must never exceed
+  the true distance, for *any* inputs, across the paper's Table-4
+  parameter grid (checked property-style against brute-force oracles);
+- **parity** — ``mode="exact"`` answers must be bitwise-identical to
+  ``mode="brute"`` (same refine kernel, pruning toggled), and the
+  approximate path must clear a measured recall@1 gate on a pinned
+  clustered workload.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distances.elastic import dtw
+from repro.exceptions import (
+    ArtifactError,
+    IndexBuildError,
+    ServingError,
+    ValidationError,
+)
+from repro.index import (
+    DFTLowerBoundIndex,
+    ISAXTreeIndex,
+    PAALowerBoundIndex,
+    build_index,
+    indexable_kinds,
+    list_index_kinds,
+    normalize_index_specs,
+    restore_index,
+)
+from repro.search import (
+    NeighborResult,
+    candidate_envelopes,
+    cascade_nn_search,
+    nearest_neighbors,
+    query_envelope,
+    top_k_matches,
+)
+from repro.serving import ModelArtifact, QueryEngine
+
+#: Banded-DTW deltas from the paper's Table 4 tuning grid (percent band).
+TABLE4_DELTAS = [0.0, 5.0, 10.0, 20.0, 100.0]
+
+
+def clustered_dataset(seed=11, prototypes=8, members=25, length=64, noise=0.25):
+    """Multi-prototype z-normalized data where truncated representations
+    can discriminate (iid noise would concentrate all distances)."""
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0, 2 * np.pi, length)
+    protos = [
+        np.sin((i % 4 + 1) * t + rng.uniform(0, np.pi)) for i in range(prototypes)
+    ]
+    X = np.vstack(
+        [p + rng.normal(0, noise, length) for p in protos for _ in range(members)]
+    )
+    X = (X - X.mean(axis=1, keepdims=True)) / X.std(axis=1, keepdims=True)
+    y = np.repeat(np.arange(prototypes), members)
+    Q = X[:: members // 2] + rng.normal(0, noise / 4, (len(X[:: members // 2]), length))
+    Q = (Q - Q.mean(axis=1, keepdims=True)) / Q.std(axis=1, keepdims=True)
+    return X, y, Q
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return clustered_dataset()
+
+
+@st.composite
+def pair_sets(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    n = draw(st.integers(min_value=3, max_value=10))
+    m = draw(st.integers(min_value=8, max_value=40))
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, m)) * draw(
+        st.sampled_from([0.1, 1.0, 10.0])
+    ), rng.normal(size=m)
+
+
+class TestAdmissibility:
+    """LB(q, x) <= d(q, x) for every exact index, any real inputs."""
+
+    @given(pair_sets(), st.integers(min_value=1, max_value=16))
+    @settings(max_examples=40, deadline=None)
+    def test_dft_lower_bound_admissible(self, data, coefficients):
+        X, q = data
+        index = DFTLowerBoundIndex.build(
+            X, measure="euclidean", params={}, coefficients=coefficients
+        )
+        true = np.sqrt(((X - q) ** 2).sum(axis=1))
+        bounds = index.lower_bounds(q)
+        assert np.all(bounds <= true * (1 + 1e-9) + 1e-9)
+
+    @given(pair_sets(), st.integers(min_value=1, max_value=16))
+    @settings(max_examples=40, deadline=None)
+    def test_paa_euclidean_lower_bound_admissible(self, data, segments):
+        X, q = data
+        index = PAALowerBoundIndex.build(
+            X, measure="euclidean", params={}, segments=segments
+        )
+        true = np.sqrt(((X - q) ** 2).sum(axis=1))
+        assert np.all(index.lower_bounds(q) <= true * (1 + 1e-9) + 1e-9)
+
+    @given(
+        pair_sets(),
+        st.sampled_from(TABLE4_DELTAS),
+        st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_paa_dtw_lower_bound_admissible(self, data, delta, segments):
+        X, q = data
+        index = PAALowerBoundIndex.build(
+            X, measure="dtw", params={"delta": delta}, segments=segments
+        )
+        bounds = index.lower_bounds(q)
+        true = np.array([dtw(q, x, delta) for x in X])
+        assert np.all(bounds <= true * (1 + 1e-9) + 1e-9)
+
+    @given(pair_sets(), st.integers(min_value=2, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_isax_region_mindist_admissible(self, data, segments):
+        X, q = data
+        index = ISAXTreeIndex.build(
+            X, measure="euclidean", params={}, segments=segments, leaf_size=4
+        )
+        true = np.sqrt(((X - q) ** 2).sum(axis=1))
+        assert np.all(index.lower_bounds(q) <= true * (1 + 1e-9) + 1e-9)
+
+
+class TestExactParity:
+    """mode='exact' must equal the unpruned scan bitwise, while pruning."""
+
+    @pytest.mark.parametrize("kind", ["dft_lb", "paa_lb", "isax"])
+    @pytest.mark.parametrize("k", [1, 3, 5])
+    def test_euclidean_bitwise_parity(self, workload, kind, k):
+        X, _, Q = workload
+        index = build_index(kind, X, measure="euclidean", params={})
+        exact_idx, exact_dist, stats = index.search(Q, k)
+        brute_idx, brute_dist, _ = index.search(Q, k, prune=False)
+        np.testing.assert_array_equal(exact_idx, brute_idx)
+        np.testing.assert_array_equal(exact_dist, brute_dist)
+        assert exact_idx.shape == (Q.shape[0], k)
+        assert stats.candidates == Q.shape[0] * X.shape[0]
+
+    @pytest.mark.parametrize("delta", [5.0, 10.0])
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_dtw_bitwise_parity(self, workload, delta, k):
+        X, _, Q = workload
+        index = build_index(
+            "paa_lb", X[:60], measure="dtw", params={"delta": delta}
+        )
+        exact_idx, exact_dist, stats = index.search(Q[:4], k)
+        brute_idx, brute_dist, _ = index.search(Q[:4], k, prune=False)
+        np.testing.assert_array_equal(exact_idx, brute_idx)
+        np.testing.assert_array_equal(exact_dist, brute_dist)
+        assert stats.pruned > 0
+
+    def test_lower_bound_indexes_prune_clustered_data(self, workload):
+        X, _, Q = workload
+        for kind in ("dft_lb", "paa_lb"):
+            index = build_index(kind, X, measure="euclidean", params={})
+            _, _, stats = index.search(Q, 1)
+            assert stats.pruning_rate > 0.4, (kind, stats)
+
+    def test_tie_breaking_prefers_lowest_index(self):
+        X = np.tile(np.linspace(-1, 1, 16), (5, 1))  # five identical rows
+        index = build_index("dft_lb", X, measure="euclidean", params={})
+        idx, dist, _ = index.search(X[:1], 3)
+        np.testing.assert_array_equal(idx, [[0, 1, 2]])
+        np.testing.assert_array_equal(dist, [[0.0, 0.0, 0.0]])
+
+    def test_k_out_of_range_rejected(self, workload):
+        X, _, Q = workload
+        index = build_index("dft_lb", X, measure="euclidean", params={})
+        with pytest.raises(ValidationError):
+            index.search(Q, 0)
+        with pytest.raises(ValidationError):
+            index.search(Q, X.shape[0] + 1)
+
+
+class TestRegistry:
+    def test_kinds_registered(self):
+        kinds = list_index_kinds()
+        for kind in ("dft_lb", "paa_lb", "isax", "grail_ann", "spiral_ann"):
+            assert kind in kinds
+
+    def test_indexable_kinds_exact_only(self):
+        assert "dft_lb" in indexable_kinds("euclidean")
+        assert "grail_ann" not in indexable_kinds("euclidean")
+        assert list(indexable_kinds("dtw")) == ["paa_lb"]
+
+    def test_spec_normalization(self):
+        assert normalize_index_specs(None) == ()
+        assert normalize_index_specs("dft_lb") == ({"kind": "dft_lb"},)
+        specs = normalize_index_specs([{"kind": "paa_lb", "segments": 4}])
+        assert specs[0]["segments"] == 4
+        with pytest.raises(IndexBuildError):
+            normalize_index_specs(["dft_lb", "dft_lb"])  # duplicate kind
+
+    def test_unknown_kind_rejected(self, workload):
+        X, _, _ = workload
+        with pytest.raises(IndexBuildError, match="unknown"):
+            build_index("btree", X, measure="euclidean", params={})
+
+    def test_unsupported_measure_rejected(self, workload):
+        X, _, _ = workload
+        with pytest.raises(IndexBuildError):
+            build_index("dft_lb", X, measure="dtw", params={"delta": 10.0})
+
+
+class TestApproximateRecall:
+    """grail_ann on the pinned clustered workload must clear recall@1."""
+
+    def test_recall_gate(self, workload):
+        X, _, Q = workload
+        index = build_index(
+            {"kind": "grail_ann", "dimensions": 16}, X,
+            measure="euclidean", params={},
+        )
+        spec = index.spec()
+        assert spec["recall"] >= 0.95
+        approx_idx, _, _ = index.search(Q, 1)
+        exact = build_index("dft_lb", X, measure="euclidean", params={})
+        exact_idx, _, _ = exact.search(Q, 1)
+        recall = float(np.mean(approx_idx[:, 0] == exact_idx[:, 0]))
+        assert recall >= 0.95
+
+    def test_min_recall_build_gate_fails_on_noise(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(64, 48))  # iid noise: embeddings can't rank
+        with pytest.raises(IndexBuildError, match="recall"):
+            build_index(
+                {"kind": "grail_ann", "dimensions": 4, "min_recall": 0.99},
+                X, measure="euclidean", params={},
+            )
+
+    def test_k_capped_by_rerank(self, workload):
+        X, _, Q = workload
+        index = build_index(
+            {"kind": "grail_ann", "rerank": 8}, X,
+            measure="euclidean", params={},
+        )
+        with pytest.raises(ValidationError):
+            index.search(Q, 9)
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_answers_and_fingerprint(
+        self, workload, tmp_path
+    ):
+        X, y, Q = workload
+        art = ModelArtifact.fit(
+            X, y, measure="euclidean", normalization="zscore",
+            index=["dft_lb", "grail_ann"],
+        )
+        art.save(tmp_path / "art")
+        loaded = ModelArtifact.load(tmp_path / "art")
+        assert loaded.fingerprint == art.fingerprint
+        assert loaded.index_specs == art.index_specs
+        before = QueryEngine(art).search(Q, k=3)
+        after = QueryEngine(loaded).search(Q, k=3)
+        np.testing.assert_array_equal(
+            before.neighbor_indices, after.neighbor_indices
+        )
+        np.testing.assert_array_equal(
+            before.neighbor_distances, after.neighbor_distances
+        )
+        ap_before = QueryEngine(art).search(Q, k=1, mode="approx")
+        ap_after = QueryEngine(loaded).search(Q, k=1, mode="approx")
+        np.testing.assert_array_equal(
+            ap_before.neighbor_indices, ap_after.neighbor_indices
+        )
+
+    def test_index_changes_fingerprint(self, workload):
+        X, y, _ = workload
+        plain = ModelArtifact.fit(X, y, measure="euclidean")
+        indexed = ModelArtifact.fit(X, y, measure="euclidean", index="dft_lb")
+        assert plain.fingerprint != indexed.fingerprint
+        assert plain.index_specs == ()
+
+    def test_tampered_index_array_refused(self, workload, tmp_path):
+        X, y, _ = workload
+        art = ModelArtifact.fit(X, y, measure="euclidean", index="dft_lb")
+        art.save(tmp_path / "art")
+        path = tmp_path / "art" / "arrays.npz"
+        with np.load(path) as z:
+            arrays = {name: z[name].copy() for name in z.files}
+        key = next(name for name in arrays if name.startswith("index0_"))
+        arrays[key][0] += 1e-3
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ArtifactError):
+            ModelArtifact.load(tmp_path / "art")
+
+    def test_standalone_index_restore(self, workload):
+        X, _, Q = workload
+        index = build_index("isax", X, measure="euclidean", params={})
+        revived = restore_index(
+            index.spec(), index.arrays(), X, measure="euclidean", params={}
+        )
+        a = index.search(Q, 2)
+        b = revived.search(Q, 2)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+
+class TestEngineModes:
+    @pytest.fixture(scope="class")
+    def engine(self, workload):
+        X, y, _ = workload
+        art = ModelArtifact.fit(
+            X, y, measure="euclidean", normalization="zscore",
+            index=["dft_lb", "grail_ann"],
+        )
+        return QueryEngine(art)
+
+    def test_exact_equals_brute_bitwise(self, workload, engine):
+        _, _, Q = workload
+        exact = engine.search(Q, k=3, mode="exact")
+        brute = engine.search(Q, k=3, mode="brute")
+        np.testing.assert_array_equal(
+            exact.neighbor_indices, brute.neighbor_indices
+        )
+        np.testing.assert_array_equal(
+            exact.neighbor_distances, brute.neighbor_distances
+        )
+        assert exact.pruned > 0 and brute.pruned == 0
+
+    def test_predict_is_k1_search(self, workload, engine):
+        _, _, Q = workload
+        labels = engine.predict(Q)
+        np.testing.assert_array_equal(labels, engine.search(Q).labels)
+
+    def test_k1_squeeze_back_compat(self, workload, engine):
+        _, _, Q = workload
+        p1 = engine.search(Q, k=1)
+        assert p1.neighbor_indices.shape == (Q.shape[0], 1)
+        assert p1.indices.shape == (Q.shape[0],)  # documented squeeze
+        p3 = engine.search(Q, k=3)
+        assert p3.indices.shape == (Q.shape[0], 3)
+
+    def test_named_index_selection(self, workload, engine):
+        _, _, Q = workload
+        named = engine.search(Q, k=2, index="dft_lb")
+        default = engine.search(Q, k=2)
+        np.testing.assert_array_equal(
+            named.neighbor_indices, default.neighbor_indices
+        )
+        with pytest.raises(ServingError, match="no fitted index"):
+            engine.search(Q, index="paa_lb")
+
+    def test_mode_index_mismatch_rejected(self, workload, engine):
+        _, _, Q = workload
+        with pytest.raises(ServingError):
+            engine.search(Q, mode="approx", index="dft_lb")
+        with pytest.raises(ServingError):
+            engine.search(Q, mode="exact", index="grail_ann")
+        with pytest.raises(ServingError, match="mode"):
+            engine.search(Q, mode="fastest")
+
+    def test_k_validated(self, workload, engine):
+        X, _, Q = workload
+        with pytest.raises(ServingError):
+            engine.search(Q, k=0)
+        with pytest.raises(ServingError):
+            engine.search(Q, k=X.shape[0] + 1)
+
+    def test_approx_without_ann_index_rejected(self, workload):
+        X, y, Q = workload
+        art = ModelArtifact.fit(X, y, measure="euclidean", index="dft_lb")
+        with pytest.raises(ServingError, match="approx"):
+            QueryEngine(art).search(Q, mode="approx")
+
+    def test_cache_keyed_by_k_and_mode(self, workload, engine):
+        _, _, Q = workload
+        fresh = QueryEngine(engine.artifact, cache_size=64)
+        assert fresh.search(Q[:3], k=2).cache_hits == 0
+        assert fresh.search(Q[:3], k=2).cache_hits == 3
+        # Different k or mode must not alias the cached rows.
+        assert fresh.search(Q[:3], k=3).cache_hits == 0
+        assert fresh.search(Q[:3], k=2, mode="brute").cache_hits == 0
+        assert fresh.search(Q[:3], k=2, mode="approx").cache_hits == 0
+
+    def test_scan_engine_supports_topk(self, workload):
+        X, y, Q = workload
+        art = ModelArtifact.fit(X, y, measure="euclidean")  # no index
+        pred = QueryEngine(art).search(Q, k=4)
+        matrix_order = np.argsort(
+            ((Q[:, None, :] - X[None]) ** 2).sum(axis=2), axis=1, kind="stable"
+        )[:, :4]
+        np.testing.assert_array_equal(pred.neighbor_indices, matrix_order)
+
+
+class TestFacade:
+    def test_whole_series_index_matches_exhaustive(self, workload):
+        X, _, Q = workload
+        plain = nearest_neighbors(Q, X, measure="euclidean", k=3)
+        indexed = nearest_neighbors(Q, X, measure="euclidean", k=3,
+                                    index="paa_lb")
+        assert isinstance(plain, NeighborResult)
+        np.testing.assert_array_equal(plain.indices, indexed.indices)
+        np.testing.assert_allclose(
+            plain.distances, indexed.distances, rtol=1e-9
+        )
+        assert indexed.engine == "index:paa_lb"
+        assert indexed.extras["exact"] is True
+
+    def test_dtw_cascade_route(self, workload):
+        X, _, Q = workload
+        res = nearest_neighbors(
+            Q[:3], X[:40], measure="dtw", k=1, params={"delta": 10.0}
+        )
+        assert res.engine == "cascade"
+        true = np.array([[dtw(q, x, 10.0) for x in X[:40]] for q in Q[:3]])
+        np.testing.assert_array_equal(
+            res.indices[:, 0], true.argmin(axis=1)
+        )
+
+    def test_subsequence_domain(self):
+        rng = np.random.default_rng(5)
+        pattern = np.sin(np.linspace(0, 4 * np.pi, 50))
+        stream = np.concatenate(
+            [rng.normal(0, 1, 200), pattern, rng.normal(0, 1, 200)]
+        )
+        res = nearest_neighbors(pattern, stream, domain="subsequence", k=2)
+        assert res.engine == "mass"
+        assert res.indices[0, 0] == 200
+
+    def test_profile_domain(self):
+        rng = np.random.default_rng(6)
+        series = rng.normal(size=400)
+        res = nearest_neighbors(series, domain="profile", window=40)
+        assert res.engine == "matrix_profile"
+        assert res.indices.shape == (400 - 40 + 1, 1)
+
+    def test_domain_validation(self, workload):
+        X, _, Q = workload
+        with pytest.raises(ValidationError, match="domain"):
+            nearest_neighbors(Q, X, domain="nearest")
+        with pytest.raises(ValidationError, match="references"):
+            nearest_neighbors(Q, domain="whole")
+        with pytest.raises(ValidationError, match="window"):
+            nearest_neighbors(X[0], domain="profile")
+        with pytest.raises(ValidationError, match="self-join"):
+            nearest_neighbors(X[0], X[1], domain="profile", window=8)
+
+
+class TestDeprecationShims:
+    """Legacy positional spellings still work, but warn exactly once."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        rng = np.random.default_rng(3)
+        return rng.normal(size=(6, 32)), rng.normal(size=32)
+
+    def test_cascade_positional_delta_warns(self, corpus):
+        X, q = corpus
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            legacy = cascade_nn_search(q, X, 10.0)
+        modern = cascade_nn_search(q, X, delta=10.0)
+        assert legacy[0] == modern[0] and legacy[1] == modern[1]
+
+    def test_candidate_envelopes_positional_delta_warns(self, corpus):
+        X, _ = corpus
+        with pytest.warns(DeprecationWarning):
+            legacy = candidate_envelopes(X, 10.0)
+        np.testing.assert_array_equal(legacy, candidate_envelopes(X, delta=10.0))
+
+    def test_top_k_matches_positional_k_warns(self, corpus):
+        _, q = corpus
+        series = np.concatenate([q, q, q])
+        with pytest.warns(DeprecationWarning):
+            legacy = top_k_matches(q, series, 2)
+        assert legacy == top_k_matches(q, series, k=2)
+
+    def test_keyword_calls_do_not_warn(self, corpus):
+        X, q = corpus
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            cascade_nn_search(q, X, delta=10.0)
+            candidate_envelopes(X, delta=10.0)
+
+    def test_too_many_positionals_rejected(self, corpus):
+        X, q = corpus
+        with pytest.raises(TypeError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                cascade_nn_search(q, X, 10.0, None, "extra")
+
+    def test_query_envelope_precompute_identical(self, corpus):
+        X, q = corpus
+        env = query_envelope(q, delta=10.0)
+        assert env.shape == (2, q.shape[0])
+        a = cascade_nn_search(q, X, delta=10.0)
+        b = cascade_nn_search(q, X, delta=10.0, query_envelope=env)
+        assert a[0] == b[0] and a[1] == b[1]
+        with pytest.raises(ValueError, match="query_envelope"):
+            cascade_nn_search(
+                q, X, delta=10.0, query_envelope=np.zeros((2, 4))
+            )

@@ -294,7 +294,7 @@ class TestBench:
         assert record["workload"] == "quick"
         assert set(record["families"]) == {
             "lockstep", "sliding", "elastic", "kernel", "elastic_kernels",
-            "cache", "sweep", "checkpoint", "serving", "telemetry",
+            "cache", "sweep", "checkpoint", "serving", "index", "telemetry",
         }
         for payload in record["families"].values():
             latency = payload["latency_seconds"]
@@ -363,7 +363,7 @@ class TestBench:
         workloads = build_workloads(quick=True)
         assert set(workloads) == {
             "lockstep", "sliding", "elastic", "kernel", "elastic_kernels",
-            "cache", "sweep", "checkpoint", "serving", "telemetry",
+            "cache", "sweep", "checkpoint", "serving", "index", "telemetry",
         }
 
     def test_cli_bench_run_and_compare(self, bench_record, tmp_path, capsys):

@@ -29,7 +29,7 @@ class TestCascadeExactness:
     @settings(max_examples=25, deadline=None)
     def test_cascade_equals_exhaustive(self, data, delta):
         corpus, query = data
-        idx, dist, _ = cascade_nn_search(query, corpus, delta)
+        idx, dist, _ = cascade_nn_search(query, corpus, delta=delta)
         exhaustive = [dtw(query, c, delta) for c in corpus]
         best = min(exhaustive)
         # Ties may resolve to different-but-equidistant candidates.
@@ -43,9 +43,9 @@ class TestCascadeExactness:
         queries) must return the same exact nearest neighbor as the
         per-query-envelope path."""
         corpus, query = data
-        envs = candidate_envelopes(corpus, delta)
+        envs = candidate_envelopes(corpus, delta=delta)
         assert envs.shape == (corpus.shape[0], 2, corpus.shape[1])
-        idx, dist, _ = cascade_nn_search(query, corpus, delta, envelopes=envs)
+        idx, dist, _ = cascade_nn_search(query, corpus, delta=delta, envelopes=envs)
         exhaustive = [dtw(query, c, delta) for c in corpus]
         assert dist == pytest.approx(min(exhaustive))
         assert exhaustive[idx] == pytest.approx(min(exhaustive))
@@ -55,7 +55,7 @@ class TestCascadeExactness:
         corpus = rng.normal(size=(4, 16))
         with pytest.raises(ValueError, match="envelopes"):
             cascade_nn_search(
-                rng.normal(size=16), corpus, 10.0,
+                rng.normal(size=16), corpus, delta=10.0,
                 envelopes=np.zeros((4, 2, 8)),
             )
 

@@ -389,20 +389,126 @@ class TestServer:
         status, body, _ = post_json(server.url + "/nothing", {"queries": []})
         assert status == 404
 
+
+@pytest.fixture()
+def indexed_server(dataset):
+    """A live server whose artifact carries both an exact and an ANN index."""
+    artifact = ModelArtifact.fit_dataset(
+        dataset, measure="euclidean", normalization="zscore",
+        index=["dft_lb", "grail_ann"],
+    )
+    engine = QueryEngine(artifact)
+    server = ReproServer(engine, port=0, max_inflight=4)
+    server.start_background()
+    yield server, engine
+    if server._thread is not None:
+        server.shutdown()
+
+
+class TestServerSearchAPI:
+    """Schema negotiation and index counters on the redesigned /predict."""
+
+    def test_legacy_request_gets_v1_shape(self, dataset, indexed_server):
+        server, _ = indexed_server
+        status, body, _ = post_json(
+            server.url + "/predict",
+            {"queries": dataset.test_X[:3].tolist()},
+        )
+        assert status == 200
+        assert "schema" not in body
+        assert set(body) == {
+            "labels", "indices", "distances", "cache_hits", "batch",
+        }
+        assert not isinstance(body["indices"][0], list)  # flat, not nested
+
+    def test_k_request_upgrades_to_v2(self, dataset, indexed_server):
+        server, engine = indexed_server
+        status, body, _ = post_json(
+            server.url + "/predict",
+            {"queries": dataset.test_X[:3].tolist(), "k": 3},
+        )
+        assert status == 200
+        assert body["schema"] == 2
+        assert body["k"] == 3 and body["mode"] == "exact"
+        assert len(body["neighbor_indices"]) == 3
+        assert len(body["neighbor_indices"][0]) == 3
+        expected = engine.search(dataset.test_X[:3], k=3)
+        assert body["neighbor_indices"] == expected.neighbor_indices.tolist()
+        assert body["pruned"] + body["full_computations"] > 0
+
+    def test_explicit_schema_2_without_k(self, dataset, indexed_server):
+        server, _ = indexed_server
+        status, body, _ = post_json(
+            server.url + "/predict",
+            {"queries": dataset.test_X[:2].tolist(), "schema": 2},
+        )
+        assert status == 200
+        assert body["schema"] == 2 and body["k"] == 1
+
+    def test_v1_with_k_gt_1_rejected(self, dataset, indexed_server):
+        server, _ = indexed_server
+        status, body, _ = post_json(
+            server.url + "/predict",
+            {"queries": dataset.test_X[:2].tolist(), "schema": 1, "k": 3},
+        )
+        assert status == 400 and "schema" in body["error"]
+
+    def test_mode_approx_and_brute(self, dataset, indexed_server):
+        server, _ = indexed_server
+        status, body, _ = post_json(
+            server.url + "/predict",
+            {"queries": dataset.test_X[:3].tolist(), "mode": "approx"},
+        )
+        assert status == 200 and body["mode"] == "approx"
+        status, exact, _ = post_json(
+            server.url + "/predict",
+            {"queries": dataset.test_X[:3].tolist(), "mode": "exact", "k": 2},
+        )
+        status, brute, _ = post_json(
+            server.url + "/predict",
+            {"queries": dataset.test_X[:3].tolist(), "mode": "brute", "k": 2},
+        )
+        assert exact["neighbor_distances"] == brute["neighbor_distances"]
+        status, body, _ = post_json(
+            server.url + "/predict",
+            {"queries": dataset.test_X[:2].tolist(), "mode": "fastest"},
+        )
+        assert status == 400
+
+    def test_index_counters_in_both_metrics_formats(
+        self, dataset, indexed_server
+    ):
+        server, _ = indexed_server
+        post_json(
+            server.url + "/predict",
+            {"queries": dataset.test_X[:4].tolist(), "k": 2},
+        )
+        with urllib.request.urlopen(server.url + "/metrics", timeout=10) as r:
+            body = json.loads(r.read())
+        assert body["counters"].get("serve.index.candidates", 0) > 0
+        assert "serve.index.pruned" in body["counters"]
+        req = urllib.request.Request(
+            server.url + "/metrics?format=prometheus"
+        )
+        with urllib.request.urlopen(req, timeout=10) as r:
+            text = r.read().decode()
+        assert "repro_serve_index_candidates_total" in text
+        assert "repro_serve_index_pruned_total" in text
+
     def test_overload_sheds_with_503_and_no_wrong_answers(
         self, dataset, nccc_artifact
     ):
         engine = QueryEngine(nccc_artifact, cache_size=0)
         server = ReproServer(engine, port=0, max_inflight=1, retry_after=2.0)
         entered, release = threading.Event(), threading.Event()
-        inner = engine.predict_detailed
+        inner = engine.search
 
-        def slow_predict(queries):
+        def slow_search(queries, **kwargs):
             entered.set()
             assert release.wait(10.0)
-            return inner(queries)
+            return inner(queries, **kwargs)
 
-        engine.predict_detailed = slow_predict  # type: ignore[method-assign]
+        engine.search = slow_search  # type: ignore[method-assign]
         expected = offline_labels(nccc_artifact, dataset.test_X[:2])
         with server.start_background():
             first: dict = {}
@@ -434,14 +540,14 @@ class TestServer:
         engine = QueryEngine(nccc_artifact, cache_size=0)
         server = ReproServer(engine, port=0, max_inflight=4)
         entered, release = threading.Event(), threading.Event()
-        inner = engine.predict_detailed
+        inner = engine.search
 
-        def slow_predict(queries):
+        def slow_search(queries, **kwargs):
             entered.set()
             assert release.wait(10.0)
-            return inner(queries)
+            return inner(queries, **kwargs)
 
-        engine.predict_detailed = slow_predict  # type: ignore[method-assign]
+        engine.search = slow_search  # type: ignore[method-assign]
         server.start_background()
         result: dict = {}
 
