@@ -26,7 +26,11 @@ Subcommands mirror what a practitioner reproducing the paper needs:
   latency SLO (``--slo-p99-ms``) that flips ``/healthz`` readiness;
 - ``top``       — live terminal dashboard polling a running server's
   ``/metrics`` and ``/debug/traces`` (qps, percentiles, shed rate,
-  cache hit rate, SLO state, slowest trace's critical path).
+  cache hit rate, SLO state, slowest trace's critical path);
+- ``stream``    — replay a dataset as a live stream (``stream replay``),
+  either in-process or against a running server's ``/stream`` endpoints
+  (``--url``), printing alerts as they fire; ``--verify`` checks the
+  incremental matrix profile against the batch recomputation (1e-9).
 
 The sweep-running subcommands (``evaluate``, ``compare``, ``experiment``)
 accept ``--trace PATH`` to capture an observability trace and
@@ -333,6 +337,82 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_args(p_serve)
 
+    p_serve.add_argument(
+        "--max-streams", type=int, default=64, metavar="N",
+        help="live /stream streams held before refusing creation (409)",
+    )
+    p_serve.add_argument(
+        "--stream-capacity", type=int, default=100_000, metavar="N",
+        help="points buffered per stream; appends past it are dropped "
+        "and counted, never queued",
+    )
+
+    p_stream = sub.add_parser(
+        "stream", help="replay series as live streams, watch alerts fire"
+    )
+    stream_sub = p_stream.add_subparsers(dest="stream_action", required=True)
+    p_replay = stream_sub.add_parser(
+        "replay",
+        help="replay a dataset (or .npy file) as a stream, print alerts",
+    )
+    p_replay.add_argument(
+        "--url", default=None, metavar="URL",
+        help="POST to a running server's /stream endpoints instead of "
+        "replaying in-process",
+    )
+    p_replay.add_argument(
+        "--stream-id", default="replay",
+        help="stream name on the server (with --url)",
+    )
+    p_replay.add_argument(
+        "--series", default=None, metavar="PATH",
+        help="replay a 1-D .npy file instead of an archive dataset",
+    )
+    p_replay.add_argument("--datasets", type=int, default=8)
+    p_replay.add_argument(
+        "--dataset-index", type=int, default=0,
+        help="which archive dataset to flatten into the stream",
+    )
+    p_replay.add_argument("--scale", type=float, default=0.5)
+    p_replay.add_argument(
+        "--points", type=int, default=None, metavar="N",
+        help="truncate the stream to its first N points",
+    )
+    p_replay.add_argument(
+        "--window", type=int, default=64, metavar="W",
+        help="matrix-profile subsequence length",
+    )
+    p_replay.add_argument(
+        "--chunk", type=int, default=64, metavar="N",
+        help="points per append/POST",
+    )
+    p_replay.add_argument(
+        "--capacity", type=int, default=None, metavar="N",
+        help="stream buffer cap (default 1e6 local, server default remote)",
+    )
+    p_replay.add_argument(
+        "--discord-threshold", type=float, default=0.8, metavar="D",
+        help="discord alert threshold; values < 1 are a fraction of the "
+        "theoretical max distance sqrt(2*window)",
+    )
+    p_replay.add_argument(
+        "--motif-threshold", type=float, default=None, metavar="D",
+        help="motif alert threshold in z-normalized ED units",
+    )
+    p_replay.add_argument(
+        "--drift-z", type=float, default=None, metavar="Z",
+        help="drift alert threshold in baseline standard deviations",
+    )
+    p_replay.add_argument(
+        "--inject-discord", action="store_true",
+        help="plant a seeded anomalous burst two-thirds in before replay",
+    )
+    p_replay.add_argument(
+        "--verify", action="store_true",
+        help="after replay, check the incremental profile against the "
+        "batch matrix profile (1e-9); nonzero exit on mismatch",
+    )
+
     p_top = sub.add_parser(
         "top", help="live dashboard for a running `repro serve` instance"
     )
@@ -623,6 +703,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         slo_window=args.slo_window,
         trace_keep=args.trace_keep,
         access_log=args.access_log,
+        max_streams=args.max_streams,
+        stream_capacity=args.stream_capacity,
     )
     info = server.engine.artifact.describe()
     slo_note = (
@@ -644,6 +726,136 @@ def cmd_serve(args: argparse.Namespace) -> int:
         "misses, in-flight requests flushed",
         file=sys.stderr,
     )
+    return 0
+
+
+def _load_stream_series(args: argparse.Namespace):
+    """Resolve the 1-D series ``repro stream replay`` feeds."""
+    import numpy as np
+
+    if args.series is not None:
+        series = np.asarray(np.load(args.series), dtype=np.float64).ravel()
+        source = args.series
+    else:
+        datasets = _load_datasets(args.datasets, args.scale)
+        if not 0 <= args.dataset_index < len(datasets):
+            raise ValueError(
+                f"--dataset-index {args.dataset_index} out of range "
+                f"(loaded {len(datasets)} datasets)"
+            )
+        dataset = datasets[args.dataset_index]
+        # Concatenating the train split row by row turns a classification
+        # dataset into one long stream with genuine regime changes at the
+        # series boundaries — good fodder for the detectors.
+        series = np.asarray(dataset.train_X, dtype=np.float64).ravel()
+        source = dataset.name
+    if args.points is not None:
+        series = series[: args.points]
+    return series, source
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Replay a series through the streaming subsystem, printing alerts."""
+    import numpy as np
+
+    from .streaming import (
+        StreamClient,
+        build_monitor,
+        inject_discord,
+        replay_local,
+        replay_remote,
+        verify_against_batch,
+    )
+
+    try:
+        series, source = _load_stream_series(args)
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if series.shape[0] < 2 * args.window:
+        print(
+            f"stream of {series.shape[0]} points is shorter than "
+            f"2 * window = {2 * args.window}",
+            file=sys.stderr,
+        )
+        return 2
+    discord_at = None
+    if args.inject_discord:
+        series, discord_at = inject_discord(series)
+    print(
+        f"replaying {source}: {series.shape[0]} points, window "
+        f"{args.window}, chunks of {args.chunk}"
+        + (f", discord injected at {discord_at}" if discord_at is not None else ""),
+        file=sys.stderr,
+    )
+
+    def on_alert(alert) -> None:
+        print(alert.describe())
+
+    if args.url is not None:
+        config = {
+            "window": args.window,
+            "discord_threshold": args.discord_threshold,
+        }
+        if args.capacity is not None:
+            config["capacity"] = args.capacity
+        if args.motif_threshold is not None:
+            config["motif_threshold"] = args.motif_threshold
+        if args.drift_z is not None:
+            config["drift_z"] = args.drift_z
+        client = StreamClient(args.url, args.stream_id, config=config)
+        summary = replay_remote(
+            series, client, chunk=args.chunk, on_alert=on_alert
+        )
+        counters = summary.get("counters", {})
+        print(
+            f"done: {counters.get('n', '?')} points on "
+            f"{args.url}/stream/{args.stream_id}, "
+            f"{counters.get('alerts', len(summary.get('alerts', [])))} alerts"
+        )
+        if args.verify:
+            payload = client.profile()
+            streamed = np.array(
+                [np.inf if v is None else v for v in payload["profile"]]
+            )
+            from .search import matrix_profile
+
+            batch = matrix_profile(
+                series[: payload["n"]], window=payload["window"]
+            )
+            diff = float(np.max(np.abs(batch.profile - streamed)))
+            ok = diff <= 1e-9
+            print(f"verify: max |batch - streamed| = {diff:.3g} "
+                  f"({'ok' if ok else 'MISMATCH'})")
+            return 0 if ok else 1
+        return 0
+
+    monitor = build_monitor(
+        args.window,
+        capacity=args.capacity,
+        discord_threshold=args.discord_threshold,
+        motif_threshold=args.motif_threshold,
+        drift_z=args.drift_z,
+    )
+    counters = replay_local(
+        series, monitor, chunk=args.chunk, on_alert=on_alert
+    )
+    print(
+        f"done: {counters['n']} points, {counters['subsequences']} "
+        f"subsequences, {counters['alerts']} alerts "
+        f"({counters['dropped']} dropped)"
+    )
+    if args.verify:
+        report = verify_against_batch(monitor)
+        if not report["checked"]:
+            print("verify: stream too short to check")
+            return 0
+        print(
+            f"verify: max |batch - streamed| = "
+            f"{report['max_abs_diff']:.3g} "
+            f"({'ok' if report['ok'] else 'MISMATCH'})"
+        )
+        return 0 if report["ok"] else 1
     return 0
 
 
@@ -707,6 +919,7 @@ _COMMANDS = {
     "bench": cmd_bench,
     "fit": cmd_fit,
     "serve": cmd_serve,
+    "stream": cmd_stream,
     "top": cmd_top,
 }
 

@@ -149,6 +149,17 @@ class ServingError(ReproError):
     """
 
 
+class StreamingError(ReproError):
+    """The streaming subsystem was misused or misconfigured.
+
+    Covers bad window/capacity configuration on
+    :class:`repro.streaming.StreamState`, detector thresholds that
+    cannot form a valid hysteresis band, and stream-registry refusals
+    (unknown stream ids, per-server stream limits) surfaced by the
+    ``/stream`` HTTP endpoints.
+    """
+
+
 class IndexBuildError(ReproError, ValueError):
     """A reference index could not be built, restored, or applied.
 

@@ -94,8 +94,10 @@ def build_workloads(quick: bool = False) -> dict[str, Callable[[], None]]:
     sink and trace retention armed, gating the per-request observability
     overhead — and the ``index`` workload (top-k ``QueryEngine.search``
     through a fitted DFT lower-bound index on clustered references,
-    gating the sub-linear query path). Shapes shrink under ``quick`` so
-    the CI gate stays under a minute.
+    gating the sub-linear query path), and the ``streaming`` workload
+    (a chunked replay through the incremental matrix profile and the
+    discord detector — the per-append work of one ``/stream`` POST).
+    Shapes shrink under ``quick`` so the CI gate stays under a minute.
     """
     import itertools
 
@@ -236,6 +238,25 @@ def build_workloads(quick: bool = False) -> dict[str, Callable[[], None]]:
             telem_bus.detach(telem_sink)
             telem_bus.detach(telem_traces)
 
+    # The streaming path: a fresh monitor per repetition replaying a
+    # pinned series chunk by chunk through the incremental profile and
+    # the discord detector — the same per-append work one POST to
+    # /stream/<id> does, so regressions in the hot online path move a
+    # gated family, not just the dedicated latency bench.
+    from ..streaming import build_monitor, replay_local
+
+    stream_rng = np.random.default_rng(_SEED + 24)
+    stream_n = 512 * scale
+    stream_series = np.sin(
+        np.linspace(0.0, 8 * np.pi, stream_n)
+    ) + stream_rng.normal(0.0, 0.1, stream_n)
+
+    def streaming() -> None:
+        monitor = build_monitor(
+            32, capacity=stream_n, discord_threshold=0.8
+        )
+        replay_local(stream_series, monitor, chunk=32)
+
     checkpoint_root = Path(tempfile.mkdtemp(prefix="repro-bench-ckpt-"))
     checkpoint_ids = itertools.count()
 
@@ -260,6 +281,7 @@ def build_workloads(quick: bool = False) -> dict[str, Callable[[], None]]:
         "serving": serving,
         "index": index,
         "telemetry": telemetry,
+        "streaming": streaming,
     }
 
 

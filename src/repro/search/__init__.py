@@ -24,6 +24,7 @@ from .cascade import (
 from .facade import NeighborResult, nearest_neighbors
 from .mass import (
     best_match,
+    clamped_window_stats,
     mass,
     rolling_mean_std,
     sliding_dot_product,
@@ -39,6 +40,7 @@ __all__ = [
     "top_k_matches",
     "sliding_dot_product",
     "rolling_mean_std",
+    "clamped_window_stats",
     "matrix_profile",
     "MatrixProfile",
     "cascade_nn_search",

@@ -46,9 +46,32 @@ def sliding_dot_product(query: np.ndarray, series: np.ndarray) -> np.ndarray:
     return conv[q - 1 : n]
 
 
+def clamped_window_stats(sums, sums2, window: int):
+    """Mean and std from length-``window`` totals, variance clamped at 0.
+
+    ``sums`` / ``sums2`` are window totals of the values and of their
+    squares (scalars or arrays). In exact arithmetic
+    ``E[x^2] - E[x]^2 >= 0``, but for a large-offset, nearly-constant
+    window the two totals agree in most of their significant digits and
+    catastrophic cancellation can push the subtraction a few ulps below
+    zero — the clamp keeps the sqrt defined instead of returning NaN.
+    Both the batch :func:`rolling_mean_std` and the streaming
+    incremental statistics (:class:`repro.streaming.StreamState`) route
+    through this one guard, so the two paths share identical numerics.
+    """
+    mean = sums / window
+    variance = np.maximum(sums2 / window - mean * mean, 0.0)
+    return mean, np.sqrt(variance)
+
+
 def rolling_mean_std(series: np.ndarray, window: int) -> tuple[np.ndarray, np.ndarray]:
     """Rolling mean and standard deviation of every length-``window``
-    subsequence, via cumulative sums (O(n))."""
+    subsequence, via cumulative sums (O(n)).
+
+    Negative variances produced by catastrophic cancellation (large
+    offset, tiny spread) are clamped to 0.0 before the square root —
+    see :func:`clamped_window_stats`.
+    """
     series = as_series(series, "series")
     n = series.shape[0]
     if not 1 <= window <= n:
@@ -57,24 +80,43 @@ def rolling_mean_std(series: np.ndarray, window: int) -> tuple[np.ndarray, np.nd
     csum2 = np.concatenate(([0.0], np.cumsum(series * series)))
     sums = csum[window:] - csum[:-window]
     sums2 = csum2[window:] - csum2[:-window]
-    mean = sums / window
-    variance = np.maximum(sums2 / window - mean * mean, 0.0)
-    return mean, np.sqrt(variance)
+    return clamped_window_stats(sums, sums2, window)
 
 
-def mass(query: np.ndarray, series: np.ndarray) -> np.ndarray:
+def mass(
+    query: np.ndarray,
+    series: np.ndarray,
+    *,
+    stats: tuple[np.ndarray, np.ndarray] | None = None,
+) -> np.ndarray:
     """Z-normalized ED distance profile of *query* over *series*.
 
     Flat (constant) subsequences have no shape: against a non-constant
     query they sit at the theoretical maximum ``sqrt(2q)``; a constant
     query matches them at distance 0.
+
+    ``stats`` optionally supplies the precomputed ``(means, stds)``
+    rolling window statistics of *series* (exactly what
+    :func:`rolling_mean_std` returns). Callers that maintain those
+    incrementally — the streaming matrix profile appends one window's
+    statistics per point — skip the O(n) recomputation; the arithmetic
+    downstream is identical either way.
     """
     query = as_series(query, "query")
     series = as_series(series, "series")
     q = query.shape[0]
     sigma_q = float(query.std())
     mu_q = float(query.mean())
-    means, stds = rolling_mean_std(series, q)
+    if stats is None:
+        means, stds = rolling_mean_std(series, q)
+    else:
+        means, stds = stats
+        expected = series.shape[0] - q + 1
+        if means.shape[0] != expected or stds.shape[0] != expected:
+            raise ValidationError(
+                f"stats must hold {expected} window statistics "
+                f"(n - q + 1), got {means.shape[0]}/{stds.shape[0]}"
+            )
     if sigma_q < EPS:
         # Constant query: matches exactly the constant subsequences.
         profile = np.where(stds < EPS, 0.0, np.sqrt(2.0 * q))
@@ -91,7 +133,13 @@ def mass(query: np.ndarray, series: np.ndarray) -> np.ndarray:
 
 
 def best_match(query: np.ndarray, series: np.ndarray) -> tuple[int, float]:
-    """Offset and distance of the best z-normalized match of *query*."""
+    """Offset and distance of the best z-normalized match of *query*.
+
+    Tie-breaking is deterministic: on equal distances the **lowest
+    offset wins** (``np.argmin`` returns the first occurrence). Replays
+    of the same data therefore always report the same match — the
+    property the streaming alert replays rely on.
+    """
     profile = mass(query, series)
     idx = int(np.argmin(profile))
     return idx, float(profile[idx])
@@ -108,6 +156,11 @@ def top_k_matches(
 
     ``exclusion`` is the no-repeat radius around each hit (defaults to
     half the query length, the usual trivial-match guard).
+
+    Tie-breaking is deterministic: every selection round picks the
+    **lowest offset** among equally-distant candidates (``np.argmin``
+    first-occurrence), so repeated runs — and streaming alert replays —
+    yield identical hit lists.
 
     ``k`` and ``exclusion`` are keyword-only; the legacy positional
     spellings still work but emit a :class:`DeprecationWarning`.

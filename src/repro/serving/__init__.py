@@ -12,8 +12,9 @@ answer live traffic, in three layers:
   (:mod:`repro.index`) and a bounded LRU query cache;
 - :class:`ReproServer` (:mod:`repro.serving.server`) — a stdlib
   ``ThreadingHTTPServer`` with load shedding (503 + ``Retry-After``),
-  ``/healthz``, ``/metrics`` and graceful SIGTERM drains, run via
-  ``repro serve``.
+  ``/healthz``, ``/metrics``, live ``/stream`` ingestion endpoints
+  (backed by :class:`StreamRegistry`, :mod:`repro.serving.streams`) and
+  graceful SIGTERM drains, run via ``repro serve``.
 
 Quickstart::
 
@@ -35,6 +36,12 @@ from .server import (
     ReproServer,
     serve_artifact,
 )
+from .streams import (
+    DEFAULT_MAX_STREAMS,
+    DEFAULT_STREAM_CAPACITY,
+    StreamHandle,
+    StreamRegistry,
+)
 
 __all__ = [
     "ARTIFACT_SCHEMA",
@@ -47,4 +54,8 @@ __all__ = [
     "AdmissionGate",
     "serve_artifact",
     "DEFAULT_MAX_INFLIGHT",
+    "StreamRegistry",
+    "StreamHandle",
+    "DEFAULT_MAX_STREAMS",
+    "DEFAULT_STREAM_CAPACITY",
 ]

@@ -20,7 +20,16 @@
 - ``GET /debug/traces`` — summaries of the retained request traces
   (``?order=slowest|recent&limit=N``) plus retention accounting;
 - ``GET /debug/traces/<id>`` — one trace's full span tree and critical
-  path.
+  path;
+- ``POST /stream/<id>`` — append points to a named live stream (created
+  on first POST; the creating body may carry ``window``, ``capacity``
+  and detector knobs, see :mod:`repro.serving.streams`). The response
+  returns the accepted/dropped split and any alerts this chunk fired;
+- ``GET /stream`` — every live stream's counters plus registry
+  aggregates; ``GET /stream/<id>/profile`` — the stream's incremental
+  matrix profile (batch-parity within 1e-9); ``GET /stream/<id>/alerts``
+  — retained alerts and per-stream counters; ``DELETE /stream/<id>`` —
+  drop the stream and free its buffer.
 
 **Backpressure.** Every worker thread a request would occupy counts
 against a bounded admission gate; once ``max_inflight`` ``/predict``
@@ -65,7 +74,7 @@ from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
-from ..exceptions import ReproError, ServingError
+from ..exceptions import ReproError, ServingError, StreamingError
 from ..observability import (
     MetricsSink,
     get_bus,
@@ -80,6 +89,13 @@ from ..observability.telemetry import (
     render_exposition,
 )
 from .engine import QueryEngine
+from .streams import (
+    DEFAULT_MAX_STREAMS,
+    DEFAULT_STREAM_CAPACITY,
+    DEFAULT_STREAM_WINDOW,
+    STREAM_CONFIG_KEYS,
+    StreamRegistry,
+)
 
 #: Default bound on concurrent ``/predict`` requests.
 DEFAULT_MAX_INFLIGHT = 32
@@ -249,6 +265,24 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         self._dispatch("POST")
 
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("DELETE")
+
+    @staticmethod
+    def _span_path(path: str) -> str:
+        """Span/metric label for *path*, with ids templated out.
+
+        Stream ids are client-chosen, so labelling spans with the raw
+        path would let clients mint unbounded ``path`` label values in
+        the metrics sink; every ``/stream/<id>...`` request is labelled
+        with its route template instead.
+        """
+        if path.startswith("/stream/"):
+            rest = path[len("/stream/"):]
+            _, slash, tail = rest.partition("/")
+            return "/stream/{id}" + (slash + tail if slash else "")
+        return path
+
     def _dispatch(self, method: str) -> None:
         """Common request wrapper: trace context, root span, access log.
 
@@ -273,7 +307,7 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             with trace_context(trace_id):
                 with get_bus().span(
-                    "serve.request", path=path, method=method
+                    "serve.request", path=self._span_path(path), method=method
                 ) as span:
                     status, shed = self._route(
                         server, method, path, query, span
@@ -310,27 +344,43 @@ class _Handler(BaseHTTPRequestHandler):
     ) -> tuple[int, bool]:
         """Route one request; returns ``(status, shed)``."""
         if method == "POST":
-            if path != "/predict":
-                self._respond(404, {"error": f"unknown path {path!r}"})
-                return 404, False
-            if not server.gate.try_enter():
-                get_bus().count("serve.shed")
-                span.set(shed=True)
-                self._respond(
-                    503,
-                    {
-                        "error": "overloaded: admission queue full",
-                        "inflight": server.gate.depth,
-                        "limit": server.gate.limit,
-                    },
-                    {"Retry-After": f"{server.retry_after:g}"},
-                )
-                return 503, True
-            self._gate_held = True
-            status, payload = self._predict(server)
-            self._respond(status, payload)
-            return status, False
+            if path == "/predict" or path.startswith("/stream/"):
+                # Stream appends occupy a worker thread and run O(n)
+                # profile updates, so they count against the same
+                # admission gate as /predict: shed, never queue.
+                if not server.gate.try_enter():
+                    get_bus().count("serve.shed")
+                    span.set(shed=True)
+                    self._respond(
+                        503,
+                        {
+                            "error": "overloaded: admission queue full",
+                            "inflight": server.gate.depth,
+                            "limit": server.gate.limit,
+                        },
+                        {"Retry-After": f"{server.retry_after:g}"},
+                    )
+                    return 503, True
+                self._gate_held = True
+                if path == "/predict":
+                    status, payload = self._predict(server)
+                else:
+                    status, payload = self._stream_append(server, path)
+                self._respond(status, payload)
+                return status, False
+            self._respond(404, {"error": f"unknown path {path!r}"})
+            return 404, False
 
+        if method == "DELETE":
+            if path.startswith("/stream/"):
+                return self._stream_delete(server, path), False
+            self._respond(404, {"error": f"unknown path {path!r}"})
+            return 404, False
+
+        if path == "/stream":
+            return self._stream_listing(server), False
+        if path.startswith("/stream/"):
+            return self._stream_detail(server, path), False
         if path == "/healthz":
             return self._healthz(server), False
         if path == "/metrics":
@@ -348,6 +398,7 @@ class _Handler(BaseHTTPRequestHandler):
             "status": "ok",
             "inflight": server.gate.depth,
             "artifact": server.engine.artifact.describe(),
+            "streams": server.streams.summary(),
         }
         status = 200
         if server.slo is not None:
@@ -418,6 +469,133 @@ class _Handler(BaseHTTPRequestHandler):
         self._respond(200, trace.to_dict())
         return 200
 
+    # -- stream routes -------------------------------------------------
+    @staticmethod
+    def _stream_target(path: str) -> tuple[str, str]:
+        """Split ``/stream/<id>[/<sub>]`` into ``(id, sub)``."""
+        rest = path[len("/stream/"):]
+        stream_id, _, tail = rest.partition("/")
+        return stream_id, tail
+
+    def _read_json_body(self) -> dict:
+        """Read and decode this request's JSON-object body.
+
+        Raises :class:`ServingError` on empty/invalid bodies; oversized
+        bodies get a ``status`` attribute of 413 so routes can surface
+        the right code without re-checking lengths.
+        """
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ServingError("empty request body")
+        if length > MAX_BODY_BYTES:
+            exc = ServingError(
+                f"body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+            exc.status = 413
+            raise exc
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except ValueError as exc:
+            raise ServingError(f"body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServingError("request body must be a JSON object")
+        return payload
+
+    def _stream_append(
+        self, server: "ReproServer", path: str
+    ) -> tuple[int, dict]:
+        """POST /stream/<id>: create-on-first-use, append, report alerts."""
+        stream_id, tail = self._stream_target(path)
+        if tail:
+            return 404, {"error": f"POST not supported on {path!r}"}
+        try:
+            payload = self._read_json_body()
+            if "values" not in payload:
+                raise ServingError(
+                    "stream append body needs a 'values' array of points"
+                )
+            try:
+                values = np.asarray(
+                    payload["values"], dtype=np.float64
+                ).ravel()
+            except (TypeError, ValueError) as exc:
+                raise ServingError(f"'values' is not numeric: {exc}") from exc
+            config = {
+                key: payload[key]
+                for key in STREAM_CONFIG_KEYS
+                if key in payload
+            }
+            handle, created = server.streams.get_or_create(stream_id, config)
+            accepted, dropped, alerts = handle.append(values)
+            bus = get_bus()
+            if created:
+                bus.count("serve.stream.create")
+            if accepted:
+                bus.count("serve.stream.points", accepted)
+            if dropped:
+                bus.count("serve.stream.dropped", dropped)
+            for alert in alerts:
+                bus.count("serve.stream.alerts", 1, kind=alert.kind)
+            return 200, {
+                "stream": stream_id,
+                "created": created,
+                "accepted": accepted,
+                "dropped": dropped,
+                "n": handle.monitor.state.n,
+                "subsequences": handle.monitor.profile.n_subsequences,
+                "alerts": [alert.to_dict() for alert in alerts],
+            }
+        except ReproError as exc:
+            return getattr(exc, "status", 400), {"error": str(exc)}
+
+    def _stream_listing(self, server: "ReproServer") -> int:
+        payload = server.streams.summary()
+        payload["streams"] = [
+            handle.summary() for handle in server.streams.handles()
+        ]
+        self._respond(200, payload)
+        return 200
+
+    def _stream_detail(self, server: "ReproServer", path: str) -> int:
+        stream_id, tail = self._stream_target(path)
+        handle = server.streams.get(stream_id)
+        if handle is None:
+            self._respond(404, {"error": f"no stream {stream_id!r}"})
+            return 404
+        if tail == "profile":
+            with handle.lock:
+                payload = handle.monitor.profile.to_dict()
+            payload["stream"] = stream_id
+        elif tail == "alerts":
+            with handle.lock:
+                payload = {
+                    "stream": stream_id,
+                    "alerts": [
+                        alert.to_dict() for alert in handle.monitor.alerts
+                    ],
+                    "counters": handle.monitor.counters(),
+                }
+        elif not tail:
+            payload = handle.summary()
+        else:
+            self._respond(404, {"error": f"unknown path {path!r}"})
+            return 404
+        self._respond(200, payload)
+        return 200
+
+    def _stream_delete(self, server: "ReproServer", path: str) -> int:
+        stream_id, tail = self._stream_target(path)
+        if tail:
+            self._respond(404, {"error": f"DELETE not supported on {path!r}"})
+            return 404
+        if server.streams.remove(stream_id):
+            get_bus().count("serve.stream.delete")
+            self._respond(200, {"stream": stream_id, "deleted": True})
+            return 200
+        self._respond(404, {"error": f"no stream {stream_id!r}"})
+        return 404
+
     def _predict(self, server: "ReproServer") -> tuple[int, dict]:
         """Parse, search, and shape the ``/predict`` response.
 
@@ -431,18 +609,7 @@ class _Handler(BaseHTTPRequestHandler):
         response echoes ``k``, ``mode`` and the index work counters.
         """
         try:
-            length = int(self.headers.get("Content-Length", 0))
-            if length <= 0:
-                raise ServingError("empty request body")
-            if length > MAX_BODY_BYTES:
-                return 413, {
-                    "error": f"body of {length} bytes exceeds the "
-                    f"{MAX_BODY_BYTES}-byte limit"
-                }
-            try:
-                payload = json.loads(self.rfile.read(length))
-            except ValueError as exc:
-                raise ServingError(f"body is not valid JSON: {exc}") from exc
+            payload = self._read_json_body()
             queries = _parse_queries(payload)
             k, mode, index, schema = _parse_search_options(payload)
             result = server.engine.search(queries, k=k, mode=mode, index=index)
@@ -467,7 +634,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "batch": int(result.labels.shape[0]),
             }
         except ReproError as exc:
-            return 400, {"error": str(exc)}
+            return getattr(exc, "status", 400), {"error": str(exc)}
 
 
 class _ThreadingServer(ThreadingHTTPServer):
@@ -506,10 +673,19 @@ class ReproServer:
         slo_window: float = DEFAULT_SLO_WINDOW,
         trace_keep: int = DEFAULT_TRACE_KEEP,
         access_log: str | Path | None = None,
+        max_streams: int = DEFAULT_MAX_STREAMS,
+        stream_capacity: int = DEFAULT_STREAM_CAPACITY,
+        stream_window: int = DEFAULT_STREAM_WINDOW,
     ):
         self.engine = engine
         self.gate = AdmissionGate(max_inflight)
         self.retry_after = float(retry_after)
+        self.streams = StreamRegistry(
+            max_streams=max_streams,
+            default_window=stream_window,
+            capacity=stream_capacity,
+            engine=engine,
+        )
         self.sink = MetricsSink(group_by=("path", "status", "route", "measure"))
         self.traces = TraceBuffer(
             keep_recent=trace_keep, keep_slowest=trace_keep
@@ -647,6 +823,7 @@ class ReproServer:
             "cache": self.engine.cache_stats().to_dict(),
             "metrics": self.sink.to_dicts(),
             "traces": self.traces.stats(),
+            "streams": self.streams.summary(),
         }
         if self.slo is not None:
             payload["slo"] = self.slo.snapshot().to_dict()
@@ -660,10 +837,17 @@ class ReproServer:
             if name.startswith("serve.")
         }
         cache = self.engine.cache_stats().to_dict()
+        streams = self.streams.summary()
         gauges: dict[str, float] = {
             "repro_serve_inflight": float(self.gate.depth),
             "repro_serve_cache_size": float(cache.get("size", 0)),
             "repro_serve_cache_capacity": float(cache.get("capacity", 0)),
+            "repro_serve_streams_active": float(streams["active"]),
+            "repro_serve_streams_points": float(streams["points"]),
+            "repro_serve_streams_dropped": float(streams["dropped"]),
+            "repro_serve_streams_alerts": float(streams["alerts"]),
+            "repro_serve_streams_rejected": float(streams["rejected"]),
+            "repro_serve_stream_max_lag_seconds": streams["max_lag_seconds"],
         }
         if self.slo is not None:
             snapshot = self.slo.snapshot()
@@ -691,6 +875,8 @@ def serve_artifact(
     slo_window: float = DEFAULT_SLO_WINDOW,
     trace_keep: int = DEFAULT_TRACE_KEEP,
     access_log: str | Path | None = None,
+    max_streams: int = DEFAULT_MAX_STREAMS,
+    stream_capacity: int = DEFAULT_STREAM_CAPACITY,
 ) -> ReproServer:
     """Load an artifact and build a ready-to-run :class:`ReproServer`.
 
@@ -717,4 +903,6 @@ def serve_artifact(
         slo_window=slo_window,
         trace_keep=trace_keep,
         access_log=access_log,
+        max_streams=max_streams,
+        stream_capacity=stream_capacity,
     )

@@ -1,0 +1,192 @@
+"""Server-side stream registry: named live streams behind ``/stream``.
+
+The bridge between the HTTP layer and :mod:`repro.streaming`: each
+stream id maps to a :class:`StreamHandle` owning one
+:class:`~repro.streaming.StreamMonitor` plus a lock (appends to one
+stream serialize; different streams append concurrently) and staleness
+bookkeeping (``lag_seconds`` — how long since the stream last received
+points, the gauge a monitoring deployment alarms on when a producer
+dies).
+
+Registry limits mirror the serving layer's backpressure philosophy:
+a bounded number of streams (``max_streams``), a bounded buffer per
+stream (``capacity``, enforced by :class:`~repro.streaming.StreamState`
+with drop accounting), and structured refusals — never unbounded
+memory.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from typing import Any
+
+from ..exceptions import StreamingError
+from ..streaming import Alert, build_monitor
+
+#: Streams a single server will hold before refusing creation (409).
+DEFAULT_MAX_STREAMS = 64
+
+#: Default per-stream point cap (drops past it are counted, not buffered).
+DEFAULT_STREAM_CAPACITY = 100_000
+
+#: Default matrix-profile window for streams that do not name one.
+DEFAULT_STREAM_WINDOW = 64
+
+#: Acceptable stream ids (path segment, bounded length).
+STREAM_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+#: Detector/config knobs accepted in a stream-creating POST body.
+STREAM_CONFIG_KEYS = (
+    "window",
+    "capacity",
+    "discord_threshold",
+    "motif_threshold",
+    "drift_z",
+    "baseline_points",
+    "labels",
+    "label_stride",
+)
+
+
+class StreamHandle:
+    """One live stream: monitor + lock + staleness bookkeeping."""
+
+    def __init__(self, stream_id: str, monitor):
+        self.stream_id = stream_id
+        self.monitor = monitor
+        self.lock = threading.Lock()
+        self.created_unix = time.time()
+        self._last_append_monotonic = time.monotonic()
+
+    def append(self, values) -> tuple[int, int, list[Alert]]:
+        """Feed points; returns ``(accepted, dropped_delta, alerts)``."""
+        with self.lock:
+            before = self.monitor.state.dropped
+            alerts = self.monitor.append(values)
+            accepted = len(values) - (self.monitor.state.dropped - before)
+            self._last_append_monotonic = time.monotonic()
+            return accepted, self.monitor.state.dropped - before, alerts
+
+    @property
+    def lag_seconds(self) -> float:
+        """Seconds since this stream last received points (staleness)."""
+        return time.monotonic() - self._last_append_monotonic
+
+    def summary(self) -> dict:
+        with self.lock:
+            payload = self.monitor.counters()
+        payload["stream"] = self.stream_id
+        payload["lag_seconds"] = round(self.lag_seconds, 3)
+        payload["created_unix"] = round(self.created_unix, 3)
+        return payload
+
+
+class StreamRegistry:
+    """Bounded map of stream id -> :class:`StreamHandle`."""
+
+    def __init__(
+        self,
+        *,
+        max_streams: int = DEFAULT_MAX_STREAMS,
+        default_window: int = DEFAULT_STREAM_WINDOW,
+        capacity: int = DEFAULT_STREAM_CAPACITY,
+        engine=None,
+    ):
+        if max_streams < 1:
+            raise StreamingError(
+                f"max_streams must be >= 1, got {max_streams}"
+            )
+        self.max_streams = int(max_streams)
+        self.default_window = int(default_window)
+        self.capacity = int(capacity)
+        self.engine = engine
+        self._streams: dict[str, StreamHandle] = {}
+        self._lock = threading.Lock()
+        #: Stream creations refused because the registry was full.
+        self.rejected = 0
+
+    def get(self, stream_id: str) -> StreamHandle | None:
+        with self._lock:
+            return self._streams.get(stream_id)
+
+    def get_or_create(
+        self, stream_id: str, config: dict[str, Any] | None = None
+    ) -> tuple[StreamHandle, bool]:
+        """Fetch or create; returns ``(handle, created)``.
+
+        ``config`` (window/capacity/detector knobs) applies only on
+        creation; a later POST naming a *different* window than the live
+        stream's is refused rather than silently ignored.
+        """
+        if not STREAM_ID_RE.match(stream_id):
+            raise StreamingError(
+                f"invalid stream id {stream_id!r} (want "
+                "[A-Za-z0-9][A-Za-z0-9._-]{0,63})"
+            )
+        config = dict(config or {})
+        with self._lock:
+            handle = self._streams.get(stream_id)
+            if handle is not None:
+                wanted = config.get("window")
+                if wanted is not None and int(wanted) != handle.monitor.window:
+                    exc = StreamingError(
+                        f"stream {stream_id!r} already exists with "
+                        f"window={handle.monitor.window}, refusing "
+                        f"window={wanted}"
+                    )
+                    exc.status = 409  # conflict, not a malformed request
+                    raise exc
+                return handle, False
+            if len(self._streams) >= self.max_streams:
+                self.rejected += 1
+                exc = StreamingError(
+                    f"stream limit reached ({self.max_streams}); delete an "
+                    "existing stream first"
+                )
+                exc.status = 409
+                raise exc
+            monitor = build_monitor(
+                int(config.get("window", self.default_window)),
+                capacity=int(config.get("capacity", self.capacity)),
+                discord_threshold=config.get("discord_threshold"),
+                motif_threshold=config.get("motif_threshold"),
+                drift_z=config.get("drift_z"),
+                baseline_points=config.get("baseline_points"),
+                engine=self.engine if config.get("labels") else None,
+                label_stride=config.get("label_stride"),
+            )
+            handle = StreamHandle(stream_id, monitor)
+            self._streams[stream_id] = handle
+            return handle, True
+
+    def remove(self, stream_id: str) -> bool:
+        with self._lock:
+            return self._streams.pop(stream_id, None) is not None
+
+    def handles(self) -> list[StreamHandle]:
+        with self._lock:
+            return list(self._streams.values())
+
+    def summary(self) -> dict:
+        """Aggregate gauges for /healthz and both /metrics formats."""
+        handles = self.handles()
+        points = dropped = alerts = 0
+        max_lag = 0.0
+        for handle in handles:
+            with handle.lock:
+                state = handle.monitor.state
+                points += state.n
+                dropped += state.dropped
+                alerts += handle.monitor.total_alerts
+            max_lag = max(max_lag, handle.lag_seconds)
+        return {
+            "active": len(handles),
+            "limit": self.max_streams,
+            "points": points,
+            "dropped": dropped,
+            "alerts": alerts,
+            "rejected": self.rejected,
+            "max_lag_seconds": round(max_lag, 3),
+        }

@@ -1,0 +1,136 @@
+"""StreamMonitor: one stream's state, profile, detectors and counters.
+
+The orchestration layer the server's ``/stream`` endpoints and the
+``repro stream replay`` CLI both sit on: every :meth:`StreamMonitor.
+append` pushes points through the :class:`~repro.streaming.state
+.StreamState` buffer and the :class:`~repro.streaming.profile
+.StreamingMatrixProfile`, then lets each attached detector observe the
+new prefix and collect alerts. Counter events (``stream.points``,
+``stream.dropped``, ``stream.alerts``) go to the process event bus, so
+any attached :class:`~repro.observability.MetricsSink` — including the
+server's — aggregates them for free.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from ..exceptions import StreamingError
+from ..observability import get_bus
+from .detectors import (
+    Alert,
+    DiscordDetector,
+    DriftDetector,
+    LabelMonitor,
+    MotifDetector,
+)
+from .profile import StreamingMatrixProfile
+
+#: Cap on alerts retained per monitor; older alerts roll off. Detector
+#: hysteresis bounds the alert *rate*, this bounds the *memory*.
+MAX_ALERTS = 10_000
+
+
+class StreamMonitor:
+    """Owns one stream end to end: buffer, profile, detectors, alerts."""
+
+    def __init__(
+        self,
+        window: int,
+        *,
+        capacity: int | None = None,
+        detectors: Sequence = (),
+    ):
+        self.profile = StreamingMatrixProfile(window, capacity)
+        self.state = self.profile.state
+        self.detectors = list(detectors)
+        self.alerts: list[Alert] = []
+        self.total_alerts = 0
+
+    @property
+    def window(self) -> int:
+        return self.state.window
+
+    def append(self, values) -> list[Alert]:
+        """Feed points; returns (only) the alerts this append fired."""
+        before_sub = self.profile.n_subsequences
+        before_dropped = self.state.dropped
+        accepted = self.profile.append(values)
+        dropped = self.state.dropped - before_dropped
+        new_subsequences = range(before_sub, self.profile.n_subsequences)
+        fired: list[Alert] = []
+        for detector in self.detectors:
+            fired.extend(detector.update(self, new_subsequences))
+        self.alerts.extend(fired)
+        if len(self.alerts) > MAX_ALERTS:
+            del self.alerts[: len(self.alerts) - MAX_ALERTS]
+        self.total_alerts += len(fired)
+        bus = get_bus()
+        if accepted:
+            bus.count("stream.points", accepted)
+        if dropped:
+            bus.count("stream.dropped", dropped)
+        for alert in fired:
+            bus.count("stream.alerts", 1, kind=alert.kind)
+        return fired
+
+    def counters(self) -> dict:
+        """Cumulative per-stream counters for /metrics and summaries."""
+        by_kind: dict[str, int] = {}
+        for alert in self.alerts:
+            by_kind[alert.kind] = by_kind.get(alert.kind, 0) + 1
+        payload = self.state.to_dict()
+        payload["alerts"] = self.total_alerts
+        payload["alerts_by_kind"] = by_kind
+        for detector in self.detectors:
+            if isinstance(detector, DriftDetector):
+                payload["drifted_points"] = detector.drifted_points
+            if isinstance(detector, LabelMonitor):
+                payload["label_checks"] = detector.checks
+        return payload
+
+
+def build_monitor(
+    window: int,
+    *,
+    capacity: int | None = None,
+    discord_threshold: float | None = None,
+    motif_threshold: float | None = None,
+    drift_z: float | None = None,
+    baseline_points: int | None = None,
+    engine=None,
+    label_stride: int | None = None,
+    extra_detectors: Iterable = (),
+) -> StreamMonitor:
+    """Build a monitor from flat detector knobs (the server/CLI config).
+
+    ``discord_threshold`` / ``motif_threshold`` are in z-normalized ED
+    units (the profile's scale, bounded by ``sqrt(2 * window)``);
+    ``discord_threshold`` additionally accepts a fraction in ``(0, 1)``,
+    read as a fraction of that theoretical maximum — ``0.8`` means "80%
+    as far from everything as a subsequence can possibly be", a scale
+    that transfers across window sizes. Passing ``engine`` (a
+    :class:`~repro.serving.QueryEngine`) arms 1-NN label monitoring.
+    """
+    detectors: list = []
+    max_distance = math.sqrt(2.0 * window)
+    if discord_threshold is not None:
+        threshold = float(discord_threshold)
+        if threshold <= 0:
+            raise StreamingError(
+                f"discord_threshold must be > 0, got {threshold}"
+            )
+        if threshold < 1.0:
+            threshold *= max_distance
+        detectors.append(DiscordDetector(threshold))
+    if motif_threshold is not None:
+        detectors.append(MotifDetector(float(motif_threshold)))
+    if drift_z is not None:
+        detectors.append(
+            DriftDetector(float(drift_z), baseline_points=baseline_points)
+        )
+    if engine is not None:
+        detectors.append(LabelMonitor(engine, stride=label_stride))
+    detectors.extend(extra_detectors)
+    return StreamMonitor(window, capacity=capacity, detectors=detectors)

@@ -1,0 +1,200 @@
+"""Replay a recorded series as a live stream — locally or over HTTP.
+
+Two replay paths share one chunking loop:
+
+- :func:`replay_local` feeds a :class:`~repro.streaming.monitor
+  .StreamMonitor` in-process (the ``repro stream replay`` default) —
+  alerts fire through the same detectors the server runs, and the final
+  profile can be checked against the batch
+  :func:`repro.search.matrix_profile` (``verify_against_batch``);
+- :class:`StreamClient` + :func:`replay_remote` POST the same chunks to
+  a running :class:`~repro.serving.ReproServer`'s ``/stream/<id>``
+  endpoint and surface the alerts each response carries.
+
+:func:`inject_discord` plants a reproducible anomaly (a seeded burst)
+into a copy of a series — what the CI smoke replays to assert the
+discord alert actually fires end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Callable, Iterator
+
+import numpy as np
+
+from .._validation import as_series
+from ..exceptions import StreamingError
+from .detectors import Alert
+from .monitor import StreamMonitor
+
+#: Default points per POST/append when replaying.
+DEFAULT_CHUNK = 64
+
+
+def inject_discord(
+    series,
+    at: int | None = None,
+    length: int | None = None,
+    scale: float = 6.0,
+    seed: int = 7,
+) -> tuple[np.ndarray, int]:
+    """Copy *series* with a seeded anomalous burst; returns ``(copy, at)``.
+
+    The burst is ``scale`` series-standard-deviations of white noise
+    added over ``length`` points (default: 5% of the series) starting at
+    ``at`` (default: two-thirds in). Deterministic in ``seed``, so tests
+    and CI replay the identical anomaly.
+    """
+    series = as_series(series, "series").copy()
+    n = series.shape[0]
+    length = max(n // 20, 2) if length is None else int(length)
+    at = (2 * n) // 3 if at is None else int(at)
+    if not 0 <= at <= n - length:
+        raise StreamingError(
+            f"discord at={at} (length {length}) out of range for n={n}"
+        )
+    rng = np.random.default_rng(seed)
+    sigma = float(series.std()) or 1.0
+    series[at : at + length] += scale * sigma * rng.standard_normal(length)
+    return series, at
+
+
+def iter_chunks(series, chunk: int = DEFAULT_CHUNK) -> Iterator[np.ndarray]:
+    """Yield *series* in order as chunks of at most ``chunk`` points."""
+    series = as_series(series, "series")
+    if chunk < 1:
+        raise StreamingError(f"chunk must be >= 1, got {chunk}")
+    for start in range(0, series.shape[0], chunk):
+        yield series[start : start + chunk]
+
+
+def replay_local(
+    series,
+    monitor: StreamMonitor,
+    *,
+    chunk: int = DEFAULT_CHUNK,
+    on_alert: Callable[[Alert], None] | None = None,
+) -> dict:
+    """Feed *series* through *monitor* chunk by chunk; returns counters."""
+    for block in iter_chunks(series, chunk):
+        for alert in monitor.append(block):
+            if on_alert is not None:
+                on_alert(alert)
+    return monitor.counters()
+
+
+def verify_against_batch(monitor: StreamMonitor, atol: float = 1e-9) -> dict:
+    """Check the incremental profile against the batch recomputation.
+
+    Returns ``{"checked": bool, "max_abs_diff": float, "ok": bool}`` —
+    ``checked`` is False when the stream is still too short for the
+    batch validator (``n < 2 * window``). This is the acceptance
+    invariant of the streaming subsystem, runnable from the CLI
+    (``repro stream replay --verify``).
+    """
+    from ..search import matrix_profile
+
+    state = monitor.state
+    if state.n < 2 * state.window:
+        return {"checked": False, "max_abs_diff": 0.0, "ok": True}
+    batch = matrix_profile(np.asarray(state.values), window=state.window)
+    streamed = monitor.profile.profile
+    # Entries can be inf on BOTH sides (at n == 2 * window the middle
+    # row's exclusion zone swallows every candidate, batch included);
+    # matching infs agree, inf - inf = nan does not.
+    both_inf = np.isinf(batch.profile) & np.isinf(streamed)
+    with np.errstate(invalid="ignore"):
+        d_diff = np.abs(batch.profile - streamed)
+        # d = sqrt(2q(1 - corr)) has infinite slope at corr == 1, so an
+        # exact z-normalized duplicate (true distance 0) amplifies one
+        # ulp of correlation difference between the two paths' FFTs to
+        # ~1e-8 of distance. Squared-distance space has no such cliff;
+        # score each entry by whichever space it agrees in.
+        sq_diff = np.abs(batch.profile**2 - streamed**2)
+    diff = np.minimum(d_diff, sq_diff)
+    diff[both_inf] = 0.0
+    worst = float(np.max(diff)) if diff.size else 0.0
+    return {"checked": True, "max_abs_diff": worst, "ok": worst <= atol}
+
+
+class StreamClient:
+    """Minimal stdlib client for a server's ``/stream`` endpoints."""
+
+    def __init__(
+        self,
+        url: str,
+        stream_id: str,
+        *,
+        config: dict | None = None,
+        timeout: float = 30.0,
+    ):
+        self.base = url.rstrip("/")
+        self.stream_id = stream_id
+        self.config = dict(config or {})
+        self.timeout = timeout
+        self._created = False
+
+    def _request(self, path: str, payload: dict | None = None, method=None):
+        data = None if payload is None else json.dumps(payload).encode()
+        req = urllib.request.Request(
+            self.base + path,
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:  # surface the server's error
+            try:
+                detail = json.loads(exc.read()).get("error", "")
+            except Exception:
+                detail = ""
+            raise StreamingError(
+                f"{method or ('POST' if data else 'GET')} {path} -> "
+                f"{exc.code}: {detail or exc.reason}"
+            ) from exc
+
+    def append(self, values) -> dict:
+        """POST a chunk; the first call carries the stream's config."""
+        payload = {"values": np.asarray(values, dtype=float).tolist()}
+        if not self._created:
+            payload.update(self.config)
+        body = self._request(f"/stream/{self.stream_id}", payload)
+        self._created = True
+        return body
+
+    def profile(self) -> dict:
+        return self._request(f"/stream/{self.stream_id}/profile")
+
+    def alerts(self) -> dict:
+        return self._request(f"/stream/{self.stream_id}/alerts")
+
+    def delete(self) -> dict:
+        return self._request(f"/stream/{self.stream_id}", method="DELETE")
+
+
+def replay_remote(
+    series,
+    client: StreamClient,
+    *,
+    chunk: int = DEFAULT_CHUNK,
+    on_alert: Callable[[Alert], None] | None = None,
+) -> dict:
+    """POST *series* chunk by chunk; returns the final counters payload."""
+    for block in iter_chunks(series, chunk):
+        body = client.append(block)
+        if on_alert is not None:
+            for raw in body.get("alerts", ()):
+                on_alert(
+                    Alert(
+                        kind=raw["kind"],
+                        at=raw["at"],
+                        value=raw["value"],
+                        detail=raw.get("detail", {}),
+                    )
+                )
+    return client.alerts()

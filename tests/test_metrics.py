@@ -295,6 +295,7 @@ class TestBench:
         assert set(record["families"]) == {
             "lockstep", "sliding", "elastic", "kernel", "elastic_kernels",
             "cache", "sweep", "checkpoint", "serving", "index", "telemetry",
+            "streaming",
         }
         for payload in record["families"].values():
             latency = payload["latency_seconds"]
@@ -364,6 +365,7 @@ class TestBench:
         assert set(workloads) == {
             "lockstep", "sliding", "elastic", "kernel", "elastic_kernels",
             "cache", "sweep", "checkpoint", "serving", "index", "telemetry",
+            "streaming",
         }
 
     def test_cli_bench_run_and_compare(self, bench_record, tmp_path, capsys):

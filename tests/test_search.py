@@ -6,6 +6,7 @@ import pytest
 from repro.exceptions import ValidationError
 from repro.search import (
     best_match,
+    clamped_window_stats,
     mass,
     matrix_profile,
     rolling_mean_std,
@@ -56,6 +57,80 @@ class TestRollingStats:
             rolling_mean_std(np.ones(5), 0)
         with pytest.raises(ValidationError):
             rolling_mean_std(np.ones(5), 6)
+
+    def test_large_offset_constant_ish_series_clamped(self):
+        # Regression: a huge offset with a tiny spread makes
+        # sum(x^2)/w - mean^2 cancel catastrophically; the raw
+        # subtraction can land a few ulps below zero and sqrt would
+        # return NaN without the clamp.
+        series = 1e8 + 1e-6 * np.sin(np.linspace(0.0, 4.0, 64))
+        mean, std = rolling_mean_std(series, 12)
+        assert np.isfinite(std).all()
+        assert (std >= 0.0).all()
+        assert np.allclose(mean, 1e8)
+        # Exactly constant at a huge offset: std must be exactly 0.
+        _, std0 = rolling_mean_std(np.full(32, 1e8), 8)
+        assert (std0 == 0.0).all()
+
+    def test_clamped_window_stats_guard(self):
+        # Totals crafted so sums2/w - mean^2 is a hair negative.
+        mean, std = clamped_window_stats(
+            np.array([4.0]), np.array([4.0 - 1e-12]), 4
+        )
+        assert std[0] == 0.0
+        assert mean[0] == 1.0
+
+    def test_streaming_state_shares_the_guard(self):
+        # The incremental stats must agree bitwise with the batch path
+        # on the same pathological input (shared clamp, shared sums).
+        from repro.streaming import StreamState
+
+        series = 1e8 + 1e-6 * np.sin(np.linspace(0.0, 4.0, 64))
+        state = StreamState(window=12)
+        state.append(series)
+        mean, std = rolling_mean_std(series, 12)
+        assert np.array_equal(state.window_means, mean)
+        assert np.array_equal(state.window_stds, std)
+
+
+class TestMassStatsReuse:
+    def test_precomputed_stats_identical_result(self, rng):
+        q = rng.normal(size=12)
+        t = rng.normal(size=90)
+        assert np.array_equal(
+            mass(q, t), mass(q, t, stats=rolling_mean_std(t, 12))
+        )
+
+    def test_wrong_length_stats_rejected(self, rng):
+        q = rng.normal(size=12)
+        t = rng.normal(size=90)
+        means, stds = rolling_mean_std(t, 11)  # 80 entries, need 79
+        with pytest.raises(ValidationError):
+            mass(q, t, stats=(means, stds))
+
+
+class TestDeterministicTieBreaking:
+    def test_best_match_lowest_offset_wins_on_exact_tie(self):
+        # A constant query over a constant series ties every offset at
+        # exactly 0.0; argmin first-occurrence must pick offset 0.
+        idx, dist = best_match(np.full(4, 7.0), np.zeros(16))
+        assert idx == 0
+        assert dist == 0.0
+
+    def test_top_k_lowest_offsets_under_exclusion_on_ties(self):
+        # All-tied profile (constant query/series): each selection round
+        # takes the lowest surviving offset; the default exclusion
+        # radius (q//2 = 2) then blanks idx..idx+2 each side.
+        hits = top_k_matches(np.full(4, 1.0), np.zeros(12), k=3)
+        assert [idx for idx, _ in hits] == [0, 3, 6]
+        assert all(dist == 0.0 for _, dist in hits)
+
+    def test_repeated_runs_identical(self, long_series):
+        series, pattern = long_series
+        assert best_match(pattern, series) == best_match(pattern, series)
+        assert top_k_matches(pattern, series, k=3) == top_k_matches(
+            pattern, series, k=3
+        )
 
 
 class TestMASS:
